@@ -1,0 +1,163 @@
+package abft
+
+import (
+	"abft/internal/coo"
+	"abft/internal/core"
+	"abft/internal/csr"
+	"abft/internal/ecc"
+	"abft/internal/solvers"
+)
+
+// Scheme selects a software ECC protection scheme.
+type Scheme = core.Scheme
+
+// Protection schemes (see the package documentation of internal/core).
+const (
+	// None disables protection (the baseline).
+	None = core.None
+	// SED is single-error-detecting parity.
+	SED = core.SED
+	// SECDED64 corrects single and detects double bit flips per codeword.
+	SECDED64 = core.SECDED64
+	// SECDED128 halves the redundancy of SECDED64 by pairing elements.
+	SECDED128 = core.SECDED128
+	// CRC32C protects multi-element codewords with a 32-bit checksum
+	// (Hamming distance 6 at the codeword sizes used here).
+	CRC32C = core.CRC32C
+)
+
+// Schemes lists every scheme including None.
+var Schemes = core.Schemes
+
+// ParseScheme converts a scheme name ("sed", "secded64", ...) to a Scheme.
+func ParseScheme(s string) (Scheme, error) { return core.ParseScheme(s) }
+
+// CRCBackend selects the CRC32C implementation.
+type CRCBackend = ecc.Backend
+
+// CRC32C backends.
+const (
+	// CRCHardware uses the platform CRC32 instruction via hash/crc32.
+	CRCHardware = ecc.Hardware
+	// CRCSoftware uses the pure-Go slicing-by-16 implementation.
+	CRCSoftware = ecc.Software
+)
+
+// Vector is an ABFT-protected dense float64 vector.
+type Vector = core.Vector
+
+// NewVector returns a zero-filled protected vector of length n.
+func NewVector(n int, s Scheme) *Vector { return core.NewVector(n, s) }
+
+// VectorFromSlice builds a protected vector holding a copy of data.
+func VectorFromSlice(data []float64, s Scheme) *Vector { return core.VectorFromSlice(data, s) }
+
+// Matrix is an ABFT-protected CSR sparse matrix.
+type Matrix = core.Matrix
+
+// MatrixOptions configures matrix protection.
+type MatrixOptions = core.MatrixOptions
+
+// NewMatrix builds a protected copy of a CSR matrix.
+func NewMatrix(src *CSRMatrix, opt MatrixOptions) (*Matrix, error) {
+	return core.NewMatrix(src, opt)
+}
+
+// COOMatrix is an ABFT-protected coordinate-format sparse matrix, the
+// second storage format of the paper's lineage.
+type COOMatrix = coo.Matrix
+
+// COOOptions configures COO protection.
+type COOOptions = coo.Options
+
+// NewCOOMatrix builds a protected coordinate-format copy of a CSR matrix.
+func NewCOOMatrix(src *CSRMatrix, opt COOOptions) (*COOMatrix, error) {
+	return coo.NewMatrix(src, opt)
+}
+
+// CSRMatrix is the unprotected compressed-sparse-row substrate.
+type CSRMatrix = csr.Matrix
+
+// Entry is a (row, col, value) triplet for CSR construction.
+type Entry = csr.Entry
+
+// NewCSR assembles an unprotected CSR matrix from triplets.
+func NewCSR(rows, cols int, entries []Entry) (*CSRMatrix, error) {
+	return csr.New(rows, cols, entries)
+}
+
+// FivePoint assembles the TeaLeaf-style five-point stencil operator.
+func FivePoint(nx, ny int, kx, ky []float64, rx, ry float64) *CSRMatrix {
+	return csr.FivePoint(nx, ny, kx, ky, rx, ry)
+}
+
+// Laplacian2D builds the standard five-point Poisson operator.
+func Laplacian2D(nx, ny int) *CSRMatrix { return csr.Laplacian2D(nx, ny) }
+
+// Counters accumulates integrity-check statistics across structures.
+type Counters = core.Counters
+
+// CounterSnapshot is a point-in-time copy of Counters.
+type CounterSnapshot = core.CounterSnapshot
+
+// FaultError reports a detected uncorrectable error.
+type FaultError = core.FaultError
+
+// BoundsError reports an out-of-range index stopped by a range check.
+type BoundsError = core.BoundsError
+
+// Kernels. Every kernel checks (and where possible repairs) the codewords
+// it touches; workers below 2 run serially.
+
+// SpMV computes dst = m * x.
+func SpMV(dst *Vector, m *Matrix, x *Vector, workers int) error {
+	return core.SpMV(dst, m, x, workers)
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b *Vector, workers int) (float64, error) { return core.Dot(a, b, workers) }
+
+// Axpy computes y += alpha*x.
+func Axpy(y *Vector, alpha float64, x *Vector, workers int) error {
+	return core.Axpy(y, alpha, x, workers)
+}
+
+// Waxpby computes dst = alpha*x + beta*y; dst may alias x or y.
+func Waxpby(dst *Vector, alpha float64, x *Vector, beta float64, y *Vector, workers int) error {
+	return core.Waxpby(dst, alpha, x, beta, y, workers)
+}
+
+// Copy transfers src into dst, re-encoding under dst's scheme.
+func Copy(dst, src *Vector, workers int) error { return core.Copy(dst, src, workers) }
+
+// Solvers.
+
+// SolveOptions configures an iterative solve.
+type SolveOptions = solvers.Options
+
+// SolveResult reports a solve outcome.
+type SolveResult = solvers.Result
+
+// SolveCG solves m x = b by conjugate gradients, the paper's solver.
+func SolveCG(m *Matrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
+	return solvers.CG(solvers.MatrixOperator{M: m, Workers: opt.Workers}, x, b, opt)
+}
+
+// SolveJacobi solves m x = b with the Jacobi iteration.
+func SolveJacobi(m *Matrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
+	return solvers.Jacobi(solvers.MatrixOperator{M: m, Workers: opt.Workers}, x, b, opt)
+}
+
+// SolveChebyshev solves m x = b with the Chebyshev semi-iteration.
+func SolveChebyshev(m *Matrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
+	return solvers.Chebyshev(solvers.MatrixOperator{M: m, Workers: opt.Workers}, x, b, opt)
+}
+
+// SolvePPCG solves m x = b with polynomially preconditioned CG.
+func SolvePPCG(m *Matrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
+	return solvers.PPCG(solvers.MatrixOperator{M: m, Workers: opt.Workers}, x, b, opt)
+}
+
+// IsFault reports whether err stems from a detected ABFT fault rather than
+// a numerical or usage problem.
+func IsFault(err error) bool { return solvers.IsFault(err) }

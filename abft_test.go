@@ -1,0 +1,138 @@
+package abft_test
+
+import (
+	"math"
+	"testing"
+
+	"abft"
+)
+
+// TestFacadeQuickstart exercises the README quick-start path end to end
+// through the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	m, err := abft.NewMatrix(abft.Laplacian2D(16, 16), abft.MatrixOptions{
+		ElemScheme:   abft.SECDED64,
+		RowPtrScheme: abft.SECDED64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c abft.Counters
+	m.SetCounters(&c)
+	b := abft.NewVector(m.Rows(), abft.SECDED64)
+	for i := 0; i < b.Len(); i++ {
+		if err := b.Set(i, float64(i%11)-5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := abft.NewVector(m.Rows(), abft.SECDED64)
+
+	// Flip a bit in the matrix; the solve must succeed anyway.
+	m.RawVals()[123] = math.Float64frombits(math.Float64bits(m.RawVals()[123]) ^ 1<<37)
+
+	res, err := abft.SolveCG(m, x, b, abft.SolveOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence: %+v", res)
+	}
+	if c.Corrected() == 0 {
+		t.Fatal("injected flip was not corrected")
+	}
+
+	// Verify the solution through the public kernels: ||b - A x|| small.
+	r := abft.NewVector(m.Rows(), abft.SECDED64)
+	if err := abft.SpMV(r, m, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := abft.Waxpby(r, 1, b, -1, r, 1); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := abft.Dot(r, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Sqrt(rr) > 1e-9 {
+		t.Fatalf("residual %g too large", math.Sqrt(rr))
+	}
+}
+
+func TestFacadeSolverVariants(t *testing.T) {
+	mk := func() (*abft.Matrix, *abft.Vector, *abft.Vector) {
+		m, err := abft.NewMatrix(abft.Laplacian2D(8, 8), abft.MatrixOptions{
+			ElemScheme: abft.SED, RowPtrScheme: abft.SED,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := abft.NewVector(m.Rows(), abft.SED)
+		for i := 0; i < b.Len(); i++ {
+			if err := b.Set(i, float64(i%5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m, abft.NewVector(m.Rows(), abft.SED), b
+	}
+	opt := abft.SolveOptions{Tol: 1e-8, MaxIter: 50000, EigenIters: 12}
+
+	for name, solve := range map[string]func(*abft.Matrix, *abft.Vector, *abft.Vector, abft.SolveOptions) (abft.SolveResult, error){
+		"cg":        abft.SolveCG,
+		"jacobi":    abft.SolveJacobi,
+		"chebyshev": abft.SolveChebyshev,
+		"ppcg":      abft.SolvePPCG,
+	} {
+		m, x, b := mk()
+		res, err := solve(m, x, b, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s did not converge", name)
+		}
+	}
+}
+
+func TestFacadeSchemeParsing(t *testing.T) {
+	for _, s := range abft.Schemes {
+		got, err := abft.ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Fatalf("round trip %v: %v %v", s, got, err)
+		}
+	}
+}
+
+func TestFacadeFaultDetection(t *testing.T) {
+	m, err := abft.NewMatrix(abft.Laplacian2D(8, 8), abft.MatrixOptions{
+		ElemScheme: abft.SED, RowPtrScheme: abft.SED,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RawVals()[10] = math.Float64frombits(math.Float64bits(m.RawVals()[10]) ^ 1<<20)
+	b := abft.NewVector(m.Rows(), abft.None)
+	for i := 0; i < b.Len(); i++ {
+		if err := b.Set(i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := abft.NewVector(m.Rows(), abft.None)
+	_, err = abft.SolveCG(m, x, b, abft.SolveOptions{Tol: 1e-8})
+	if err == nil || !abft.IsFault(err) {
+		t.Fatalf("fault not classified: %v", err)
+	}
+}
+
+func TestFacadeCRCBackends(t *testing.T) {
+	for _, backend := range []abft.CRCBackend{abft.CRCHardware, abft.CRCSoftware} {
+		m, err := abft.NewMatrix(abft.Laplacian2D(6, 6), abft.MatrixOptions{
+			ElemScheme: abft.CRC32C, RowPtrScheme: abft.CRC32C, Backend: backend,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.CheckAll(); err != nil {
+			t.Fatalf("backend %v: %v", backend, err)
+		}
+	}
+}

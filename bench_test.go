@@ -1,0 +1,471 @@
+// Benchmark entry points, one per experiment in DESIGN.md's index: every
+// figure of the paper's evaluation (Figures 4-9 and the section VII-B
+// full-protection result) plus microbenchmarks of the ECC primitives and
+// the two ablations the paper motivates (buffered writes vs
+// read-modify-write, and the stencil-aware decode cache).
+//
+// Each figure benchmark runs the TeaLeaf CG workload at a reduced size;
+// compare ns/op across sub-benchmarks to read the overhead shape. The
+// abftbench command runs the same experiments at paper scale and prints
+// overhead percentages directly.
+package abft_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"abft/internal/coo"
+	"abft/internal/core"
+	"abft/internal/csr"
+	"abft/internal/ecc"
+	"abft/internal/halo"
+	"abft/internal/solvers"
+	"abft/internal/tealeaf"
+)
+
+// benchConfig is the reduced TeaLeaf workload used by the figure benches.
+func benchConfig() tealeaf.Config {
+	cfg := tealeaf.DefaultConfig()
+	cfg.NX, cfg.NY = 64, 64
+	cfg.EndStep = 1
+	cfg.Eps = 1e-7
+	cfg.RelativeTol = true
+	return cfg
+}
+
+func runWorkload(b *testing.B, cfg tealeaf.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := tealeaf.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// figureVariants are the scheme bars of Figures 4, 5 and 9.
+var figureVariants = []struct {
+	name    string
+	scheme  core.Scheme
+	backend ecc.Backend
+}{
+	{"none", core.None, ecc.Hardware},
+	{"sed", core.SED, ecc.Hardware},
+	{"secded64", core.SECDED64, ecc.Hardware},
+	{"secded128", core.SECDED128, ecc.Hardware},
+	{"crc32c-hw", core.CRC32C, ecc.Hardware},
+	{"crc32c-sw", core.CRC32C, ecc.Software},
+}
+
+// BenchmarkFig4CSRElementProtection reproduces Figure 4: the TeaLeaf CG
+// solve with only the CSR elements protected.
+func BenchmarkFig4CSRElementProtection(b *testing.B) {
+	for _, v := range figureVariants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.ElemScheme = v.scheme
+			cfg.CRCBackend = v.backend
+			runWorkload(b, cfg)
+		})
+	}
+}
+
+// BenchmarkFig5RowPtrProtection reproduces Figure 5: only the row-pointer
+// vector protected.
+func BenchmarkFig5RowPtrProtection(b *testing.B) {
+	for _, v := range figureVariants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.RowPtrScheme = v.scheme
+			cfg.CRCBackend = v.backend
+			runWorkload(b, cfg)
+		})
+	}
+}
+
+// BenchmarkFig9VectorProtection reproduces Figure 9: only the dense
+// float64 vectors protected.
+func BenchmarkFig9VectorProtection(b *testing.B) {
+	for _, v := range figureVariants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.VectorScheme = v.scheme
+			cfg.CRCBackend = v.backend
+			runWorkload(b, cfg)
+		})
+	}
+}
+
+func intervalBench(b *testing.B, scheme core.Scheme, backend ecc.Backend) {
+	b.Helper()
+	for _, interval := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("interval-%d", interval), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.ElemScheme = scheme
+			cfg.RowPtrScheme = scheme
+			cfg.CheckInterval = interval
+			cfg.CRCBackend = backend
+			runWorkload(b, cfg)
+		})
+	}
+}
+
+// BenchmarkFig6SEDInterval reproduces Figure 6: full-CSR SED protection
+// across check intervals.
+func BenchmarkFig6SEDInterval(b *testing.B) {
+	intervalBench(b, core.SED, ecc.Hardware)
+}
+
+// BenchmarkFig7SECDEDInterval reproduces Figure 7: full-CSR SECDED64
+// across check intervals.
+func BenchmarkFig7SECDEDInterval(b *testing.B) {
+	intervalBench(b, core.SECDED64, ecc.Hardware)
+}
+
+// BenchmarkFig8CRCInterval reproduces Figure 8: full-CSR CRC32C with the
+// software backend across check intervals (the consumer-GPU stand-in).
+func BenchmarkFig8CRCInterval(b *testing.B) {
+	intervalBench(b, core.CRC32C, ecc.Software)
+}
+
+// BenchmarkFullProtection reproduces the section VII-B headline: the
+// whole solver state protected with SECDED64 vs the unprotected baseline
+// (the paper compares against 8.1% hardware-ECC overhead).
+func BenchmarkFullProtection(b *testing.B) {
+	b.Run("none", func(b *testing.B) { runWorkload(b, benchConfig()) })
+	b.Run("full-secded64", func(b *testing.B) {
+		cfg := benchConfig()
+		cfg.ElemScheme = core.SECDED64
+		cfg.RowPtrScheme = core.SECDED64
+		cfg.VectorScheme = core.SECDED64
+		runWorkload(b, cfg)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks of the primitives.
+
+// BenchmarkSECDEDCheck measures the clean-codeword check for every
+// embedded layout used by the schemes.
+func BenchmarkSECDEDCheck(b *testing.B) {
+	layouts := []struct {
+		name     string
+		width    int
+		checkPos []int
+	}{
+		{"vec64", 64, []int{0, 1, 2, 3, 4, 5, 6, 7}},
+		{"elem96", 96, []int{88, 89, 90, 91, 92, 93, 94, 95}},
+		{"vec128", 128, []int{0, 1, 2, 3, 4, 64, 65, 66, 67}},
+		{"elem192", 192, []int{88, 89, 90, 91, 92, 184, 185, 186, 187}},
+	}
+	for _, l := range layouts {
+		b.Run(l.name, func(b *testing.B) {
+			c := ecc.MustSECDED(l.width, l.checkPos)
+			var w ecc.Word4
+			w[0] = 0x0123_4567_89AB_CDEF
+			w[1] = 0x0000_0000_00FE_DCBA
+			c.Encode(&w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cw := w
+				if res, _ := c.Check(&cw); res != ecc.OK {
+					b.Fatal("clean codeword failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSECDEDEncode measures codeword encoding.
+func BenchmarkSECDEDEncode(b *testing.B) {
+	c := ecc.MustSECDED(64, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	var w ecc.Word4
+	w[0] = 0xDEAD_BEEF_CAFE_0000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw := w
+		c.Encode(&cw)
+	}
+}
+
+// BenchmarkCRC32CBackends compares the hardware-instruction path with the
+// software slicing-by-16 path on codeword-sized and streaming buffers
+// (the paper's section IV comparison).
+func BenchmarkCRC32CBackends(b *testing.B) {
+	for _, size := range []int{32, 60, 4096} {
+		buf := make([]byte, size)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		for _, backend := range []ecc.Backend{ecc.Hardware, ecc.Software} {
+			b.Run(fmt.Sprintf("%s-%dB", backend, size), func(b *testing.B) {
+				b.SetBytes(int64(size))
+				for i := 0; i < b.N; i++ {
+					_ = ecc.Checksum(buf, backend)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSpMV measures the protected sparse matrix-vector product per
+// scheme on a 128x128 five-point operator (both matrix and vector
+// protected with the same scheme).
+func BenchmarkSpMV(b *testing.B) {
+	plain := csr.Laplacian2D(128, 128)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, plain.Cols32())
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	for _, v := range figureVariants {
+		b.Run(v.name, func(b *testing.B) {
+			m, err := core.NewMatrix(plain, core.MatrixOptions{
+				ElemScheme: v.scheme, RowPtrScheme: v.scheme, Backend: v.backend,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := core.VectorFromSlice(xs, v.scheme)
+			x.SetCRCBackend(v.backend)
+			dst := core.NewVector(plain.Rows(), v.scheme)
+			dst.SetCRCBackend(v.backend)
+			b.SetBytes(int64(plain.NNZ() * 12))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := core.SpMV(dst, m, x, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDot measures the protected inner product per scheme.
+func BenchmarkDot(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 1<<14)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	for _, v := range figureVariants {
+		b.Run(v.name, func(b *testing.B) {
+			x := core.VectorFromSlice(data, v.scheme)
+			x.SetCRCBackend(v.backend)
+			b.SetBytes(int64(len(data) * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Dot(x, x, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWaxpby measures the protected triad update per scheme.
+func BenchmarkWaxpby(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 1<<14)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	for _, v := range figureVariants {
+		b.Run(v.name, func(b *testing.B) {
+			x := core.VectorFromSlice(data, v.scheme)
+			y := core.VectorFromSlice(data, v.scheme)
+			x.SetCRCBackend(v.backend)
+			y.SetCRCBackend(v.backend)
+			b.SetBytes(int64(len(data) * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := core.Waxpby(y, 1.0001, x, 0.5, y, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (section VI-C).
+
+// BenchmarkAblationRMW compares the buffered group-write kernel against
+// per-element read-modify-write: the cost the paper's write buffering
+// eliminates (two integrity computations per element write).
+func BenchmarkAblationRMW(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]float64, 1<<12)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	x := core.VectorFromSlice(data, core.SECDED64)
+	b.Run("buffered", func(b *testing.B) {
+		y := core.VectorFromSlice(data, core.SECDED64)
+		b.SetBytes(int64(len(data) * 8))
+		for i := 0; i < b.N; i++ {
+			if err := core.Axpy(y, 1.0001, x, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rmw", func(b *testing.B) {
+		y := core.VectorFromSlice(data, core.SECDED64)
+		b.SetBytes(int64(len(data) * 8))
+		for i := 0; i < b.N; i++ {
+			if err := core.AxpyRMW(y, 1.0001, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationStencilCache compares SpMV with and without the
+// stencil-aware decoded-block cache.
+func BenchmarkAblationStencilCache(b *testing.B) {
+	plain := csr.Laplacian2D(128, 128)
+	m, err := core.NewMatrix(plain, core.MatrixOptions{
+		ElemScheme: core.SECDED64, RowPtrScheme: core.SECDED64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := core.VectorFromSlice(make([]float64, plain.Cols32()), core.SECDED64)
+	dst := core.NewVector(plain.Rows(), core.SECDED64)
+	for _, disabled := range []bool{false, true} {
+		name := "cache-on"
+		if disabled {
+			name = "cache-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := core.SpMVOpts(dst, m, x, core.SpMVOptions{DisableCache: disabled})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCOOvsCSR compares the protected SpMV of the two storage
+// formats covered by the paper's lineage at the same protection level
+// (COO scatters through a dense accumulator; CSR streams output
+// codewords directly).
+func BenchmarkCOOvsCSR(b *testing.B) {
+	plain := csr.Laplacian2D(128, 128)
+	xs := make([]float64, plain.Cols32())
+	for i := range xs {
+		xs[i] = float64(i%17) - 8
+	}
+	x := core.VectorFromSlice(xs, core.None)
+	dst := core.NewVector(plain.Rows(), core.None)
+	b.Run("csr-secded64", func(b *testing.B) {
+		m, err := core.NewMatrix(plain, core.MatrixOptions{
+			ElemScheme: core.SECDED64, RowPtrScheme: core.SECDED64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(plain.NNZ() * 12))
+		for i := 0; i < b.N; i++ {
+			if err := core.SpMV(dst, m, x, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("coo-secded64", func(b *testing.B) {
+		m, err := coo.NewMatrix(plain, coo.Options{Scheme: core.SECDED64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(plain.NNZ() * 16))
+		for i := 0; i < b.N; i++ {
+			if err := m.SpMV(dst, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationWorkers measures parallel kernel scaling (the
+// goroutine analogue of the paper's OpenMP platform axis).
+func BenchmarkAblationWorkers(b *testing.B) {
+	cfgBase := benchConfig()
+	cfgBase.ElemScheme = core.SECDED64
+	cfgBase.RowPtrScheme = core.SECDED64
+	cfgBase.VectorScheme = core.SECDED64
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			cfg := cfgBase
+			cfg.Workers = w
+			runWorkload(b, cfg)
+		})
+	}
+}
+
+// BenchmarkDistributedCG measures the domain-decomposed solve (protected
+// halo exchange per iteration) across chunk counts.
+func BenchmarkDistributedCG(b *testing.B) {
+	const nx, ny = 64, 64
+	kx := make([]float64, (nx+1)*ny)
+	ky := make([]float64, nx*(ny+1))
+	for j := 0; j < ny; j++ {
+		for i := 1; i < nx; i++ {
+			kx[j*(nx+1)+i] = 1
+		}
+	}
+	for j := 1; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			ky[j*nx+i] = 1
+		}
+	}
+	bs := make([]float64, nx*ny)
+	for i := range bs {
+		bs[i] = float64(i%13) - 6
+	}
+	for _, chunks := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("chunks-%d", chunks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := halo.NewDecomposition(nx, ny, kx, ky, 1, 1, halo.Options{
+					Chunks:       chunks,
+					ElemScheme:   core.SECDED64,
+					RowPtrScheme: core.SECDED64,
+					VectorScheme: core.SECDED64,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rhs := d.NewField()
+				if err := rhs.Scatter(bs); err != nil {
+					b.Fatal(err)
+				}
+				x := d.NewField()
+				if _, _, err := d.CG(x, rhs, 1e-8, 10000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolvers compares the four solver algorithms on the protected
+// workload (TeaLeaf's solver set).
+func BenchmarkSolvers(b *testing.B) {
+	for _, kind := range []solvers.Kind{solvers.KindCG, solvers.KindChebyshev, solvers.KindPPCG} {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Solver = kind
+			cfg.VectorScheme = core.SECDED64
+			cfg.ElemScheme = core.SECDED64
+			cfg.RowPtrScheme = core.SECDED64
+			cfg.MaxIters = 100000
+			runWorkload(b, cfg)
+		})
+	}
+}

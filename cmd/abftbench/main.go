@@ -1,0 +1,128 @@
+// Command abftbench regenerates the paper's evaluation figures on the
+// host platform: per-scheme runtime overheads for CSR element, row-pointer
+// and dense vector protection (Figures 4, 5, 9), check-interval sweeps
+// (Figures 6-8), the combined full-protection overhead compared with the
+// paper's 8.1 percent hardware-ECC reference, the convergence perturbation
+// study, and the hardware-vs-software CRC32C comparison.
+//
+// Usage:
+//
+//	abftbench -fig all
+//	abftbench -fig 4 -nx 512 -steps 5 -runs 5
+//	abftbench -fig 8 -maxexp 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abft/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "abftbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,all")
+		nx      = flag.Int("nx", 128, "grid cells per side (paper: 2048)")
+		steps   = flag.Int("steps", 2, "timesteps per run (paper: 5)")
+		runs    = flag.Int("runs", 3, "repetitions averaged (paper: 5)")
+		eps     = flag.Float64("eps", 1e-8, "solver tolerance (relative)")
+		workers = flag.Int("workers", 1, "kernel goroutines")
+		maxExp  = flag.Int("maxexp", 7, "largest interval exponent for figures 6-8 (2^n)")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opt := bench.Options{
+		NX:             *nx,
+		Steps:          *steps,
+		Runs:           *runs,
+		Eps:            *eps,
+		Workers:        *workers,
+		MaxIntervalExp: *maxExp,
+		Verbose:        !*quiet,
+		Log:            os.Stderr,
+	}
+	out := os.Stdout
+
+	fmt.Fprintf(out, "abftbench: grid %dx%d, %d steps, mean of %d runs, eps %g\n",
+		*nx, *nx, *steps, *runs, *eps)
+	fmt.Fprintf(out, "(the paper's testbed: 2048x2048, 5 steps, mean of 5 runs)\n\n")
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+
+	if all || want["4"] {
+		rows, err := bench.Fig4(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintRows(out, "Figure 4: CSR element protection overhead", rows)
+	}
+	if all || want["5"] {
+		rows, err := bench.Fig5(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintRows(out, "Figure 5: row-pointer protection overhead", rows)
+	}
+	if all || want["6"] {
+		s, err := bench.Fig6(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(out, "Figure 6: full-CSR SED overhead vs check interval", s)
+	}
+	if all || want["7"] {
+		s, err := bench.Fig7(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(out, "Figure 7: full-CSR SECDED64 overhead vs check interval", s)
+	}
+	if all || want["8"] {
+		s, err := bench.Fig8(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(out, "Figure 8: full-CSR CRC32C (software) overhead vs check interval", s)
+	}
+	if all || want["9"] {
+		rows, err := bench.Fig9(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintRows(out, "Figure 9: dense vector protection overhead", rows)
+	}
+	if all || want["full"] {
+		row, err := bench.FullProtection(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintRows(out, "Full protection (section VII-B)", []bench.Row{row})
+		fmt.Fprintf(out, "paper reference: %.1f%% hardware-ECC overhead (NVIDIA K40), %.0f%% software target\n\n",
+			bench.HardwareECCTargetPct, 11.0)
+	}
+	if all || want["conv"] {
+		rows, err := bench.Convergence(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintConvergence(out, rows)
+	}
+	if all || want["crc"] {
+		bench.PrintCRC(out, bench.CRCThroughput())
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+// Command tealeaf runs the TeaLeaf heat-conduction mini-app with
+// configurable ABFT protection, printing per-step solver statistics and
+// the final field summary in the style of the reference implementation.
+//
+// Usage:
+//
+//	tealeaf [flags]
+//	tealeaf -in tea.in
+//
+// Examples:
+//
+//	tealeaf -nx 512 -steps 5 -elements secded64 -rowptr secded64 -vectors secded64
+//	tealeaf -nx 2048 -steps 5 -elements crc32c -interval 128 -crc software
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"abft/internal/core"
+	"abft/internal/ecc"
+	"abft/internal/solvers"
+	"abft/internal/tealeaf"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tealeaf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		inFile   = flag.String("in", "", "TeaLeaf input deck (tea.in format); flags override")
+		nx       = flag.Int("nx", 0, "grid cells per side (overrides deck)")
+		steps    = flag.Int("steps", 0, "timesteps (overrides deck)")
+		solver   = flag.String("solver", "", "solver: cg, jacobi, chebyshev, ppcg")
+		eps      = flag.Float64("eps", 0, "solver tolerance")
+		relative = flag.Bool("relative", false, "measure tolerance against the initial residual")
+		elems    = flag.String("elements", "", "CSR element protection: none, sed, secded64, secded128, crc32c")
+		rowptr   = flag.String("rowptr", "", "row-pointer protection scheme")
+		vectors  = flag.String("vectors", "", "dense vector protection scheme")
+		interval = flag.Int("interval", 0, "full matrix checks every n-th sweep")
+		crc      = flag.String("crc", "", "crc32c backend: hardware, software")
+		workers  = flag.Int("workers", 0, "kernel goroutines")
+		retry    = flag.Bool("retry", false, "reprotect and retry a step after an uncorrectable fault")
+	)
+	flag.Parse()
+
+	cfg := tealeaf.DefaultConfig()
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			return err
+		}
+		cfg, err = tealeaf.ParseInput(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if *nx > 0 {
+		cfg.NX, cfg.NY = *nx, *nx
+	}
+	if *steps > 0 {
+		cfg.EndStep = *steps
+	}
+	if *solver != "" {
+		kind, err := solvers.ParseKind(*solver)
+		if err != nil {
+			return err
+		}
+		cfg.Solver = kind
+	}
+	if *eps > 0 {
+		cfg.Eps = *eps
+	}
+	cfg.RelativeTol = cfg.RelativeTol || *relative
+	if err := setScheme(*elems, &cfg.ElemScheme); err != nil {
+		return err
+	}
+	if err := setScheme(*rowptr, &cfg.RowPtrScheme); err != nil {
+		return err
+	}
+	if err := setScheme(*vectors, &cfg.VectorScheme); err != nil {
+		return err
+	}
+	if *interval > 0 {
+		cfg.CheckInterval = *interval
+	}
+	switch *crc {
+	case "":
+	case "hardware", "hw":
+		cfg.CRCBackend = ecc.Hardware
+	case "software", "sw":
+		cfg.CRCBackend = ecc.Software
+	default:
+		return fmt.Errorf("unknown crc backend %q", *crc)
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	cfg.RetryOnFault = cfg.RetryOnFault || *retry
+
+	fmt.Printf("TeaLeaf (ABFT reproduction)\n")
+	fmt.Printf("  grid %dx%d, %d steps, dt %g, solver %v\n",
+		cfg.NX, cfg.NY, cfg.EndStep, cfg.DtInit, cfg.Solver)
+	fmt.Printf("  protection: elements=%v rowptr=%v vectors=%v interval=%d crc=%v workers=%d\n",
+		cfg.ElemScheme, cfg.RowPtrScheme, cfg.VectorScheme, cfg.CheckInterval,
+		cfg.CRCBackend, cfg.Workers)
+
+	sim, err := tealeaf.New(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for s := 0; s < cfg.EndStep; s++ {
+		stepStart := time.Now()
+		sr, err := sim.Advance()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("step %4d: %5d iterations, residual %.3e, %8.3fs",
+			sr.Step, sr.Iterations, sr.ResidualNorm, time.Since(stepStart).Seconds())
+		if sr.Corrected > 0 || sr.Detected > 0 || sr.Retried {
+			fmt.Printf("  [corrected=%d detected=%d retried=%v]",
+				sr.Corrected, sr.Detected, sr.Retried)
+		}
+		fmt.Println()
+	}
+	elapsed := time.Since(start)
+
+	sum := sim.FieldSummary()
+	fmt.Printf("\nfield summary\n")
+	fmt.Printf("  volume          %.6e\n", sum.Volume)
+	fmt.Printf("  mass            %.6e\n", sum.Mass)
+	fmt.Printf("  internal energy %.6e\n", sum.InternalEnergy)
+	fmt.Printf("  temperature     %.6e\n", sum.Temperature)
+	snap := sim.Counters().Snapshot()
+	fmt.Printf("\nabft: %v\n", snap)
+	fmt.Printf("wall clock %.3fs\n", elapsed.Seconds())
+	return nil
+}
+
+func setScheme(s string, dst *core.Scheme) error {
+	if s == "" {
+		return nil
+	}
+	v, err := core.ParseScheme(s)
+	if err != nil {
+		return err
+	}
+	*dst = v
+	return nil
+}

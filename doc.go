@@ -1,0 +1,35 @@
+// Package abft is a Go implementation of the application-based fault
+// tolerance techniques of Pawelczak, McIntosh-Smith, Price and Martineau,
+// "Application-Based Fault Tolerance Techniques for Fully Protecting
+// Sparse Matrix Solvers" (IEEE CLUSTER 2017): software ECC — parity,
+// SECDED Hamming codes and CRC32C — embedded into the unused bits of a CSR
+// sparse matrix and the mantissa tails of dense float64 vectors, so that
+// every data structure of an iterative sparse solver is protected against
+// memory bit flips with zero storage overhead.
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/ecc      — the error detecting and correcting codes
+//   - internal/core     — protected matrices, vectors and solver kernels
+//   - internal/csr      — the unprotected CSR substrate
+//   - internal/solvers  — CG, Jacobi, Chebyshev and PPCG
+//   - internal/tealeaf  — the TeaLeaf heat-conduction mini-app workload
+//   - internal/faults   — fault injection and outcome classification
+//   - internal/bench    — reproduction of the paper's figures
+//
+// # Quick start
+//
+//	m, _ := abft.NewMatrix(abft.Laplacian2D(64, 64), abft.MatrixOptions{
+//		ElemScheme:   abft.SECDED64,
+//		RowPtrScheme: abft.SECDED64,
+//	})
+//	b := abft.NewVector(m.Rows(), abft.SECDED64)
+//	b.Fill(1)
+//	x := abft.NewVector(m.Rows(), abft.SECDED64)
+//	res, err := abft.SolveCG(m, x, b, abft.SolveOptions{Tol: 1e-10})
+//
+// A single bit flipped anywhere in m, b or x is corrected transparently
+// during the solve; uncorrectable corruption surfaces as a *FaultError the
+// application can react to (for example by re-protecting and re-solving)
+// instead of crashing or silently computing garbage.
+package abft

@@ -1,0 +1,106 @@
+// Distributed: the domain-decomposed solve TeaLeaf runs on real
+// clusters, in miniature. The grid splits into bands, each owning ABFT-
+// protected local structures; halo rows are exchanged through the
+// integrity-checked paths before every matrix-vector product, so a bit
+// flip near a chunk boundary is caught at the exchange — the scenario the
+// paper's MPI-level deployment has to handle.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"abft"
+	"abft/internal/faults"
+	"abft/internal/halo"
+)
+
+func main() {
+	const nx, ny = 32, 32
+
+	// Insulated-boundary unit coefficients: the Poisson-style operator.
+	kx := make([]float64, (nx+1)*ny)
+	ky := make([]float64, nx*(ny+1))
+	for j := 0; j < ny; j++ {
+		for i := 1; i < nx; i++ {
+			kx[j*(nx+1)+i] = 1
+		}
+	}
+	for j := 1; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			ky[j*nx+i] = 1
+		}
+	}
+
+	d, err := halo.NewDecomposition(nx, ny, kx, ky, 1, 1, halo.Options{
+		Chunks:       4,
+		ElemScheme:   abft.SECDED64,
+		RowPtrScheme: abft.SECDED64,
+		VectorScheme: abft.SECDED64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid %dx%d decomposed into %d chunks, everything SECDED64-protected\n\n",
+		nx, ny, d.Chunks())
+
+	// Right-hand side: a hot spot in the middle of the domain.
+	bs := make([]float64, nx*ny)
+	for j := 12; j < 20; j++ {
+		for i := 12; i < 20; i++ {
+			bs[j*nx+i] = 1
+		}
+	}
+	b := d.NewField()
+	if err := b.Scatter(bs); err != nil {
+		log.Fatal(err)
+	}
+	x := d.NewField()
+
+	// Strike one chunk's matrix mid-setup: the distributed solve corrects
+	// it on first touch.
+	faults.FlipMatrixBit(d.ChunkMatrix(2), faults.TargetValues, faults.Flip{Word: 333, Bit: 41})
+	fmt.Println("[injector] flipped a bit in chunk 2's protected matrix")
+
+	iters, rr, err := d.CG(x, b, 1e-10, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndistributed CG converged in %d iterations (residual %.2e)\n",
+		iters, math.Sqrt(rr))
+	snap := d.Counters().Snapshot()
+	fmt.Printf("ABFT: %d checks, %d corrected, %d detected across all chunks\n",
+		snap.Checks, snap.Corrected, snap.Detected)
+
+	// Verify against a single-chunk solve of the same system.
+	single, err := halo.NewDecomposition(nx, ny, kx, ky, 1, 1, halo.Options{Chunks: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b1 := single.NewField()
+	if err := b1.Scatter(bs); err != nil {
+		log.Fatal(err)
+	}
+	x1 := single.NewField()
+	if _, _, err := single.CG(x1, b1, 1e-10, 10000); err != nil {
+		log.Fatal(err)
+	}
+	got := make([]float64, nx*ny)
+	ref := make([]float64, nx*ny)
+	if err := x.Gather(got); err != nil {
+		log.Fatal(err)
+	}
+	if err := x1.Gather(ref); err != nil {
+		log.Fatal(err)
+	}
+	var worst float64
+	for i := range got {
+		if e := math.Abs(got[i] - ref[i]); e > worst {
+			worst = e
+		}
+	}
+	fmt.Printf("max difference vs single-chunk solve: %.2e\n", worst)
+}

@@ -1,0 +1,59 @@
+// Heatsim: a fully protected TeaLeaf heat-conduction run — the paper's
+// workload end to end. Every solver data structure (CSR matrix, row
+// pointers, all dense vectors) carries embedded ECC; the simulation
+// conserves energy to machine precision and reports the integrity-check
+// statistics of the whole run.
+//
+//	go run ./examples/heatsim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abft"
+	"abft/internal/tealeaf"
+)
+
+func main() {
+	cfg := tealeaf.DefaultConfig() // the tea benchmark states
+	cfg.NX, cfg.NY = 96, 96
+	cfg.EndStep = 4
+	cfg.Eps = 1e-12
+
+	// Full protection: the configuration of the paper's section VII-B
+	// headline result (~11% overhead on their platforms).
+	cfg.ElemScheme = abft.SECDED64
+	cfg.RowPtrScheme = abft.SECDED64
+	cfg.VectorScheme = abft.SECDED64
+
+	sim, err := tealeaf.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	initial := sim.FieldSummary()
+	fmt.Printf("TeaLeaf %dx%d, %d steps, fully protected with SECDED64\n\n",
+		cfg.NX, cfg.NY, cfg.EndStep)
+	fmt.Printf("initial internal energy: %.12e\n\n", initial.InternalEnergy)
+
+	for s := 0; s < cfg.EndStep; s++ {
+		sr, err := sim.Advance()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("step %d: %4d CG iterations, residual %.3e\n",
+			sr.Step, sr.Iterations, sr.ResidualNorm)
+	}
+
+	final := sim.FieldSummary()
+	fmt.Printf("\nfinal internal energy:   %.12e\n", final.InternalEnergy)
+	drift := (final.InternalEnergy - initial.InternalEnergy) / initial.InternalEnergy
+	fmt.Printf("relative energy drift:   %.3e (insulated boundaries conserve energy)\n", drift)
+
+	snap := sim.Counters().Snapshot()
+	fmt.Printf("\nABFT activity: %d codeword checks, %d corrected, %d detected\n",
+		snap.Checks, snap.Corrected, snap.Detected)
+	fmt.Println("every solver byte was integrity-checked as it streamed through the CG kernels,")
+	fmt.Println("with zero additional memory spent on the redundancy")
+}

@@ -1,0 +1,67 @@
+// Solvercompare: the four TeaLeaf solvers (CG, Jacobi, Chebyshev, PPCG)
+// running on the same fully protected system. The paper instruments CG but
+// notes the ABFT techniques apply to any solver with the same data access
+// pattern; this example shows all four converging through the protected
+// kernels, with their iteration counts and ABFT check totals side by side.
+//
+//	go run ./examples/solvercompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"abft"
+	"abft/internal/solvers"
+)
+
+func main() {
+	plain := abft.Laplacian2D(48, 48)
+	n := plain.Rows()
+
+	// Right-hand side with interior structure.
+	bs := make([]float64, n)
+	for i := range bs {
+		bs[i] = float64((i*7)%13) - 6
+	}
+
+	fmt.Printf("solving a %dx%d five-point system, all structures SECDED64-protected\n\n", n, n)
+	fmt.Printf("%-11s %10s %12s %14s %12s\n", "solver", "iters", "residual", "time", "checks")
+
+	for _, kind := range []solvers.Kind{
+		solvers.KindCG, solvers.KindPPCG, solvers.KindChebyshev, solvers.KindJacobi,
+	} {
+		m, err := abft.NewMatrix(plain, abft.MatrixOptions{
+			ElemScheme:   abft.SECDED64,
+			RowPtrScheme: abft.SECDED64,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var c abft.Counters
+		m.SetCounters(&c)
+		b := abft.VectorFromSlice(bs, abft.SECDED64)
+		b.SetCounters(&c)
+		x := abft.NewVector(n, abft.SECDED64)
+		x.SetCounters(&c)
+
+		opt := solvers.Options{Tol: 1e-9, MaxIter: 200000, EigenIters: 25, InnerSteps: 4}
+		start := time.Now()
+		res, err := solvers.Solve(kind, solvers.MatrixOperator{M: m}, x, b, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := ""
+		if !res.Converged {
+			status = "  (hit max iterations)"
+		}
+		fmt.Printf("%-11s %10d %12.2e %14v %12d%s\n",
+			kind, res.Iterations, res.ResidualNorm,
+			time.Since(start).Round(time.Microsecond), c.Checks(), status)
+	}
+
+	fmt.Println("\nPPCG trades extra SpMVs per iteration for far fewer iterations and dot")
+	fmt.Println("products; Jacobi shows why Krylov methods dominate — every kernel of every")
+	fmt.Println("solver ran through the same integrity-checked ABFT code paths")
+}

@@ -1,0 +1,281 @@
+// Package bench regenerates the paper's evaluation: execution-time
+// overheads of each ABFT scheme relative to an unprotected run of the
+// TeaLeaf CG solve (Figures 4, 5 and 9), check-interval sweeps (Figures
+// 6-8), the combined full-protection overhead the paper compares against
+// its 8.1 percent hardware-ECC reference (section VII-B), the convergence
+// perturbation study (section VI-B), and the hardware-vs-software CRC32C
+// comparison (sections IV and VII).
+//
+// Absolute times depend on the host; the reproduced quantity is the
+// overhead percentage and its shape across schemes and check intervals.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"abft/internal/core"
+	"abft/internal/ecc"
+	"abft/internal/tealeaf"
+)
+
+// Options scales the measurement workload. The paper uses a 2048x2048
+// grid, 5 timesteps and the mean of 5 runs; defaults here are sized to
+// finish in minutes on one core while preserving the overhead shape.
+type Options struct {
+	// NX is the square grid side (default 128).
+	NX int
+	// Steps is the number of timesteps per run (default 2).
+	Steps int
+	// Runs is the number of repetitions averaged per configuration
+	// (default 3; the paper uses 5).
+	Runs int
+	// Eps is the solver tolerance (default 1e-8, relative).
+	Eps float64
+	// Workers is the kernel goroutine count (default 1).
+	Workers int
+	// MaxIntervalExp bounds the check-interval sweeps at 2^exp
+	// (default 7, i.e. interval 128 as in Figure 8).
+	MaxIntervalExp int
+	// Verbose streams progress lines to Log.
+	Verbose bool
+	// Log receives progress output (default io.Discard).
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.NX == 0 {
+		o.NX = 128
+	}
+	if o.Steps == 0 {
+		o.Steps = 2
+	}
+	if o.Runs == 0 {
+		o.Runs = 3
+	}
+	if o.Eps == 0 {
+		o.Eps = 1e-8
+	}
+	if o.MaxIntervalExp == 0 {
+		o.MaxIntervalExp = 7
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Verbose {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// protection names one full ABFT configuration of the workload.
+type protection struct {
+	elem, rowptr, vec core.Scheme
+	interval          int
+	backend           ecc.Backend
+}
+
+// workloadConfig builds the TeaLeaf configuration for one measurement.
+func (o Options) workloadConfig(p protection) tealeaf.Config {
+	cfg := tealeaf.DefaultConfig()
+	cfg.NX, cfg.NY = o.NX, o.NX
+	cfg.EndStep = o.Steps
+	cfg.Eps = o.Eps
+	cfg.RelativeTol = true
+	cfg.MaxIters = 100000
+	cfg.Workers = o.Workers
+	cfg.ElemScheme = p.elem
+	cfg.RowPtrScheme = p.rowptr
+	cfg.VectorScheme = p.vec
+	cfg.CheckInterval = p.interval
+	cfg.CRCBackend = p.backend
+	return cfg
+}
+
+// runOnce executes one full workload and returns its wall time.
+func (o Options) runOnce(p protection) (time.Duration, error) {
+	sim, err := tealeaf.New(o.workloadConfig(p))
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := sim.Run(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// measure returns the mean wall time over Runs repetitions.
+func (o Options) measure(p protection) (time.Duration, error) {
+	var total time.Duration
+	for r := 0; r < o.Runs; r++ {
+		d, err := o.runOnce(p)
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	return total / time.Duration(o.Runs), nil
+}
+
+// Row is one bar of an overhead figure.
+type Row struct {
+	// Label names the protection configuration.
+	Label string
+	// Base and Protected are mean wall times.
+	Base, Protected time.Duration
+	// OverheadPct is 100 * (Protected - Base) / Base.
+	OverheadPct float64
+}
+
+func overhead(base, protected time.Duration) float64 {
+	return 100 * (protected.Seconds() - base.Seconds()) / base.Seconds()
+}
+
+// schemeVariants lists the protection schemes of the scheme-comparison
+// figures, with CRC32C measured under both backends.
+type schemeVariant struct {
+	label   string
+	scheme  core.Scheme
+	backend ecc.Backend
+}
+
+var schemeVariants = []schemeVariant{
+	{"sed", core.SED, ecc.Hardware},
+	{"secded64", core.SECDED64, ecc.Hardware},
+	{"secded128", core.SECDED128, ecc.Hardware},
+	{"crc32c-hw", core.CRC32C, ecc.Hardware},
+	{"crc32c-sw", core.CRC32C, ecc.Software},
+}
+
+// compareSchemes measures the workload once unprotected and once per
+// scheme variant produced by mk.
+func (o Options) compareSchemes(mk func(schemeVariant) protection) ([]Row, error) {
+	base, err := o.measure(protection{})
+	if err != nil {
+		return nil, err
+	}
+	o.logf("baseline: %v", base)
+	rows := make([]Row, 0, len(schemeVariants))
+	for _, v := range schemeVariants {
+		d, err := o.measure(mk(v))
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", v.label, err)
+		}
+		o.logf("%-12s %v", v.label, d)
+		rows = append(rows, Row{Label: v.label, Base: base, Protected: d,
+			OverheadPct: overhead(base, d)})
+	}
+	return rows, nil
+}
+
+// Fig4 reproduces Figure 4: execution-time overhead of protecting the CSR
+// elements only (values + column indices), per scheme.
+func Fig4(opt Options) ([]Row, error) {
+	o := opt.withDefaults()
+	return o.compareSchemes(func(v schemeVariant) protection {
+		return protection{elem: v.scheme, backend: v.backend}
+	})
+}
+
+// Fig5 reproduces Figure 5: overhead of protecting the row-pointer vector
+// only, per scheme.
+func Fig5(opt Options) ([]Row, error) {
+	o := opt.withDefaults()
+	return o.compareSchemes(func(v schemeVariant) protection {
+		return protection{rowptr: v.scheme, backend: v.backend}
+	})
+}
+
+// Fig9 reproduces Figure 9: overhead of protecting the dense double
+// precision vectors only, per scheme.
+func Fig9(opt Options) ([]Row, error) {
+	o := opt.withDefaults()
+	return o.compareSchemes(func(v schemeVariant) protection {
+		return protection{vec: v.scheme, backend: v.backend}
+	})
+}
+
+// Point is one interval sample of a check-interval sweep.
+type Point struct {
+	Interval    int
+	OverheadPct float64
+	Time        time.Duration
+}
+
+// Series is a check-interval sweep for one scheme.
+type Series struct {
+	Label  string
+	Base   time.Duration
+	Points []Point
+}
+
+// intervalSweep measures full-CSR protection (elements + row pointers) at
+// check intervals 1, 2, 4, ... 2^MaxIntervalExp.
+func (o Options) intervalSweep(label string, s core.Scheme, backend ecc.Backend) (Series, error) {
+	base, err := o.measure(protection{})
+	if err != nil {
+		return Series{}, err
+	}
+	out := Series{Label: label, Base: base}
+	o.logf("baseline: %v", base)
+	for exp := 0; exp <= o.MaxIntervalExp; exp++ {
+		interval := 1 << uint(exp)
+		d, err := o.measure(protection{elem: s, rowptr: s, interval: interval, backend: backend})
+		if err != nil {
+			return out, fmt.Errorf("bench: %s interval %d: %w", label, interval, err)
+		}
+		o.logf("%-10s interval %3d: %v", label, interval, d)
+		out.Points = append(out.Points, Point{
+			Interval:    interval,
+			OverheadPct: overhead(base, d),
+			Time:        d,
+		})
+	}
+	return out, nil
+}
+
+// Fig6 reproduces Figure 6: full-CSR SED protection across check
+// intervals (the paper's Intel Broadwell experiment).
+func Fig6(opt Options) (Series, error) {
+	return opt.withDefaults().intervalSweep("sed", core.SED, ecc.Hardware)
+}
+
+// Fig7 reproduces Figure 7: full-CSR SECDED64 protection across check
+// intervals (the paper's Cavium ThunderX experiment).
+func Fig7(opt Options) (Series, error) {
+	return opt.withDefaults().intervalSweep("secded64", core.SECDED64, ecc.Hardware)
+}
+
+// Fig8 reproduces Figure 8: full-CSR CRC32C protection across check
+// intervals with the software CRC (the paper's consumer-GPU experiment,
+// where no CRC instruction exists).
+func Fig8(opt Options) (Series, error) {
+	return opt.withDefaults().intervalSweep("crc32c-sw", core.CRC32C, ecc.Software)
+}
+
+// FullProtection reproduces the section VII-B headline: everything —
+// matrix elements, row pointers and all dense vectors — protected with
+// SECDED64, compared against the unprotected baseline and the paper's
+// measured 8.1 percent hardware-ECC overhead on the K40.
+func FullProtection(opt Options) (Row, error) {
+	o := opt.withDefaults()
+	base, err := o.measure(protection{})
+	if err != nil {
+		return Row{}, err
+	}
+	d, err := o.measure(protection{elem: core.SECDED64, rowptr: core.SECDED64, vec: core.SECDED64})
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{Label: "full-secded64", Base: base, Protected: d,
+		OverheadPct: overhead(base, d)}, nil
+}
+
+// HardwareECCTargetPct is the paper's measured hardware-ECC overhead for
+// TeaLeaf on the NVIDIA K40 (the comparison target for FullProtection).
+const HardwareECCTargetPct = 8.1

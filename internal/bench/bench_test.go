@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"abft/internal/ecc"
+)
+
+// tinyOpts keeps the measurement workloads small enough for unit tests;
+// overhead numbers are meaningless at this size but every code path runs.
+func tinyOpts() Options {
+	return Options{NX: 16, Steps: 1, Runs: 1, Eps: 1e-6, MaxIntervalExp: 2}
+}
+
+func TestFig4Runs(t *testing.T) {
+	rows, err := Fig4(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(schemeVariants) {
+		t.Fatalf("rows %d want %d", len(rows), len(schemeVariants))
+	}
+	labels := map[string]bool{}
+	for _, r := range rows {
+		labels[r.Label] = true
+		if r.Base <= 0 || r.Protected <= 0 {
+			t.Fatalf("row %s has non-positive times: %+v", r.Label, r)
+		}
+	}
+	for _, want := range []string{"sed", "secded64", "secded128", "crc32c-hw", "crc32c-sw"} {
+		if !labels[want] {
+			t.Fatalf("missing scheme %s", want)
+		}
+	}
+}
+
+func TestFig5AndFig9Run(t *testing.T) {
+	if _, err := Fig5(tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig9(tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSweeps(t *testing.T) {
+	for name, fn := range map[string]func(Options) (Series, error){
+		"fig6": Fig6, "fig7": Fig7, "fig8": Fig8,
+	} {
+		s, err := fn(tinyOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(s.Points) != 3 { // intervals 1, 2, 4 with MaxIntervalExp 2
+			t.Fatalf("%s: %d points", name, len(s.Points))
+		}
+		for i, p := range s.Points {
+			if p.Interval != 1<<uint(i) {
+				t.Fatalf("%s: point %d interval %d", name, i, p.Interval)
+			}
+		}
+	}
+}
+
+func TestFullProtection(t *testing.T) {
+	row, err := FullProtection(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Label != "full-secded64" {
+		t.Fatalf("label %q", row.Label)
+	}
+	if HardwareECCTargetPct != 8.1 {
+		t.Fatal("paper constant changed")
+	}
+}
+
+func TestConvergenceStudy(t *testing.T) {
+	rows, err := Convergence(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The paper's bound: solutions agree within 2.0e-11 percent.
+		if r.NormDiffPct > NormDiffBudgetPct {
+			t.Fatalf("%s: norm diff %.3e%% exceeds the paper budget %.1e%%",
+				r.Label, r.NormDiffPct, NormDiffBudgetPct)
+		}
+		if r.IterGrowthPct > IterGrowthBudgetPct {
+			t.Fatalf("%s: iteration growth %.2f%% exceeds %.0f%%",
+				r.Label, r.IterGrowthPct, IterGrowthBudgetPct)
+		}
+		if r.Checks == 0 {
+			t.Fatalf("%s: no checks recorded", r.Label)
+		}
+	}
+}
+
+func TestCRCThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing loop")
+	}
+	rows := CRCThroughput()
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		if r.Throughput <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+		byKey[r.Backend.String()+"/1048576"] = r.Throughput
+		if r.BufferSize == 1<<20 {
+			byKey[r.Backend.String()] = r.Throughput
+		}
+	}
+	// The hardware (stdlib) path must beat slicing-by-16 on large buffers
+	// on any platform with a CRC32 instruction; allow equality elsewhere.
+	if hw, sw := byKey["hardware"], byKey["software"]; hw < sw*0.5 {
+		t.Fatalf("hardware CRC (%f MB/s) implausibly slower than software (%f MB/s)", hw, sw)
+	}
+}
+
+func TestPrinters(t *testing.T) {
+	var buf bytes.Buffer
+	PrintRows(&buf, "Figure 4", []Row{{Label: "sed", OverheadPct: 3.2}})
+	PrintSeries(&buf, "Figure 6", Series{Label: "sed", Points: []Point{{Interval: 1, OverheadPct: 5}}})
+	PrintConvergence(&buf, []ConvRow{{Label: "sed", Iterations: 10}})
+	PrintCRC(&buf, []CRCRow{{Backend: ecc.Hardware, BufferSize: 32, Throughput: 1000}})
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "sed", "interval", "norm diff", "backend"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.NX == 0 || o.Steps == 0 || o.Runs == 0 || o.Eps == 0 || o.MaxIntervalExp == 0 || o.Log == nil {
+		t.Fatalf("defaults missing: %+v", o)
+	}
+}

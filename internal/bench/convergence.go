@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"math"
+
+	"abft/internal/tealeaf"
+)
+
+// ConvRow is one scheme's convergence-perturbation measurement (paper
+// section VI-B): the solver must converge with the solution norm within
+// 2.0e-11 percent of the unprotected answer and fewer than 1 percent extra
+// iterations despite the redundancy stored in the mantissa LSBs.
+type ConvRow struct {
+	Label string
+	// Iterations is the total CG iteration count over the run.
+	Iterations int
+	// IterGrowthPct is the iteration increase relative to unprotected.
+	IterGrowthPct float64
+	// NormDiffPct is the solution-norm difference in percent.
+	NormDiffPct float64
+	// Checks and Corrected summarise the ABFT activity.
+	Checks, Corrected uint64
+}
+
+// Convergence measures the solution perturbation caused by each scheme's
+// embedded redundancy.
+func Convergence(opt Options) ([]ConvRow, error) {
+	o := opt.withDefaults()
+	run := func(p protection) (*tealeaf.Simulation, tealeaf.RunResult, error) {
+		sim, err := tealeaf.New(o.workloadConfig(p))
+		if err != nil {
+			return nil, tealeaf.RunResult{}, err
+		}
+		res, err := sim.Run()
+		return sim, res, err
+	}
+	baseSim, baseRes, err := run(protection{})
+	if err != nil {
+		return nil, err
+	}
+	baseNorm := l2(baseSim.Energy())
+
+	rows := make([]ConvRow, 0, len(schemeVariants))
+	for _, v := range schemeVariants {
+		sim, res, err := run(protection{elem: v.scheme, rowptr: v.scheme,
+			vec: v.scheme, backend: v.backend})
+		if err != nil {
+			return rows, err
+		}
+		norm := l2(sim.Energy())
+		rows = append(rows, ConvRow{
+			Label:      v.label,
+			Iterations: res.TotalIterations,
+			IterGrowthPct: 100 * float64(res.TotalIterations-baseRes.TotalIterations) /
+				float64(baseRes.TotalIterations),
+			NormDiffPct: 100 * math.Abs(norm-baseNorm) / baseNorm,
+			Checks:      res.Counters.Checks,
+			Corrected:   res.Counters.Corrected,
+		})
+	}
+	return rows, nil
+}
+
+// NormDiffBudgetPct is the paper's observed bound on the solution norm
+// perturbation: 2.0e-11 percent.
+const NormDiffBudgetPct = 2.0e-11
+
+// IterGrowthBudgetPct is the paper's observed bound on iteration growth.
+const IterGrowthBudgetPct = 1.0
+
+func l2(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"time"
+
+	"abft/internal/ecc"
+)
+
+// CRCRow is one backend's CRC32C throughput measurement (the paper's
+// hardware-accelerated vs software comparison, sections IV and VII).
+type CRCRow struct {
+	Backend    ecc.Backend
+	BufferSize int
+	Throughput float64 // MB/s
+}
+
+// CRCThroughput measures both CRC32C backends over buffers shaped like
+// the actual codewords: a 60-byte TeaLeaf matrix row, the 32-byte vector
+// and row-pointer groups, and a large streaming buffer for peak rates.
+func CRCThroughput() []CRCRow {
+	sizes := []int{32, 60, 4096, 1 << 20}
+	var rows []CRCRow
+	for _, size := range sizes {
+		buf := make([]byte, size)
+		for i := range buf {
+			buf[i] = byte(i * 131)
+		}
+		for _, b := range []ecc.Backend{ecc.Hardware, ecc.Software} {
+			// Calibrate iterations for roughly 50 ms of work.
+			iters := 1
+			for {
+				start := time.Now()
+				var sink uint32
+				for i := 0; i < iters; i++ {
+					sink ^= ecc.Checksum(buf, b)
+				}
+				elapsed := time.Since(start)
+				_ = sink
+				if elapsed > 50*time.Millisecond || iters > 1<<26 {
+					bytes := float64(size) * float64(iters)
+					rows = append(rows, CRCRow{
+						Backend:    b,
+						BufferSize: size,
+						Throughput: bytes / elapsed.Seconds() / 1e6,
+					})
+					break
+				}
+				iters *= 2
+			}
+		}
+	}
+	return rows
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// PrintRows renders an overhead figure as an aligned text table with a
+// crude bar chart, mirroring the shape of the paper's bar figures.
+func PrintRows(w io.Writer, title string, rows []Row) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintf(w, "%-14s %12s %12s %10s\n", "scheme", "baseline", "protected", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12s %12s %9.1f%% %s\n",
+			r.Label, r.Base.Round(time.Millisecond), r.Protected.Round(time.Millisecond),
+			r.OverheadPct, bar(r.OverheadPct))
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintSeries renders a check-interval sweep.
+func PrintSeries(w io.Writer, title string, s Series) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintf(w, "baseline %s, scheme %s\n", s.Base.Round(time.Millisecond), s.Label)
+	fmt.Fprintf(w, "%-10s %12s %10s\n", "interval", "time", "overhead")
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%-10d %12s %9.1f%% %s\n",
+			p.Interval, p.Time.Round(time.Millisecond), p.OverheadPct, bar(p.OverheadPct))
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintConvergence renders the section VI-B perturbation study.
+func PrintConvergence(w io.Writer, rows []ConvRow) {
+	title := "Convergence under protection (section VI-B)"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintf(w, "%-14s %10s %12s %14s %12s %10s\n",
+		"scheme", "iters", "iter growth", "norm diff %", "checks", "corrected")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %10d %11.2f%% %14.3e %12d %10d\n",
+			r.Label, r.Iterations, r.IterGrowthPct, r.NormDiffPct, r.Checks, r.Corrected)
+	}
+	fmt.Fprintf(w, "paper budgets: norm diff <= %.1e%%, iteration growth < %.0f%%\n\n",
+		NormDiffBudgetPct, IterGrowthBudgetPct)
+}
+
+// PrintCRC renders the CRC backend comparison.
+func PrintCRC(w io.Writer, rows []CRCRow) {
+	title := "CRC32C backends (hardware instruction vs slicing-by-16)"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintf(w, "%-10s %12s %14s\n", "backend", "buffer", "throughput")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12d %11.0f MB/s\n", r.Backend, r.BufferSize, r.Throughput)
+	}
+	fmt.Fprintln(w)
+}
+
+// bar draws a proportional ASCII bar for an overhead percentage.
+func bar(pct float64) string {
+	n := int(pct / 2)
+	if n < 0 {
+		n = 0
+	}
+	if n > 60 {
+		n = 60
+	}
+	return strings.Repeat("#", n)
+}

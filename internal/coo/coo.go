@@ -1,0 +1,492 @@
+// Package coo implements ABFT protection for sparse matrices in
+// coordinate (COO) format, the second storage format covered by the
+// paper's predecessor (McIntosh-Smith et al., "Application-based fault
+// tolerance techniques for sparse matrix solvers", IJHPCA): every element
+// is a (row, column, value) triplet whose redundancy is embedded in the
+// unused top bits of the two 32-bit indices, again with zero storage
+// overhead.
+//
+// Layouts per scheme (a COO element is val(64) | row(32) | col(32), a
+// 128-bit codeword):
+//
+//	SED        parity in bit 31 of the row index; dims <= 2^31-1
+//	SECDED64   8 check bits in the top nibbles of row and column;
+//	           dims <= 2^28-1 (the (128,120) code fits exactly)
+//	SECDED128  9 check bits across a two-element (256-bit) codeword;
+//	           dims <= 2^28-1
+//	CRC32C     one CRC32C per 8-element group, stored nibble-wise in the
+//	           row-index top nibbles; dims <= 2^28-1
+//
+// COO SpMV is a scatter (dst[row] += val*x[col]), so unlike the CSR
+// kernel it accumulates into a dense buffer and commits the protected
+// output vector block-wise afterwards — the buffered-write strategy of
+// paper section VI-C applied to a scatter pattern.
+package coo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"abft/internal/core"
+	"abft/internal/csr"
+	"abft/internal/ecc"
+)
+
+// Codecs for the embedded layouts. The 128-bit element codeword is
+// [val | row | col]; physical check positions sit in the index top bits.
+var (
+	// codecElem64: top nibble of row (phys 92..95) and column (124..127).
+	codecElem64 = ecc.MustSECDED(128, []int{92, 93, 94, 95, 124, 125, 126, 127})
+	// codecElem128: two elements (256 bits); 9 check bits in the row top
+	// nibbles of both elements plus the first column top bit; remaining
+	// spare bits are protected zero padding.
+	codecElem128 = ecc.MustSECDED(256, []int{92, 93, 94, 95, 124, 220, 221, 222, 223})
+)
+
+const (
+	sedIdxMask = 0x7FFF_FFFF
+	eccIdxMask = 0x0FFF_FFFF
+	crcGroup   = 8
+)
+
+// Matrix is a sparse matrix in COO format with embedded ECC.
+type Matrix struct {
+	scheme     core.Scheme
+	backend    ecc.Backend
+	rows, cols int
+	nnz        int // logical entries (excluding group padding)
+
+	rowIdx []uint32
+	colIdx []uint32
+	vals   []float64
+
+	counters *core.Counters
+}
+
+// Options configures COO protection.
+type Options struct {
+	// Scheme protects the element triplets.
+	Scheme core.Scheme
+	// Backend selects the CRC32C implementation.
+	Backend ecc.Backend
+}
+
+// maxDim returns the largest representable index for the scheme.
+func maxDim(s core.Scheme) int {
+	switch s {
+	case core.None:
+		return 1<<32 - 1
+	case core.SED:
+		return 1<<31 - 1
+	default:
+		return 1<<28 - 1
+	}
+}
+
+// NewMatrix builds a protected COO copy of src (entries in row-major
+// order). CRC32C pads the element count to a multiple of 8 with zero
+// triplets; SECDED128 pads to a multiple of 2.
+func NewMatrix(src *csr.Matrix, opt Options) (*Matrix, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	s := opt.Scheme
+	if src.Rows() > maxDim(s) || src.Cols32() > maxDim(s) {
+		return nil, fmt.Errorf("coo: %dx%d exceeds %s index limit %d",
+			src.Rows(), src.Cols32(), s, maxDim(s))
+	}
+	m := &Matrix{
+		scheme:  s,
+		backend: opt.Backend,
+		rows:    src.Rows(),
+		cols:    src.Cols32(),
+		nnz:     src.NNZ(),
+	}
+	pad := src.NNZ()
+	switch s {
+	case core.SECDED128:
+		pad = (pad + 1) / 2 * 2
+	case core.CRC32C:
+		pad = (pad + crcGroup - 1) / crcGroup * crcGroup
+	}
+	m.rowIdx = make([]uint32, pad)
+	m.colIdx = make([]uint32, pad)
+	m.vals = make([]float64, pad)
+	k := 0
+	for r := 0; r < src.Rows(); r++ {
+		for e := src.RowPtr[r]; e < src.RowPtr[r+1]; e++ {
+			m.rowIdx[k] = uint32(r)
+			m.colIdx[k] = src.Cols[e]
+			m.vals[k] = src.Vals[e]
+			k++
+		}
+	}
+	m.encodeAll()
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NNZ returns the number of logical entries.
+func (m *Matrix) NNZ() int { return m.nnz }
+
+// Scheme returns the protection scheme.
+func (m *Matrix) Scheme() core.Scheme { return m.scheme }
+
+// SetCounters attaches a statistics accumulator.
+func (m *Matrix) SetCounters(c *core.Counters) { m.counters = c }
+
+// RawRows exposes the stored row indices for fault injection.
+func (m *Matrix) RawRows() []uint32 { return m.rowIdx }
+
+// RawCols exposes the stored column indices for fault injection.
+func (m *Matrix) RawCols() []uint32 { return m.colIdx }
+
+// RawVals exposes the stored values for fault injection.
+func (m *Matrix) RawVals() []float64 { return m.vals }
+
+// idxMask returns the AND-mask isolating the data bits of an index.
+func (m *Matrix) idxMask() uint32 {
+	switch m.scheme {
+	case core.None:
+		return 0xFFFF_FFFF
+	case core.SED:
+		return sedIdxMask
+	default:
+		return eccIdxMask
+	}
+}
+
+func (m *Matrix) encodeAll() {
+	switch m.scheme {
+	case core.None:
+	case core.SED:
+		for k := range m.vals {
+			m.encodeSED(k)
+		}
+	case core.SECDED64:
+		for k := range m.vals {
+			m.encode64(k)
+		}
+	case core.SECDED128:
+		for t := 0; 2*t < len(m.vals); t++ {
+			m.encodePair(t)
+		}
+	case core.CRC32C:
+		for g := 0; g*crcGroup < len(m.vals); g++ {
+			m.encodeGroupCRC(g)
+		}
+	}
+}
+
+// word1 packs the two indices of element k into the codeword's second word.
+func word1(row, col uint32) uint64 {
+	return uint64(row) | uint64(col)<<32
+}
+
+func (m *Matrix) encodeSED(k int) {
+	r := m.rowIdx[k] & sedIdxMask
+	p := ecc.Parity64(math.Float64bits(m.vals[k]) ^ word1(r, m.colIdx[k]))
+	m.rowIdx[k] = r | uint32(p)<<31
+}
+
+func (m *Matrix) encode64(k int) {
+	cw := ecc.Word4{
+		math.Float64bits(m.vals[k]),
+		word1(m.rowIdx[k]&eccIdxMask, m.colIdx[k]&eccIdxMask),
+	}
+	codecElem64.Encode(&cw)
+	m.rowIdx[k] = uint32(cw[1])
+	m.colIdx[k] = uint32(cw[1] >> 32)
+}
+
+func (m *Matrix) encodePair(t int) {
+	k := 2 * t
+	cw := ecc.Word4{
+		math.Float64bits(m.vals[k]),
+		word1(m.rowIdx[k]&eccIdxMask, m.colIdx[k]&eccIdxMask),
+		math.Float64bits(m.vals[k+1]),
+		word1(m.rowIdx[k+1]&eccIdxMask, m.colIdx[k+1]&eccIdxMask),
+	}
+	codecElem128.Encode(&cw)
+	m.rowIdx[k] = uint32(cw[1])
+	m.colIdx[k] = uint32(cw[1] >> 32)
+	m.rowIdx[k+1] = uint32(cw[3])
+	m.colIdx[k+1] = uint32(cw[3] >> 32)
+}
+
+// encodeGroupCRC recomputes the checksum of 8-element group g; the CRC is
+// stored nibble-wise in the row-index top nibbles.
+func (m *Matrix) encodeGroupCRC(g int) {
+	base := g * crcGroup
+	var buf [16 * crcGroup]byte
+	var crcbits uint32
+	for i := 0; i < crcGroup; i++ {
+		k := base + i
+		m.rowIdx[k] &= eccIdxMask
+		binary.LittleEndian.PutUint64(buf[16*i:], math.Float64bits(m.vals[k]))
+		binary.LittleEndian.PutUint32(buf[16*i+8:], m.rowIdx[k])
+		binary.LittleEndian.PutUint32(buf[16*i+12:], m.colIdx[k])
+	}
+	crcbits = ecc.Checksum(buf[:], m.backend)
+	for i := 0; i < crcGroup; i++ {
+		m.rowIdx[base+i] |= (crcbits >> (4 * uint(i)) & 0xF) << 28
+	}
+}
+
+// checkSED verifies element k (detection only).
+func (m *Matrix) checkSED(k int) error {
+	if ecc.Parity64(math.Float64bits(m.vals[k])^word1(m.rowIdx[k], m.colIdx[k])) != 0 {
+		return m.fault(k, "parity mismatch")
+	}
+	return nil
+}
+
+func (m *Matrix) fault(idx int, detail string) error {
+	m.counters.AddDetected(1)
+	return &core.FaultError{
+		Structure: core.StructElements,
+		Scheme:    m.scheme,
+		Index:     idx,
+		Detail:    detail,
+	}
+}
+
+// check64 verifies element k, repairing single flips when commit is true.
+func (m *Matrix) check64(k int, commit bool) error {
+	cw := ecc.Word4{
+		math.Float64bits(m.vals[k]),
+		word1(m.rowIdx[k], m.colIdx[k]),
+	}
+	switch res, _ := codecElem64.Check(&cw); res {
+	case ecc.Corrected:
+		if commit {
+			m.vals[k] = math.Float64frombits(cw[0])
+			m.rowIdx[k] = uint32(cw[1])
+			m.colIdx[k] = uint32(cw[1] >> 32)
+		}
+		m.counters.AddCorrected(1)
+	case ecc.Detected:
+		return m.fault(k, "secded64 double-bit error")
+	}
+	return nil
+}
+
+// checkPair verifies element pair t.
+func (m *Matrix) checkPair(t int, commit bool) error {
+	k := 2 * t
+	cw := ecc.Word4{
+		math.Float64bits(m.vals[k]),
+		word1(m.rowIdx[k], m.colIdx[k]),
+		math.Float64bits(m.vals[k+1]),
+		word1(m.rowIdx[k+1], m.colIdx[k+1]),
+	}
+	switch res, _ := codecElem128.Check(&cw); res {
+	case ecc.Corrected:
+		if commit {
+			m.vals[k] = math.Float64frombits(cw[0])
+			m.rowIdx[k] = uint32(cw[1])
+			m.colIdx[k] = uint32(cw[1] >> 32)
+			m.vals[k+1] = math.Float64frombits(cw[2])
+			m.rowIdx[k+1] = uint32(cw[3])
+			m.colIdx[k+1] = uint32(cw[3] >> 32)
+		}
+		m.counters.AddCorrected(1)
+	case ecc.Detected:
+		return m.fault(t, "secded128 double-bit error")
+	}
+	return nil
+}
+
+// checkGroupCRC verifies 8-element group g.
+func (m *Matrix) checkGroupCRC(g int, commit bool) error {
+	base := g * crcGroup
+	var buf [16 * crcGroup]byte
+	var stored uint32
+	for i := 0; i < crcGroup; i++ {
+		k := base + i
+		binary.LittleEndian.PutUint64(buf[16*i:], math.Float64bits(m.vals[k]))
+		binary.LittleEndian.PutUint32(buf[16*i+8:], m.rowIdx[k]&eccIdxMask)
+		binary.LittleEndian.PutUint32(buf[16*i+12:], m.colIdx[k])
+		stored |= (m.rowIdx[k] >> 28) << (4 * uint(i))
+	}
+	crc := ecc.Checksum(buf[:], m.backend)
+	if crc == stored {
+		return nil
+	}
+	flips, ok := ecc.CorrectCodeword(buf[:], stored, crc)
+	if !ok {
+		return m.fault(g, "crc32c mismatch beyond correction depth")
+	}
+	for _, f := range flips {
+		if f.InCRC {
+			if commit {
+				m.rowIdx[base+f.Bit/4] ^= 1 << uint(28+f.Bit%4)
+			}
+			continue
+		}
+		elem := f.Bit / 128
+		bit := f.Bit % 128
+		k := base + elem
+		switch {
+		case bit < 64:
+			if commit {
+				m.vals[k] = math.Float64frombits(math.Float64bits(m.vals[k]) ^ 1<<uint(bit))
+			}
+		case bit < 96:
+			if bit-64 >= 28 {
+				return m.fault(g, "crc flip located in reserved nibble")
+			}
+			if commit {
+				m.rowIdx[k] ^= 1 << uint(bit-64)
+			}
+		default:
+			if commit {
+				m.colIdx[k] ^= 1 << uint(bit-96)
+			}
+		}
+	}
+	m.counters.AddCorrected(1)
+	return nil
+}
+
+// CheckAll verifies and repairs every codeword, returning the number of
+// corrections and the first uncorrectable error.
+func (m *Matrix) CheckAll() (corrected int, err error) {
+	if m.counters == nil {
+		// Attach a scratch accumulator so corrections are counted even
+		// for untracked matrices.
+		m.counters = &core.Counters{}
+		defer func() { m.counters = nil }()
+	}
+	before := m.counters.Corrected()
+	record := func(e error) {
+		if e != nil && err == nil {
+			err = e
+		}
+	}
+	switch m.scheme {
+	case core.None:
+	case core.SED:
+		m.counters.AddChecks(uint64(len(m.vals)))
+		for k := range m.vals {
+			record(m.checkSED(k))
+		}
+	case core.SECDED64:
+		m.counters.AddChecks(uint64(len(m.vals)))
+		for k := range m.vals {
+			record(m.check64(k, true))
+		}
+	case core.SECDED128:
+		m.counters.AddChecks(uint64(len(m.vals) / 2))
+		for t := 0; 2*t < len(m.vals); t++ {
+			record(m.checkPair(t, true))
+		}
+	case core.CRC32C:
+		m.counters.AddChecks(uint64(len(m.vals) / crcGroup))
+		for g := 0; g*crcGroup < len(m.vals); g++ {
+			record(m.checkGroupCRC(g, true))
+		}
+	}
+	return int(m.counters.Corrected() - before), err
+}
+
+// SpMV computes dst = m * x with full integrity checking: every element
+// codeword is verified before use, indices are range-checked, and the
+// result is committed to the protected output block-wise through a dense
+// accumulator (COO scatter cannot stream output codewords directly).
+func (m *Matrix) SpMV(dst *core.Vector, x *core.Vector) error {
+	if dst.Len() != m.rows || x.Len() != m.cols {
+		return fmt.Errorf("coo: SpMV dimension mismatch: dst %d, m %dx%d, x %d",
+			dst.Len(), m.rows, m.cols, x.Len())
+	}
+	acc := make([]float64, m.rows)
+	mask := m.idxMask()
+	var checks uint64
+	defer func() { m.counters.AddChecks(checks) }()
+
+	xbuf := make([]float64, m.cols)
+	if err := x.CopyTo(xbuf); err != nil {
+		return err
+	}
+	for k := 0; k < len(m.vals); k++ {
+		switch m.scheme {
+		case core.SED:
+			checks++
+			if err := m.checkSED(k); err != nil {
+				return err
+			}
+		case core.SECDED64:
+			checks++
+			if err := m.check64(k, true); err != nil {
+				return err
+			}
+		case core.SECDED128:
+			if k%2 == 0 {
+				checks++
+				if err := m.checkPair(k/2, true); err != nil {
+					return err
+				}
+			}
+		case core.CRC32C:
+			if k%crcGroup == 0 {
+				checks++
+				if err := m.checkGroupCRC(k/crcGroup, true); err != nil {
+					return err
+				}
+			}
+		}
+		row := m.rowIdx[k] & mask
+		col := m.colIdx[k] & mask
+		if m.scheme != core.None {
+			if row >= uint32(m.rows) {
+				m.counters.AddBounds(1)
+				return &core.BoundsError{Structure: core.StructElements, Index: k,
+					Value: row, Limit: uint32(m.rows)}
+			}
+			if col >= uint32(m.cols) {
+				m.counters.AddBounds(1)
+				return &core.BoundsError{Structure: core.StructElements, Index: k,
+					Value: col, Limit: uint32(m.cols)}
+			}
+		}
+		acc[row] += m.vals[k] * xbuf[col]
+	}
+	var out [4]float64
+	for blk := 0; blk*4 < m.rows; blk++ {
+		for i := 0; i < 4; i++ {
+			if idx := blk*4 + i; idx < m.rows {
+				out[i] = acc[idx]
+			} else {
+				out[i] = 0
+			}
+		}
+		dst.WriteBlock(blk, &out)
+	}
+	return nil
+}
+
+// ToCSR decodes and verifies the matrix back into CSR form.
+func (m *Matrix) ToCSR() (*csr.Matrix, error) {
+	if _, err := m.CheckAll(); err != nil {
+		return nil, err
+	}
+	mask := m.idxMask()
+	entries := make([]csr.Entry, 0, m.nnz)
+	for k := 0; k < len(m.vals); k++ {
+		if k >= m.nnz && m.vals[k] == 0 {
+			continue // group padding
+		}
+		entries = append(entries, csr.Entry{
+			Row: int(m.rowIdx[k] & mask),
+			Col: int(m.colIdx[k] & mask),
+			Val: m.vals[k],
+		})
+	}
+	return csr.New(m.rows, m.cols, entries)
+}

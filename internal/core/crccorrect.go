@@ -1,0 +1,25 @@
+package core
+
+import "abft/internal/ecc"
+
+// crcFlip locates one corrected bit: either bit index `bit` of the
+// serialized message (inCRC false) or bit `bit` of the stored 32-bit
+// checksum (inCRC true).
+type crcFlip struct {
+	bit   int
+	inCRC bool
+}
+
+// correctCRCCodeword adapts ecc.CorrectCodeword to the package-local flip
+// type used by the vector and matrix repair paths.
+func correctCRCCodeword(msg []byte, stored, computed uint32, _ ecc.Backend) ([]crcFlip, bool) {
+	flips, ok := ecc.CorrectCodeword(msg, stored, computed)
+	if !ok {
+		return nil, false
+	}
+	out := make([]crcFlip, len(flips))
+	for i, f := range flips {
+		out[i] = crcFlip{bit: f.Bit, inCRC: f.InCRC}
+	}
+	return out, true
+}

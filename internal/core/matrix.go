@@ -1,0 +1,688 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"abft/internal/csr"
+	"abft/internal/ecc"
+)
+
+// MatrixOptions configures the protection applied to a CSR matrix.
+type MatrixOptions struct {
+	// ElemScheme protects the (value, column-index) element stream by
+	// embedding redundancy in the unused top bits of the column indices
+	// (paper Fig 1).
+	ElemScheme Scheme
+	// RowPtrScheme protects the row-pointer vector by embedding redundancy
+	// in its unused top bits (paper Fig 2).
+	RowPtrScheme Scheme
+	// Backend selects the CRC32C implementation (hardware by default).
+	Backend ecc.Backend
+	// CheckInterval performs full integrity checks only on every n-th
+	// sweep through the matrix; other sweeps use cheap range checks
+	// (paper section VI-A-2). Zero or one checks every sweep.
+	CheckInterval int
+	// DisableAutoPad rejects matrices that violate a scheme's structural
+	// requirements instead of padding them with explicit zeros (CRC32C
+	// needs >=4 entries per row; SECDED128 needs an even entry count).
+	DisableAutoPad bool
+}
+
+// Matrix is a CSR sparse matrix whose three vectors carry embedded ECC
+// (paper section VI-A). Matrix values are stored exactly — the redundancy
+// lives in the spare bits of the integer vectors, so no precision is lost
+// and no extra memory is used.
+type Matrix struct {
+	elemScheme Scheme
+	rowScheme  Scheme
+	backend    ecc.Backend
+	rows, cols int
+	nnz        int
+	maxRow     int // widest row, sizes CRC scratch buffers
+
+	rowptr []uint32 // rows+1 entries padded to a group multiple
+	colIdx []uint32
+	vals   []float64
+
+	counters *Counters
+	interval int
+	sweep    uint64
+}
+
+// NewMatrix builds a protected copy of src. The source matrix is not
+// retained. Construction fails when the matrix exceeds a scheme's size
+// constraints (column count, NNZ) or, with DisableAutoPad, violates its
+// structural requirements.
+func NewMatrix(src *csr.Matrix, opt MatrixOptions) (*Matrix, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	es, rs := opt.ElemScheme, opt.RowPtrScheme
+	if src.Cols32() > es.MaxCols() {
+		return nil, fmt.Errorf("core: %d columns exceed %s limit %d", src.Cols32(), es, es.MaxCols())
+	}
+	work := src
+	if es == CRC32C && work.MinRowEntries() < 4 {
+		if opt.DisableAutoPad {
+			return nil, fmt.Errorf("core: crc32c element protection needs >=4 entries per row (min %d)",
+				work.MinRowEntries())
+		}
+		work = work.PadRows(4)
+	}
+	if es == SECDED128 && work.NNZ()%2 == 1 {
+		if opt.DisableAutoPad {
+			return nil, fmt.Errorf("core: secded128 element protection needs an even entry count (nnz %d)",
+				work.NNZ())
+		}
+		work = padOneEntry(work)
+	}
+	if work.NNZ() > rs.MaxNNZ() {
+		return nil, fmt.Errorf("core: %d entries exceed %s row-pointer limit %d", work.NNZ(), rs, rs.MaxNNZ())
+	}
+	if es == SED && work.NNZ() > es.MaxNNZ() {
+		return nil, fmt.Errorf("core: %d entries exceed sed element limit %d", work.NNZ(), es.MaxNNZ())
+	}
+
+	rows := work.Rows()
+	g := rs.RowPtrGroup()
+	padded := (rows + 1 + g - 1) / g * g
+	m := &Matrix{
+		elemScheme: es,
+		rowScheme:  rs,
+		backend:    opt.Backend,
+		rows:       rows,
+		cols:       work.Cols32(),
+		nnz:        work.NNZ(),
+		rowptr:     make([]uint32, padded),
+		colIdx:     append([]uint32(nil), work.Cols...),
+		vals:       append([]float64(nil), work.Vals...),
+		interval:   opt.CheckInterval,
+	}
+	copy(m.rowptr, work.RowPtr)
+	for r := 0; r < rows; r++ {
+		if n := int(work.RowPtr[r+1] - work.RowPtr[r]); n > m.maxRow {
+			m.maxRow = n
+		}
+	}
+	m.encodeRowPtrAll()
+	m.encodeElementsAll()
+	return m, nil
+}
+
+// padOneEntry appends a single explicit zero entry to the last row so that
+// the total entry count becomes even (required by SECDED128 pairing).
+func padOneEntry(src *csr.Matrix) *csr.Matrix {
+	out := src.Clone()
+	col := src.Rows() - 1
+	if col >= src.Cols32() {
+		col = src.Cols32() - 1
+	}
+	out.Cols = append(out.Cols, uint32(col))
+	out.Vals = append(out.Vals, 0)
+	out.RowPtr[src.Rows()]++
+	return out
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries (including protective padding).
+func (m *Matrix) NNZ() int { return m.nnz }
+
+// MaxRowEntries returns the widest row's entry count.
+func (m *Matrix) MaxRowEntries() int { return m.maxRow }
+
+// ElemScheme returns the element protection scheme.
+func (m *Matrix) ElemScheme() Scheme { return m.elemScheme }
+
+// RowPtrScheme returns the row-pointer protection scheme.
+func (m *Matrix) RowPtrScheme() Scheme { return m.rowScheme }
+
+// SetCounters attaches a statistics accumulator (may be shared or nil).
+func (m *Matrix) SetCounters(c *Counters) { m.counters = c }
+
+// Counters returns the attached statistics accumulator, or nil.
+func (m *Matrix) Counters() *Counters { return m.counters }
+
+// SetCRCBackend selects the CRC32C implementation.
+func (m *Matrix) SetCRCBackend(b ecc.Backend) { m.backend = b }
+
+// SetCheckInterval adjusts the full-check cadence; see MatrixOptions.
+func (m *Matrix) SetCheckInterval(n int) { m.interval = n }
+
+// CheckInterval returns the configured cadence.
+func (m *Matrix) CheckInterval() int { return m.interval }
+
+// RawVals exposes stored values for fault injection.
+func (m *Matrix) RawVals() []float64 { return m.vals }
+
+// RawCols exposes stored column indices (data + embedded ECC) for fault
+// injection.
+func (m *Matrix) RawCols() []uint32 { return m.colIdx }
+
+// RawRowPtr exposes the stored row-pointer entries (data + embedded ECC)
+// for fault injection.
+func (m *Matrix) RawRowPtr() []uint32 { return m.rowptr }
+
+// StartSweep advances the sweep counter and reports whether this sweep
+// must perform full integrity checks (true) or only range checks (false).
+// SpMV calls it once per multiplication; the first sweep always checks.
+func (m *Matrix) StartSweep() bool {
+	full := m.interval <= 1 || m.sweep%uint64(m.interval) == 0
+	m.sweep++
+	if m.elemScheme == None && m.rowScheme == None {
+		return false
+	}
+	return full
+}
+
+func (m *Matrix) faultErr(s Structure, sc Scheme, idx int, detail string) error {
+	m.counters.AddDetected(1)
+	return &FaultError{Structure: s, Scheme: sc, Index: idx, Detail: detail}
+}
+
+func (m *Matrix) boundsErr(s Structure, idx int, val, limit uint32) error {
+	m.counters.AddBounds(1)
+	return &BoundsError{Structure: s, Index: idx, Value: val, Limit: limit}
+}
+
+// ---------------------------------------------------------------------------
+// Row-pointer protection
+
+// rowPtrMaskFor returns the AND-mask isolating the data bits of a stored
+// row-pointer entry.
+func rowPtrMaskFor(s Scheme) uint32 {
+	switch s {
+	case None:
+		return 0xFFFF_FFFF
+	case SED:
+		return sedColMask
+	default:
+		return rowPtrMask
+	}
+}
+
+func (m *Matrix) encodeRowPtrAll() {
+	switch m.rowScheme {
+	case None:
+	case SED:
+		for i, r := range m.rowptr {
+			r &= sedColMask
+			m.rowptr[i] = r | uint32(ecc.Parity64(uint64(r)))<<31
+		}
+	case SECDED64:
+		for g := 0; g*2 < len(m.rowptr); g++ {
+			m.encodeRowGroup(g)
+		}
+	case SECDED128:
+		for g := 0; g*4 < len(m.rowptr); g++ {
+			m.encodeRowGroup(g)
+		}
+	case CRC32C:
+		for g := 0; g*8 < len(m.rowptr); g++ {
+			m.encodeRowGroup(g)
+		}
+	}
+}
+
+// encodeRowGroup recomputes the redundancy of row-pointer group g from the
+// data bits currently stored.
+func (m *Matrix) encodeRowGroup(g int) {
+	switch m.rowScheme {
+	case None:
+	case SED:
+		r := m.rowptr[g] & sedColMask
+		m.rowptr[g] = r | uint32(ecc.Parity64(uint64(r)))<<31
+	case SECDED64:
+		e := m.rowptr[2*g : 2*g+2]
+		cw := ecc.Word4{uint64(e[0]&rowPtrMask) | uint64(e[1]&rowPtrMask)<<32}
+		codecRow64.Encode(&cw)
+		e[0], e[1] = uint32(cw[0]), uint32(cw[0]>>32)
+	case SECDED128:
+		e := m.rowptr[4*g : 4*g+4]
+		cw := ecc.Word4{
+			uint64(e[0]&rowPtrMask) | uint64(e[1]&rowPtrMask)<<32,
+			uint64(e[2]&rowPtrMask) | uint64(e[3]&rowPtrMask)<<32,
+		}
+		codecRow128.Encode(&cw)
+		e[0], e[1] = uint32(cw[0]), uint32(cw[0]>>32)
+		e[2], e[3] = uint32(cw[1]), uint32(cw[1]>>32)
+	case CRC32C:
+		e := m.rowptr[8*g : 8*g+8]
+		var buf [32]byte
+		for i := range e {
+			e[i] &= rowPtrMask
+			binary.LittleEndian.PutUint32(buf[4*i:], e[i])
+		}
+		crc := ecc.Checksum(buf[:], m.backend)
+		for i := range e {
+			e[i] |= (crc >> (4 * uint(i)) & 0xF) << 28
+		}
+	}
+}
+
+// checkRowGroup verifies row-pointer group g, repairing correctable errors
+// when commit is true. It reports corrections via the counters.
+func (m *Matrix) checkRowGroup(g int, commit bool) error {
+	switch m.rowScheme {
+	case None:
+		return nil
+	case SED:
+		if ecc.Parity64(uint64(m.rowptr[g])) != 0 {
+			return m.faultErr(StructRowPtr, SED, g, "parity mismatch")
+		}
+		return nil
+	case SECDED64:
+		e := m.rowptr[2*g : 2*g+2]
+		cw := ecc.Word4{uint64(e[0]) | uint64(e[1])<<32}
+		res, _ := codecRow64.Check(&cw)
+		return m.finishRowCheck(g, res, commit, func() {
+			e[0], e[1] = uint32(cw[0]), uint32(cw[0]>>32)
+		})
+	case SECDED128:
+		e := m.rowptr[4*g : 4*g+4]
+		cw := ecc.Word4{
+			uint64(e[0]) | uint64(e[1])<<32,
+			uint64(e[2]) | uint64(e[3])<<32,
+		}
+		res, _ := codecRow128.Check(&cw)
+		return m.finishRowCheck(g, res, commit, func() {
+			e[0], e[1] = uint32(cw[0]), uint32(cw[0]>>32)
+			e[2], e[3] = uint32(cw[1]), uint32(cw[1]>>32)
+		})
+	case CRC32C:
+		e := m.rowptr[8*g : 8*g+8]
+		var buf [32]byte
+		var stored uint32
+		for i, x := range e {
+			binary.LittleEndian.PutUint32(buf[4*i:], x&rowPtrMask)
+			stored |= (x >> 28) << (4 * uint(i))
+		}
+		crc := ecc.Checksum(buf[:], m.backend)
+		if crc == stored {
+			return nil
+		}
+		flips, ok := correctCRCCodeword(buf[:], stored, crc, m.backend)
+		if ok {
+			for _, f := range flips {
+				if f.inCRC {
+					if commit {
+						e[f.bit/4] ^= 1 << uint(28+f.bit%4)
+					}
+				} else {
+					if f.bit%32 >= 28 {
+						return m.faultErr(StructRowPtr, CRC32C, g, "crc flip located in reserved bits")
+					}
+					if commit {
+						e[f.bit/32] ^= 1 << uint(f.bit%32)
+					}
+				}
+			}
+			m.counters.AddCorrected(1)
+			return nil
+		}
+		return m.faultErr(StructRowPtr, CRC32C, g, "crc32c mismatch beyond correction depth")
+	}
+	return nil
+}
+
+func (m *Matrix) finishRowCheck(g int, res ecc.CheckResult, commit bool, apply func()) error {
+	switch res {
+	case ecc.Corrected:
+		if commit {
+			apply()
+		}
+		m.counters.AddCorrected(1)
+		return nil
+	case ecc.Detected:
+		return m.faultErr(StructRowPtr, m.rowScheme, g, "secded double-bit error")
+	default:
+		return nil
+	}
+}
+
+// rowPtrCursor streams row-pointer values with one integrity check per
+// codeword group. With check false only range validity is enforced.
+type rowPtrCursor struct {
+	m      *Matrix
+	check  bool
+	commit bool
+	group  int    // currently verified group, -1 initially
+	checks uint64 // group checks performed (flushed by the caller)
+}
+
+func (c *rowPtrCursor) value(r int) (uint32, error) {
+	g := c.m.rowScheme.RowPtrGroup()
+	grp := r / g
+	if c.check && grp != c.group {
+		c.checks++
+		if err := c.m.checkRowGroup(grp, c.commit); err != nil {
+			return 0, err
+		}
+		c.group = grp
+	}
+	v := c.m.rowptr[r] & rowPtrMaskFor(c.m.rowScheme)
+	if v > uint32(c.m.nnz) {
+		return 0, c.m.boundsErr(StructRowPtr, r, v, uint32(c.m.nnz)+1)
+	}
+	return v, nil
+}
+
+// RowRange returns the half-open entry range [lo, hi) of row r, fully
+// verifying (and repairing where possible) the codewords it touches.
+func (m *Matrix) RowRange(r int) (lo, hi int, err error) {
+	if r < 0 || r >= m.rows {
+		return 0, 0, fmt.Errorf("core: row %d out of range [0,%d)", r, m.rows)
+	}
+	cur := rowPtrCursor{m: m, check: true, commit: true, group: -1}
+	defer func() { m.counters.AddChecks(cur.checks) }()
+	l, err := cur.value(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	h, err := cur.value(r + 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	if l > h {
+		return 0, 0, m.boundsErr(StructRowPtr, r, l, h)
+	}
+	return int(l), int(h), nil
+}
+
+// ---------------------------------------------------------------------------
+// Element protection
+
+// colMaskFor returns the AND-mask isolating the data bits of a stored
+// column index.
+func colMaskFor(s Scheme) uint32 {
+	switch s {
+	case None:
+		return 0xFFFF_FFFF
+	case SED:
+		return sedColMask
+	default:
+		return eccColMask
+	}
+}
+
+func (m *Matrix) encodeElementsAll() {
+	switch m.elemScheme {
+	case None:
+	case SED:
+		for k := range m.colIdx {
+			m.encodeElemSED(k)
+		}
+	case SECDED64:
+		for k := range m.colIdx {
+			m.encodeElem64(k)
+		}
+	case SECDED128:
+		for t := 0; 2*t < len(m.colIdx); t++ {
+			m.encodeElemPair(t)
+		}
+	case CRC32C:
+		buf := make([]byte, m.maxRow*12)
+		cur := rowPtrCursor{m: m, check: false, group: -1}
+		for r := 0; r < m.rows; r++ {
+			lo, _ := cur.value(r)
+			hi, _ := cur.value(r + 1)
+			m.encodeElemRowCRC(int(lo), int(hi), buf)
+		}
+	}
+}
+
+func (m *Matrix) encodeElemSED(k int) {
+	c := m.colIdx[k] & sedColMask
+	p := ecc.Parity64(math.Float64bits(m.vals[k]) ^ uint64(c))
+	m.colIdx[k] = c | uint32(p)<<31
+}
+
+func (m *Matrix) encodeElem64(k int) {
+	cw := ecc.Word4{math.Float64bits(m.vals[k]), uint64(m.colIdx[k] & eccColMask)}
+	codecElem64.Encode(&cw)
+	m.colIdx[k] = uint32(cw[1])
+}
+
+func (m *Matrix) encodeElemPair(t int) {
+	k := 2 * t
+	v0 := math.Float64bits(m.vals[k])
+	v1 := math.Float64bits(m.vals[k+1])
+	c0 := uint64(m.colIdx[k] & eccColMask)
+	c1 := uint64(m.colIdx[k+1] & eccColMask)
+	cw := ecc.Word4{v0, c0 | v1<<32, v1>>32 | c1<<32}
+	codecElem128.Encode(&cw)
+	m.colIdx[k] = uint32(cw[1])
+	m.colIdx[k+1] = uint32(cw[2] >> 32)
+}
+
+// encodeElemRowCRC recomputes the row checksum for entries [lo,hi).
+func (m *Matrix) encodeElemRowCRC(lo, hi int, buf []byte) {
+	n := hi - lo
+	msg := buf[:12*n]
+	for j := 0; j < n; j++ {
+		m.colIdx[lo+j] &= eccColMask
+		binary.LittleEndian.PutUint64(msg[12*j:], math.Float64bits(m.vals[lo+j]))
+		binary.LittleEndian.PutUint32(msg[12*j+8:], m.colIdx[lo+j])
+	}
+	crc := ecc.Checksum(msg, m.backend)
+	for j := 0; j < 4 && j < n; j++ {
+		m.colIdx[lo+j] |= (crc >> (8 * uint(j)) & 0xFF) << 24
+	}
+}
+
+// checkElemSED verifies element k under SED.
+func (m *Matrix) checkElemSED(k int) error {
+	if ecc.Parity64(math.Float64bits(m.vals[k])^uint64(m.colIdx[k])) != 0 {
+		return m.faultErr(StructElements, SED, k, "parity mismatch")
+	}
+	return nil
+}
+
+// checkElem64 verifies element k under SECDED64, repairing single flips
+// when commit is true.
+func (m *Matrix) checkElem64(k int, commit bool) error {
+	cw := ecc.Word4{math.Float64bits(m.vals[k]), uint64(m.colIdx[k])}
+	switch res, _ := codecElem64.Check(&cw); res {
+	case ecc.Corrected:
+		if commit {
+			m.vals[k] = math.Float64frombits(cw[0])
+			m.colIdx[k] = uint32(cw[1])
+		}
+		m.counters.AddCorrected(1)
+		return nil
+	case ecc.Detected:
+		return m.faultErr(StructElements, SECDED64, k, "secded64 double-bit error")
+	}
+	return nil
+}
+
+// checkElemPair verifies element pair t (elements 2t and 2t+1) under
+// SECDED128.
+func (m *Matrix) checkElemPair(t int, commit bool) error {
+	k := 2 * t
+	v0 := math.Float64bits(m.vals[k])
+	v1 := math.Float64bits(m.vals[k+1])
+	cw := ecc.Word4{v0, uint64(m.colIdx[k]) | v1<<32, v1>>32 | uint64(m.colIdx[k+1])<<32}
+	switch res, _ := codecElem128.Check(&cw); res {
+	case ecc.Corrected:
+		if commit {
+			m.vals[k] = math.Float64frombits(cw[0])
+			m.colIdx[k] = uint32(cw[1])
+			m.vals[k+1] = math.Float64frombits(cw[1]>>32 | cw[2]<<32)
+			m.colIdx[k+1] = uint32(cw[2] >> 32)
+		}
+		m.counters.AddCorrected(1)
+		return nil
+	case ecc.Detected:
+		return m.faultErr(StructElements, SECDED128, t, "secded128 double-bit error")
+	}
+	return nil
+}
+
+// checkElemRowCRC verifies the CRC codeword of the row occupying entries
+// [lo,hi); buf must hold at least 12*(hi-lo) bytes of scratch. A row whose
+// claimed width exceeds the widest real row means the row pointers
+// themselves are corrupted beyond repair; that is reported as a fault, not
+// a crash.
+func (m *Matrix) checkElemRowCRC(row, lo, hi int, buf []byte, commit bool) error {
+	n := hi - lo
+	if n < 0 || 12*n > len(buf) || hi > len(m.colIdx) {
+		return m.faultErr(StructElements, CRC32C, row,
+			"row bounds exceed the widest row (corrupted row pointers)")
+	}
+	msg := buf[:12*n]
+	var stored uint32
+	for j := 0; j < n; j++ {
+		c := m.colIdx[lo+j]
+		binary.LittleEndian.PutUint64(msg[12*j:], math.Float64bits(m.vals[lo+j]))
+		binary.LittleEndian.PutUint32(msg[12*j+8:], c&eccColMask)
+		if j < 4 {
+			stored |= (c >> 24) << (8 * uint(j))
+		}
+	}
+	crc := ecc.Checksum(msg, m.backend)
+	if crc == stored {
+		return nil
+	}
+	flips, ok := correctCRCCodeword(msg, stored, crc, m.backend)
+	if !ok {
+		return m.faultErr(StructElements, CRC32C, row, "crc32c row mismatch beyond correction depth")
+	}
+	for _, f := range flips {
+		if f.inCRC {
+			if commit {
+				m.colIdx[lo+f.bit/8] ^= 1 << uint(24+f.bit%8)
+			}
+			continue
+		}
+		elem := f.bit / 96
+		bit := f.bit % 96
+		switch {
+		case bit < 64:
+			if commit {
+				m.vals[lo+elem] = math.Float64frombits(
+					math.Float64bits(m.vals[lo+elem]) ^ 1<<uint(bit))
+			}
+		case bit < 88:
+			if commit {
+				m.colIdx[lo+elem] ^= 1 << uint(bit-64)
+			}
+		default:
+			return m.faultErr(StructElements, CRC32C, row, "crc flip located in reserved byte")
+		}
+	}
+	m.counters.AddCorrected(1)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Whole-matrix operations
+
+// CheckAll verifies and repairs every codeword of the matrix: the
+// end-of-timestep scrub required by interval checking. It returns the
+// number of corrections and the first uncorrectable error, continuing past
+// errors so the full damage is counted.
+func (m *Matrix) CheckAll() (corrected int, err error) {
+	if m.counters == nil {
+		// Attach a scratch accumulator so corrections are counted even
+		// for untracked matrices.
+		m.counters = &Counters{}
+		defer func() { m.counters = nil }()
+	}
+	before := m.counters.Corrected()
+	record := func(e error) {
+		if e != nil && err == nil {
+			err = e
+		}
+	}
+	var checks uint64
+	if m.rowScheme != None {
+		groups := len(m.rowptr) / m.rowScheme.RowPtrGroup()
+		checks += uint64(groups)
+		for g := 0; g < groups; g++ {
+			record(m.checkRowGroup(g, true))
+		}
+	}
+	switch m.elemScheme {
+	case None:
+	case SED:
+		checks += uint64(len(m.colIdx))
+		for k := range m.colIdx {
+			record(m.checkElemSED(k))
+		}
+	case SECDED64:
+		checks += uint64(len(m.colIdx))
+		for k := range m.colIdx {
+			record(m.checkElem64(k, true))
+		}
+	case SECDED128:
+		checks += uint64((len(m.colIdx) + 1) / 2)
+		for t := 0; 2*t < len(m.colIdx); t++ {
+			record(m.checkElemPair(t, true))
+		}
+	case CRC32C:
+		checks += uint64(m.rows)
+		buf := make([]byte, m.maxRow*12)
+		cur := rowPtrCursor{m: m, check: false, group: -1}
+		for r := 0; r < m.rows; r++ {
+			lo, e := cur.value(r)
+			record(e)
+			hi, e2 := cur.value(r + 1)
+			record(e2)
+			if e == nil && e2 == nil && lo <= hi {
+				record(m.checkElemRowCRC(r, int(lo), int(hi), buf, true))
+			}
+		}
+	}
+	m.counters.AddChecks(checks)
+	return int(m.counters.Corrected() - before), err
+}
+
+// ToCSR decodes the matrix back into an unprotected CSR structure,
+// verifying every codeword on the way. Primarily for tests and interop.
+func (m *Matrix) ToCSR() (*csr.Matrix, error) {
+	if _, err := m.CheckAll(); err != nil {
+		return nil, err
+	}
+	entries := make([]csr.Entry, 0, m.nnz)
+	colMask := colMaskFor(m.elemScheme)
+	cur := rowPtrCursor{m: m, check: false, group: -1}
+	for r := 0; r < m.rows; r++ {
+		lo, err := cur.value(r)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := cur.value(r + 1)
+		if err != nil {
+			return nil, err
+		}
+		for k := lo; k < hi; k++ {
+			entries = append(entries, csr.Entry{
+				Row: r,
+				Col: int(m.colIdx[k] & colMask),
+				Val: m.vals[k],
+			})
+		}
+	}
+	return csr.New(m.rows, m.cols, entries)
+}
+
+// Diagonal extracts the main diagonal into dst (length >= Rows), fully
+// verifying the codewords it reads. Used to build Jacobi preconditioners.
+func (m *Matrix) Diagonal(dst []float64) error {
+	if len(dst) < m.rows {
+		return fmt.Errorf("core: Diagonal destination too short")
+	}
+	plain, err := m.ToCSR()
+	if err != nil {
+		return err
+	}
+	plain.Diagonal(dst)
+	return nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Scrubber periodically verifies registered protected structures from a
+// background goroutine — the software analogue of hardware patrol
+// scrubbing. With interval checking enabled on the matrix, faults in
+// rarely-accessed codewords still get corrected before a second flip can
+// upgrade them to an uncorrectable error; the paper's end-of-timestep
+// scrub is the synchronous version of the same idea.
+//
+// A Scrubber is safe for concurrent use. Checks run serially within the
+// scrub goroutine; structures must tolerate a concurrent CheckAll with
+// respect to the application's own access pattern (TeaLeaf scrubs between
+// timesteps, so this runs while the matrix is otherwise idle).
+type Scrubber struct {
+	interval time.Duration
+	onFault  func(name string, err error)
+
+	mu      sync.Mutex
+	targets []scrubTarget
+	stop    chan struct{}
+	done    chan struct{}
+	stats   ScrubStats
+}
+
+type scrubTarget struct {
+	name  string
+	check func() (corrected int, err error)
+}
+
+// ScrubStats summarises scrubber activity.
+type ScrubStats struct {
+	// Passes is the number of completed scrub sweeps over all targets.
+	Passes uint64
+	// Corrected is the total number of repaired codewords.
+	Corrected uint64
+	// Faults is the number of uncorrectable errors reported.
+	Faults uint64
+}
+
+// NewScrubber creates a stopped scrubber with the given pass interval.
+// onFault (optional) is invoked for every uncorrectable error found.
+func NewScrubber(interval time.Duration, onFault func(name string, err error)) *Scrubber {
+	return &Scrubber{interval: interval, onFault: onFault}
+}
+
+// AddVector registers a protected vector for patrol scrubbing.
+func (s *Scrubber) AddVector(name string, v *Vector) {
+	s.add(name, v.CheckAll)
+}
+
+// AddMatrix registers a protected matrix for patrol scrubbing.
+func (s *Scrubber) AddMatrix(name string, m *Matrix) {
+	s.add(name, m.CheckAll)
+}
+
+func (s *Scrubber) add(name string, check func() (int, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.targets = append(s.targets, scrubTarget{name: name, check: check})
+}
+
+// Start launches the patrol goroutine. Starting a running scrubber is a
+// no-op.
+func (s *Scrubber) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop(s.stop, s.done)
+}
+
+// Stop halts the patrol goroutine and waits for it to finish the pass in
+// progress. Stopping a stopped scrubber is a no-op.
+func (s *Scrubber) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Pass runs one synchronous scrub over every registered structure,
+// regardless of whether the background goroutine is running.
+func (s *Scrubber) Pass() {
+	s.mu.Lock()
+	targets := append([]scrubTarget(nil), s.targets...)
+	s.mu.Unlock()
+	var corrected, faults uint64
+	for _, t := range targets {
+		n, err := t.check()
+		corrected += uint64(n)
+		if err != nil {
+			faults++
+			if s.onFault != nil {
+				s.onFault(t.name, err)
+			}
+		}
+	}
+	s.mu.Lock()
+	s.stats.Passes++
+	s.stats.Corrected += corrected
+	s.stats.Faults += faults
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of scrubber activity.
+func (s *Scrubber) Stats() ScrubStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Scrubber) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			s.Pass()
+		}
+	}
+}

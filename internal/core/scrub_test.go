@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abft/internal/csr"
+)
+
+func TestScrubberPassRepairsFaults(t *testing.T) {
+	v := VectorFromSlice(make([]float64, 32), SECDED64)
+	var c Counters
+	v.SetCounters(&c)
+	m, err := NewMatrix(csr.Laplacian2D(4, 4), MatrixOptions{
+		ElemScheme: SECDED64, RowPtrScheme: SECDED64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetCounters(&c)
+
+	s := NewScrubber(time.Hour, nil)
+	s.AddVector("x", v)
+	s.AddMatrix("A", m)
+
+	v.Raw()[3] ^= 1 << 20
+	m.RawCols()[7] ^= 1 << 3
+	s.Pass()
+	st := s.Stats()
+	if st.Passes != 1 || st.Corrected != 2 || st.Faults != 0 {
+		t.Fatalf("stats %+v, want 1 pass, 2 corrected", st)
+	}
+	// Everything repaired: a second pass is clean.
+	s.Pass()
+	if st := s.Stats(); st.Corrected != 2 {
+		t.Fatalf("second pass found more work: %+v", st)
+	}
+}
+
+func TestScrubberReportsUncorrectable(t *testing.T) {
+	v := VectorFromSlice(make([]float64, 8), SED)
+	var gotName atomic.Value
+	s := NewScrubber(time.Hour, func(name string, err error) {
+		gotName.Store(name)
+	})
+	s.AddVector("r", v)
+	v.Raw()[2] ^= 1 << 9 // SED cannot correct
+	s.Pass()
+	if st := s.Stats(); st.Faults != 1 {
+		t.Fatalf("fault not counted: %+v", st)
+	}
+	if gotName.Load() != "r" {
+		t.Fatalf("fault callback got %v", gotName.Load())
+	}
+}
+
+func TestScrubberBackgroundLoop(t *testing.T) {
+	v := VectorFromSlice(make([]float64, 16), SECDED64)
+	s := NewScrubber(time.Millisecond, nil)
+	s.AddVector("x", v)
+	s.Start()
+	s.Start() // double start is a no-op
+	v.Raw()[1] ^= 1 << 30
+	deadline := time.After(2 * time.Second)
+	for {
+		if st := s.Stats(); st.Corrected >= 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("background scrub never repaired the fault")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	s.Stop()
+	s.Stop() // double stop is a no-op
+	passes := s.Stats().Passes
+	time.Sleep(5 * time.Millisecond)
+	if s.Stats().Passes != passes {
+		t.Fatal("scrubber kept running after Stop")
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"abft/internal/ecc"
+)
+
+// vecBlock is the element granularity shared by all vector kernels: the
+// least common multiple of every scheme's codeword group size. Vectors are
+// padded to a multiple of vecBlock so kernels can stream whole blocks
+// without tail special-casing; the padding is encoded zeros.
+const vecBlock = 4
+
+// Vector is a dense float64 vector whose redundancy is embedded in the
+// least significant mantissa bits of its own elements (paper section VI-B).
+// Reads return values with the reserved bits masked to zero, bounding the
+// perturbation at 2^-(52-reserved) relative; writes mask before encoding.
+//
+// The natural unit of access is the codeword group (1, 2 or 4 elements
+// depending on scheme). ReadBlock/WriteBlock move whole 4-element blocks
+// and are what the kernels use; At/Set are the random-access paths, with
+// Set paying the read-modify-write penalty the paper's buffered kernels
+// avoid.
+//
+// A Vector is safe for concurrent readers; concurrent writers must not
+// share a block.
+type Vector struct {
+	scheme   Scheme
+	backend  ecc.Backend
+	n        int      // logical length
+	words    []uint64 // padded raw storage, len multiple of vecBlock
+	counters *Counters
+}
+
+// NewVector returns a zero-filled protected vector of length n.
+func NewVector(n int, s Scheme) *Vector {
+	if n < 0 {
+		panic("core: negative vector length")
+	}
+	pad := (n + vecBlock - 1) / vecBlock * vecBlock
+	v := &Vector{scheme: s, n: n, words: make([]uint64, pad)}
+	// Encode the zero contents so every codeword is initially clean.
+	var zeros [vecBlock]float64
+	for b := 0; b < pad/vecBlock; b++ {
+		v.WriteBlock(b, &zeros)
+	}
+	return v
+}
+
+// VectorFromSlice builds a protected vector holding a copy of data.
+func VectorFromSlice(data []float64, s Scheme) *Vector {
+	v := NewVector(len(data), s)
+	var buf [vecBlock]float64
+	for b := 0; b*vecBlock < len(data); b++ {
+		lo := b * vecBlock
+		n := copy(buf[:], data[lo:])
+		for i := n; i < vecBlock; i++ {
+			buf[i] = 0
+		}
+		v.WriteBlock(b, &buf)
+	}
+	return v
+}
+
+// Len returns the logical element count.
+func (v *Vector) Len() int { return v.n }
+
+// Scheme returns the protection scheme.
+func (v *Vector) Scheme() Scheme { return v.scheme }
+
+// Blocks returns the number of 4-element blocks (including padding).
+func (v *Vector) Blocks() int { return len(v.words) / vecBlock }
+
+// SetCounters attaches a statistics accumulator (may be shared or nil).
+func (v *Vector) SetCounters(c *Counters) { v.counters = c }
+
+// Counters returns the attached statistics accumulator, or nil.
+func (v *Vector) Counters() *Counters { return v.counters }
+
+// SetCRCBackend selects the CRC32C implementation used by the CRC32C
+// scheme (hardware-accelerated by default).
+func (v *Vector) SetCRCBackend(b ecc.Backend) { v.backend = b }
+
+// Raw exposes the stored words for fault injection and inspection. Bits
+// flipped here model soft errors in main memory.
+func (v *Vector) Raw() []uint64 { return v.words }
+
+// Mask returns x with this scheme's reserved mantissa bits cleared; it is
+// the transformation applied to every value on read and write.
+func (v *Vector) Mask(x float64) float64 {
+	return math.Float64frombits(math.Float64bits(x) & v.scheme.vecMask())
+}
+
+// checksPerBlock returns how many codeword integrity checks one verified
+// block performs. Kernels batch this into the shared counters once per
+// call instead of updating an atomic in the block loop.
+func (v *Vector) checksPerBlock() uint64 {
+	if v.scheme == None {
+		return 0
+	}
+	return uint64(vecBlock / v.scheme.VecGroup())
+}
+
+// faultErr builds the uncorrectable-error value for codeword group g.
+func (v *Vector) faultErr(g int, detail string) error {
+	v.counters.AddDetected(1)
+	return &FaultError{Structure: StructVector, Scheme: v.scheme, Index: g, Detail: detail}
+}
+
+// WriteBlock encodes and stores the 4-element block b from src. Reserved
+// bits of the incoming values are discarded.
+func (v *Vector) WriteBlock(b int, src *[vecBlock]float64) {
+	base := b * vecBlock
+	w := v.words[base : base+vecBlock : base+vecBlock]
+	switch v.scheme {
+	case None:
+		for i, x := range src {
+			w[i] = math.Float64bits(x)
+		}
+	case SED:
+		for i, x := range src {
+			bits := math.Float64bits(x) &^ 1
+			w[i] = bits | ecc.Parity64(bits)
+		}
+	case SECDED64:
+		for i, x := range src {
+			cw := ecc.Word4{math.Float64bits(x) &^ 0xFF}
+			codecVec64.Encode(&cw)
+			w[i] = cw[0]
+		}
+	case SECDED128:
+		for g := 0; g < 2; g++ {
+			cw := ecc.Word4{
+				math.Float64bits(src[2*g]) &^ 0x1F,
+				math.Float64bits(src[2*g+1]) &^ 0x1F,
+			}
+			codecVec128.Encode(&cw)
+			w[2*g], w[2*g+1] = cw[0], cw[1]
+		}
+	case CRC32C:
+		var buf [32]byte
+		for i, x := range src {
+			bits := math.Float64bits(x) &^ 0xFF
+			w[i] = bits
+			binary.LittleEndian.PutUint64(buf[8*i:], bits)
+		}
+		crc := ecc.Checksum(buf[:], v.backend)
+		for i := range w {
+			w[i] |= uint64(crc>>(8*uint(i))) & 0xFF
+		}
+	}
+}
+
+// ReadBlock verifies block b, correcting single-bit errors in place when
+// the scheme allows, and stores the masked values in dst. On an
+// uncorrectable error dst is left in an unspecified state and a
+// *FaultError is returned.
+func (v *Vector) ReadBlock(b int, dst *[vecBlock]float64) error {
+	return v.readBlock(b, dst, true)
+}
+
+// readBlock is ReadBlock with control over whether corrections are written
+// back to storage. Parallel kernels read shared vectors with commit=false
+// so that only the owning goroutine ever writes a block; the corrected
+// values are still used for computation and the stored fault is repaired
+// by the next serial check.
+func (v *Vector) readBlock(b int, dst *[vecBlock]float64, commit bool) error {
+	base := b * vecBlock
+	w := v.words[base : base+vecBlock : base+vecBlock]
+	switch v.scheme {
+	case None:
+		for i := range dst {
+			dst[i] = math.Float64frombits(w[i])
+		}
+		return nil
+	case SED:
+		for i := range dst {
+			if ecc.Parity64(w[i]) != 0 {
+				return v.faultErr(base+i, "parity mismatch")
+			}
+			dst[i] = math.Float64frombits(w[i] &^ 1)
+		}
+		return nil
+	case SECDED64:
+		for i := range dst {
+			cw := ecc.Word4{w[i]}
+			switch res, _ := codecVec64.Check(&cw); res {
+			case ecc.Corrected:
+				if commit {
+					w[i] = cw[0]
+				}
+				v.counters.AddCorrected(1)
+			case ecc.Detected:
+				return v.faultErr(base+i, "secded64 double-bit error")
+			}
+			dst[i] = math.Float64frombits(cw[0] &^ 0xFF)
+		}
+		return nil
+	case SECDED128:
+		for g := 0; g < 2; g++ {
+			cw := ecc.Word4{w[2*g], w[2*g+1]}
+			switch res, _ := codecVec128.Check(&cw); res {
+			case ecc.Corrected:
+				if commit {
+					w[2*g], w[2*g+1] = cw[0], cw[1]
+				}
+				v.counters.AddCorrected(1)
+			case ecc.Detected:
+				return v.faultErr(base/2+g, "secded128 double-bit error")
+			}
+			dst[2*g] = math.Float64frombits(cw[0] &^ 0x1F)
+			dst[2*g+1] = math.Float64frombits(cw[1] &^ 0x1F)
+		}
+		return nil
+	case CRC32C:
+		var lw [vecBlock]uint64
+		copy(lw[:], w)
+		var buf [32]byte
+		var stored uint32
+		for i, x := range lw {
+			binary.LittleEndian.PutUint64(buf[8*i:], x&^0xFF)
+			stored |= uint32(x&0xFF) << (8 * uint(i))
+		}
+		crc := ecc.Checksum(buf[:], v.backend)
+		if crc != stored {
+			if !correctCRCVecBlock(&lw, buf[:], stored, crc, v.backend) {
+				return v.faultErr(b, "crc32c mismatch beyond correction depth")
+			}
+			v.counters.AddCorrected(1)
+			if commit {
+				copy(w, lw[:])
+			}
+		}
+		for i := range dst {
+			dst[i] = math.Float64frombits(lw[i] &^ 0xFF)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown scheme %v", v.scheme)
+	}
+}
+
+// correctCRCVecBlock attempts syndrome-search correction of a
+// CRC32C-protected block: up to two flips in the message bits, the stored
+// checksum bits, or one of each. On success the words are repaired and it
+// returns true.
+func correctCRCVecBlock(w *[vecBlock]uint64, msg []byte, stored, computed uint32, backend ecc.Backend) bool {
+	flips, ok := correctCRCCodeword(msg, stored, computed, backend)
+	if !ok {
+		return false
+	}
+	for _, f := range flips {
+		if f.inCRC {
+			// Checksum slot flip: bit k of the CRC lives in bit k%8 of
+			// word k/8's reserved byte.
+			w[f.bit/8] ^= 1 << uint(f.bit%8)
+		} else {
+			word := f.bit / 64
+			bit := f.bit % 64
+			if bit < 8 {
+				return false // message flips cannot land in reserved bytes
+			}
+			w[word] ^= 1 << uint(bit)
+		}
+	}
+	return true
+}
+
+// ReadBlockNoCheck returns the masked values of block b without integrity
+// checking; the less-frequent-checking mode uses it for vectors that are
+// known-clean within the interval. Exposed for kernels and tests.
+func (v *Vector) ReadBlockNoCheck(b int, dst *[vecBlock]float64) {
+	base := b * vecBlock
+	mask := v.scheme.vecMask()
+	for i := range dst {
+		dst[i] = math.Float64frombits(v.words[base+i] & mask)
+	}
+}
+
+// At returns element i, verifying (and possibly repairing) its codeword.
+func (v *Vector) At(i int) (float64, error) {
+	if i < 0 || i >= v.n {
+		return 0, fmt.Errorf("core: vector index %d out of range [0,%d)", i, v.n)
+	}
+	var buf [vecBlock]float64
+	v.counters.AddChecks(v.checksPerBlock())
+	if err := v.ReadBlock(i/vecBlock, &buf); err != nil {
+		return 0, err
+	}
+	return buf[i%vecBlock], nil
+}
+
+// Set stores element i, paying the full read-modify-write cost: the
+// containing block is checked, modified and re-encoded. Sequential writers
+// should use WriteBlock or a Writer instead (paper section VI-C).
+func (v *Vector) Set(i int, x float64) error {
+	if i < 0 || i >= v.n {
+		return fmt.Errorf("core: vector index %d out of range [0,%d)", i, v.n)
+	}
+	var buf [vecBlock]float64
+	b := i / vecBlock
+	v.counters.AddChecks(v.checksPerBlock())
+	if err := v.ReadBlock(b, &buf); err != nil {
+		return err
+	}
+	buf[i%vecBlock] = x
+	v.WriteBlock(b, &buf)
+	return nil
+}
+
+// CheckAll verifies every codeword, repairing what it can, and returns the
+// number of corrections along with the first uncorrectable error (nil when
+// the vector is clean or fully repaired). This is the end-of-timestep
+// scrub required by the less-frequent-checking mode.
+func (v *Vector) CheckAll() (corrected int, err error) {
+	if v.counters == nil {
+		// Attach a scratch accumulator so corrections are counted even
+		// for untracked vectors.
+		v.counters = &Counters{}
+		defer func() { v.counters = nil }()
+	}
+	before := v.counters.Corrected()
+	v.counters.AddChecks(uint64(v.Blocks()) * v.checksPerBlock())
+	var buf [vecBlock]float64
+	for b := 0; b < v.Blocks(); b++ {
+		if e := v.ReadBlock(b, &buf); e != nil && err == nil {
+			err = e
+		}
+	}
+	return int(v.counters.Corrected() - before), err
+}
+
+// CopyTo writes the masked logical contents into dst, which must have
+// length >= Len. The integrity of every codeword is verified.
+func (v *Vector) CopyTo(dst []float64) error {
+	if len(dst) < v.n {
+		return fmt.Errorf("core: CopyTo destination too short: %d < %d", len(dst), v.n)
+	}
+	v.counters.AddChecks(uint64(v.Blocks()) * v.checksPerBlock())
+	var buf [vecBlock]float64
+	for b := 0; b < v.Blocks(); b++ {
+		if err := v.ReadBlock(b, &buf); err != nil {
+			return err
+		}
+		lo := b * vecBlock
+		for i := 0; i < vecBlock && lo+i < v.n; i++ {
+			dst[lo+i] = buf[i]
+		}
+	}
+	return nil
+}
+
+// Fill sets every element to x.
+func (v *Vector) Fill(x float64) {
+	var buf [vecBlock]float64
+	for i := range buf {
+		buf[i] = x
+	}
+	last := v.Blocks() - 1
+	for b := 0; b <= last; b++ {
+		if b == last {
+			for i := v.n - last*vecBlock; i < vecBlock; i++ {
+				buf[i] = 0
+			}
+		}
+		v.WriteBlock(b, &buf)
+	}
+}
+
+// Clone returns an independent copy sharing no storage (the counters
+// pointer is shared).
+func (v *Vector) Clone() *Vector {
+	out := &Vector{
+		scheme:   v.scheme,
+		backend:  v.backend,
+		n:        v.n,
+		words:    append([]uint64(nil), v.words...),
+		counters: v.counters,
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// Special float64 values must survive protection round trips: the
+// redundancy lives in mantissa LSBs, so NaN stays NaN, infinities stay
+// infinite, and signed zero keeps its sign.
+func TestVectorSpecialValues(t *testing.T) {
+	specials := []float64{
+		0, math.Copysign(0, -1),
+		math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, // denormal: masking may zero it entirely
+		1e-308, -1e-308,
+	}
+	for _, s := range ProtectingSchemes {
+		v := VectorFromSlice(specials, s)
+		got := make([]float64, len(specials))
+		if err := v.CopyTo(got); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		for i, want := range specials {
+			masked := v.Mask(want)
+			if got[i] != masked {
+				t.Fatalf("%v: special %g: got %x want %x", s, want,
+					math.Float64bits(got[i]), math.Float64bits(masked))
+			}
+			if math.Signbit(want) != math.Signbit(got[i]) {
+				t.Fatalf("%v: sign of %g lost", s, want)
+			}
+		}
+	}
+}
+
+func TestVectorNaNSurvivesProtection(t *testing.T) {
+	for _, s := range ProtectingSchemes {
+		v := VectorFromSlice([]float64{math.NaN(), 1, 2, 3}, s)
+		got, err := v.At(0)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !math.IsNaN(got) {
+			t.Fatalf("%v: NaN became %g", s, got)
+		}
+		// And the codeword still verifies: NaN payload bits are data like
+		// any other.
+		if _, err := v.CheckAll(); err != nil {
+			t.Fatalf("%v: NaN codeword fails check: %v", s, err)
+		}
+	}
+}
+
+func TestVectorInfinityArithmeticThroughKernels(t *testing.T) {
+	x := VectorFromSlice([]float64{math.Inf(1), 1, 2, 3}, SECDED64)
+	y := VectorFromSlice([]float64{1, 1, 1, 1}, SECDED64)
+	if err := Axpy(y, 1, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := y.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Fatalf("Inf + 1 = %g", got)
+	}
+}
+
+func TestVectorMaskIdempotent(t *testing.T) {
+	for _, s := range Schemes {
+		v := NewVector(1, s)
+		for _, x := range []float64{1.7, -3.25e10, 5e-300, math.Pi} {
+			once := v.Mask(x)
+			if v.Mask(once) != once {
+				t.Fatalf("%v: mask not idempotent for %g", s, x)
+			}
+		}
+	}
+}
+
+func TestVectorDenormalMasking(t *testing.T) {
+	// A denormal whose only set bits sit inside the reserved region is
+	// masked to (signed) zero; that is the documented precision cost.
+	tiny := math.Float64frombits(0x3F) // low 6 bits set
+	v := NewVector(1, SECDED64)        // reserves 8 LSBs
+	if err := v.Set(0, tiny); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("sub-mask denormal should read as zero, got %x", math.Float64bits(got))
+	}
+}

@@ -1,0 +1,167 @@
+package csr
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := randomTestMatrix(t, rng, 13, 9, 40)
+	var buf bytes.Buffer
+	if err := src.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatrix(t, src, back)
+}
+
+func randomTestMatrix(t *testing.T, rng *rand.Rand, rows, cols, n int) *Matrix {
+	t.Helper()
+	entries := make([]Entry, n)
+	seen := map[[2]int]bool{}
+	for i := range entries {
+		for {
+			r, c := rng.Intn(rows), rng.Intn(cols)
+			if !seen[[2]int{r, c}] {
+				seen[[2]int{r, c}] = true
+				entries[i] = Entry{Row: r, Col: c, Val: rng.NormFloat64()}
+				break
+			}
+		}
+	}
+	m, err := New(rows, cols, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func assertSameMatrix(t *testing.T, a, b *Matrix) {
+	t.Helper()
+	if a.Rows() != b.Rows() || a.Cols32() != b.Cols32() || a.NNZ() != b.NNZ() {
+		t.Fatalf("dims differ: %dx%d/%d vs %dx%d/%d",
+			a.Rows(), a.Cols32(), a.NNZ(), b.Rows(), b.Cols32(), b.NNZ())
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			t.Fatalf("rowptr[%d] differs", i)
+		}
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] || a.Vals[i] != b.Vals[i] {
+			t.Fatalf("entry %d differs: (%d,%g) vs (%d,%g)",
+				i, a.Cols[i], a.Vals[i], b.Cols[i], b.Vals[i])
+		}
+	}
+}
+
+func TestMatrixMarketSymmetricExpansion(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+3 2 -1.0
+3 3 2.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 6 { // two off-diagonal entries mirrored
+		t.Fatalf("nnz %d want 6", m.NNZ())
+	}
+	if !m.IsSymmetric(0) {
+		t.Fatal("expanded matrix not symmetric")
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vals[0] != 1 || m.Vals[1] != 1 {
+		t.Fatal("pattern entries should have value 1")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"hello world",
+		"%%MatrixMarket matrix array real general\n2 2 4\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\nnot a size line\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", // short
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 y 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 z\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n", // out of range
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := randomTestMatrix(t, rng, 31, 17, 120)
+	var buf bytes.Buffer
+	if err := src.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatrix(t, src, back)
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a matrix at all......"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Valid header, truncated body.
+	var buf bytes.Buffer
+	src := Laplacian2D(3, 3)
+	if err := src.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestMatrixMarketLaplacianRoundTrip(t *testing.T) {
+	src := Laplacian2D(6, 5)
+	var buf bytes.Buffer
+	if err := src.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatrix(t, src, back)
+}

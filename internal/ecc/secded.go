@@ -1,0 +1,308 @@
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CheckResult classifies the outcome of an integrity check.
+type CheckResult int
+
+const (
+	// OK means the codeword is clean.
+	OK CheckResult = iota
+	// Corrected means a single-bit error was found and repaired in place.
+	Corrected
+	// Detected means an uncorrectable (multi-bit) error was found.
+	Detected
+)
+
+func (r CheckResult) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	default:
+		return fmt.Sprintf("CheckResult(%d)", int(r))
+	}
+}
+
+// SECDED is a single-error-correct, double-error-detect extended Hamming
+// code embedded at arbitrary bit positions of a fixed-width codeword.
+//
+// The codeword has width physical bits. The bits listed in checkPositions
+// hold redundancy: the first r-1 of them are Hamming check bits, the last
+// is the overall parity bit. Every other bit below width is a data bit.
+// Data bits are assigned logical Hamming positions 3,5,6,7,9,... (all
+// positions that are not powers of two) in ascending physical order; check
+// bit k has logical position 2^k.
+//
+// Check and Encode are the hot paths of every protected structure. They
+// use byte-sliced lookup tables: each byte of the codeword maps to a
+// packed (parity<<15 | syndrome) contribution, so a whole-codeword check
+// is width/8 table loads and XORs — the software analogue of a hardware
+// ECC H-matrix.
+//
+// A SECDED value is immutable after construction and safe for concurrent
+// use.
+type SECDED struct {
+	width    int   // physical codeword width in bits
+	checkPos []int // physical positions of redundancy bits (last = parity)
+	r        int   // number of redundancy bits including overall parity
+	dataBits int   // width - r
+	nbytes   int   // bytes the codeword occupies
+
+	tab        [][256]uint16 // per-byte packed parity|syndrome contributions
+	clearMask  Word4         // AND-mask clearing every redundancy bit
+	checkWord  []int         // word index of each redundancy bit
+	checkShift []uint        // bit shift of each redundancy bit
+	logToPhys  []int         // logical position -> physical bit (-1 if unused)
+
+	// fastPlace marks layouts whose redundancy bits are contiguous and
+	// ascending within a single word (the common embedded layouts), so
+	// Encode can place all of them with one shifted OR.
+	fastPlace bool
+}
+
+// packed accumulator layout: bits 0..14 syndrome, bit 15 overall parity.
+const parityBit = 0x8000
+
+// NewSECDED builds a codec for the given physical width (4..256 bits) with
+// redundancy embedded at checkPositions. At least 3 redundancy positions
+// are required (2 Hamming bits + parity); the positions must be distinct,
+// sorted ascending and < width. Returns an error if the redundancy is
+// insufficient for the number of data bits.
+func NewSECDED(width int, checkPositions []int) (*SECDED, error) {
+	if width < 4 || width > 256 {
+		return nil, fmt.Errorf("ecc: secded width %d out of range [4,256]", width)
+	}
+	r := len(checkPositions)
+	if r < 3 {
+		return nil, fmt.Errorf("ecc: secded needs >=3 check positions, got %d", r)
+	}
+	if r-1 > 14 {
+		return nil, fmt.Errorf("ecc: %d check positions exceed the packed syndrome width", r)
+	}
+	seen := make(map[int]bool, r)
+	prev := -1
+	for _, p := range checkPositions {
+		if p < 0 || p >= width {
+			return nil, fmt.Errorf("ecc: check position %d outside codeword of width %d", p, width)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("ecc: duplicate check position %d", p)
+		}
+		if p < prev {
+			return nil, fmt.Errorf("ecc: check positions must be sorted ascending")
+		}
+		seen[p] = true
+		prev = p
+	}
+	hamming := r - 1 // Hamming check bits; the last position is overall parity
+	dataBits := width - r
+	// Capacity: logical positions run 1..2^hamming-1; positions that are
+	// powers of two are check bits, the rest carry data.
+	capacity := (1 << uint(hamming)) - 1 - hamming
+	if dataBits > capacity {
+		return nil, fmt.Errorf("ecc: %d data bits exceed capacity %d of %d hamming bits",
+			dataBits, capacity, hamming)
+	}
+
+	c := &SECDED{
+		width:      width,
+		checkPos:   append([]int(nil), checkPositions...),
+		r:          r,
+		dataBits:   dataBits,
+		nbytes:     (width + 7) / 8,
+		checkWord:  make([]int, r),
+		checkShift: make([]uint, r),
+	}
+	for i := 0; i < width; i++ {
+		c.clearMask.SetBit(i, 1)
+	}
+	for i, p := range checkPositions {
+		c.clearMask.SetBit(p, 0)
+		c.checkWord[i] = p >> 6
+		c.checkShift[i] = uint(p & 63)
+	}
+	c.fastPlace = true
+	for i, p := range checkPositions {
+		if p>>6 != checkPositions[0]>>6 || p != checkPositions[0]+i {
+			c.fastPlace = false
+			break
+		}
+	}
+
+	// Assign logical positions and per-bit syndrome codes.
+	maxLogical := (1 << uint(hamming)) - 1
+	c.logToPhys = make([]int, maxLogical+1)
+	for i := range c.logToPhys {
+		c.logToPhys[i] = -1
+	}
+	code := make([]uint16, width) // syndrome contribution of each physical bit
+	for k := 0; k < hamming; k++ {
+		c.logToPhys[1<<uint(k)] = c.checkPos[k]
+		code[c.checkPos[k]] = 1 << uint(k)
+	}
+	// The overall parity bit contributes no syndrome (code 0).
+	logical := 3
+	for phys := 0; phys < width; phys++ {
+		if seen[phys] {
+			continue
+		}
+		for logical&(logical-1) == 0 { // skip powers of two
+			logical++
+		}
+		c.logToPhys[logical] = phys
+		code[phys] = uint16(logical)
+		logical++
+	}
+
+	// Byte-sliced tables: entry v of table j is the packed contribution of
+	// byte j holding value v.
+	c.tab = make([][256]uint16, c.nbytes)
+	for j := 0; j < c.nbytes; j++ {
+		for v := 0; v < 256; v++ {
+			var acc uint16
+			for b := 0; b < 8; b++ {
+				phys := j*8 + b
+				if phys < width && v&(1<<uint(b)) != 0 {
+					acc ^= code[phys] | parityBit
+				}
+			}
+			c.tab[j][v] = acc
+		}
+	}
+	return c, nil
+}
+
+// MustSECDED is NewSECDED that panics on invalid layout; intended for
+// package-level codec construction from constant layouts.
+func MustSECDED(width int, checkPositions []int) *SECDED {
+	c, err := NewSECDED(width, checkPositions)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Width returns the physical codeword width in bits.
+func (c *SECDED) Width() int { return c.width }
+
+// DataBits returns the number of data bits in the codeword.
+func (c *SECDED) DataBits() int { return c.dataBits }
+
+// CheckBits returns the number of redundancy bits including overall parity.
+func (c *SECDED) CheckBits() int { return c.r }
+
+// CheckPositions returns the physical redundancy bit positions.
+func (c *SECDED) CheckPositions() []int {
+	return append([]int(nil), c.checkPos...)
+}
+
+// acc folds the whole codeword through the byte tables, returning the
+// packed (parity<<15 | syndrome) accumulator; zero means clean.
+func (c *SECDED) acc(w *Word4) uint16 {
+	t := c.tab
+	switch c.nbytes {
+	case 8:
+		x := w[0]
+		return t[0][byte(x)] ^ t[1][byte(x>>8)] ^ t[2][byte(x>>16)] ^ t[3][byte(x>>24)] ^
+			t[4][byte(x>>32)] ^ t[5][byte(x>>40)] ^ t[6][byte(x>>48)] ^ t[7][byte(x>>56)]
+	case 12:
+		x, y := w[0], w[1]
+		return t[0][byte(x)] ^ t[1][byte(x>>8)] ^ t[2][byte(x>>16)] ^ t[3][byte(x>>24)] ^
+			t[4][byte(x>>32)] ^ t[5][byte(x>>40)] ^ t[6][byte(x>>48)] ^ t[7][byte(x>>56)] ^
+			t[8][byte(y)] ^ t[9][byte(y>>8)] ^ t[10][byte(y>>16)] ^ t[11][byte(y>>24)]
+	case 16:
+		x, y := w[0], w[1]
+		return t[0][byte(x)] ^ t[1][byte(x>>8)] ^ t[2][byte(x>>16)] ^ t[3][byte(x>>24)] ^
+			t[4][byte(x>>32)] ^ t[5][byte(x>>40)] ^ t[6][byte(x>>48)] ^ t[7][byte(x>>56)] ^
+			t[8][byte(y)] ^ t[9][byte(y>>8)] ^ t[10][byte(y>>16)] ^ t[11][byte(y>>24)] ^
+			t[12][byte(y>>32)] ^ t[13][byte(y>>40)] ^ t[14][byte(y>>48)] ^ t[15][byte(y>>56)]
+	default:
+		var a uint16
+		for j := 0; j < c.nbytes; j++ {
+			a ^= t[j][byte(w[j>>3]>>uint((j&7)*8))]
+		}
+		return a
+	}
+}
+
+// Encode computes the redundancy bits for the data currently held in w and
+// stores them at the check positions, overwriting whatever was there.
+func (c *SECDED) Encode(w *Word4) {
+	if c.fastPlace {
+		// All redundancy bits live contiguously in one word: clear that
+		// word's slots, fold the tables, and OR the packed result in.
+		j := c.checkWord[0]
+		w[j] &= c.clearMask[j]
+		a := c.acc(w)
+		s := a &^ parityBit
+		p := uint64(a>>15) ^ uint64(bits.OnesCount16(s)&1)
+		w[j] |= (uint64(s) | p<<uint(c.r-1)) << c.checkShift[0]
+		return
+	}
+	for j := range w {
+		w[j] &= c.clearMask[j]
+	}
+	a := c.acc(w)
+	s := a &^ parityBit
+	hamming := c.r - 1
+	for k := 0; k < hamming; k++ {
+		w[c.checkWord[k]] |= uint64(s>>uint(k)&1) << c.checkShift[k]
+	}
+	// Overall parity covers data and the check bits just written.
+	p := uint64(a>>15) ^ uint64(bits.OnesCount16(s)&1)
+	w[c.checkWord[hamming]] |= p << c.checkShift[hamming]
+}
+
+// Syndrome returns the Hamming syndrome and the overall parity of w. For a
+// clean codeword both are zero.
+func (c *SECDED) Syndrome(w *Word4) (syndrome int, parity uint64) {
+	a := c.acc(w)
+	return int(a &^ parityBit), uint64(a >> 15)
+}
+
+// Check verifies w, correcting a single-bit error in place when possible.
+// The returned bit is the physical position of the corrected bit, or -1.
+func (c *SECDED) Check(w *Word4) (res CheckResult, bit int) {
+	a := c.acc(w)
+	if a == 0 {
+		return OK, -1
+	}
+	return c.resolve(w, int(a&^parityBit), uint64(a>>15))
+}
+
+// resolve handles the cold path of Check: something flipped.
+func (c *SECDED) resolve(w *Word4, syndrome int, parity uint64) (CheckResult, int) {
+	if parity == 1 {
+		// Odd number of flips; assume one and correct it.
+		if syndrome == 0 {
+			// The overall parity bit itself flipped.
+			p := c.checkPos[c.r-1]
+			w.Flip(p)
+			return Corrected, p
+		}
+		if syndrome < len(c.logToPhys) {
+			if p := c.logToPhys[syndrome]; p >= 0 {
+				w.Flip(p)
+				return Corrected, p
+			}
+		}
+		// Syndrome points at an unused logical position: at least three
+		// bits flipped. Uncorrectable.
+		return Detected, -1
+	}
+	// parity == 0 but non-zero syndrome: an even number (>=2) of flips.
+	return Detected, -1
+}
+
+// popcount over a Word4, used by tests and diagnostics.
+func popcount(w *Word4) int {
+	return bits.OnesCount64(w[0]) + bits.OnesCount64(w[1]) +
+		bits.OnesCount64(w[2]) + bits.OnesCount64(w[3])
+}

@@ -1,0 +1,235 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"abft/internal/core"
+	"abft/internal/csr"
+	"abft/internal/ecc"
+)
+
+func flipFloatBits(x float64, mask uint64) float64 {
+	return math.Float64frombits(math.Float64bits(x) ^ mask)
+}
+
+// CampaignConfig describes an injection campaign: Trials repetitions of
+// "corrupt a fresh structure with Bits random flips, check it, classify".
+type CampaignConfig struct {
+	// Scheme is the protection under test.
+	Scheme core.Scheme
+	// Structure selects vectors, matrix elements or row pointers.
+	Structure core.Structure
+	// Bits is the number of distinct flips per trial.
+	Bits int
+	// Trials is the number of repetitions.
+	Trials int
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// SameCodeword confines each trial's flips to a single codeword,
+	// measuring the per-codeword capability (the paper's nECmED budget);
+	// otherwise flips scatter across the whole structure.
+	SameCodeword bool
+	// BurstWindow, when positive, replaces the Bits random flips with a
+	// random burst pattern confined to this many contiguous bits within
+	// one codeword (vector campaigns only). CRC32C guarantees detection
+	// of bursts up to 32 bits.
+	BurstWindow int
+	// Backend selects the CRC32C implementation.
+	Backend ecc.Backend
+	// Size scales the structure (vector length or grid side; default 32).
+	Size int
+}
+
+// CampaignResult aggregates trial outcomes.
+type CampaignResult struct {
+	Config    CampaignConfig
+	Benign    int
+	Corrected int
+	Detected  int
+	SDC       int
+}
+
+// Total returns the number of classified trials.
+func (r CampaignResult) Total() int { return r.Benign + r.Corrected + r.Detected + r.SDC }
+
+// Rate returns the fraction of trials with the given outcome.
+func (r CampaignResult) Rate(o Outcome) float64 {
+	var n int
+	switch o {
+	case Benign:
+		n = r.Benign
+	case Corrected:
+		n = r.Corrected
+	case Detected:
+		n = r.Detected
+	case SDC:
+		n = r.SDC
+	}
+	if r.Total() == 0 {
+		return 0
+	}
+	return float64(n) / float64(r.Total())
+}
+
+func (r CampaignResult) String() string {
+	return fmt.Sprintf("%s/%s bits=%d same-codeword=%v: benign=%d corrected=%d detected=%d sdc=%d",
+		r.Config.Scheme, r.Config.Structure, r.Config.Bits, r.Config.SameCodeword,
+		r.Benign, r.Corrected, r.Detected, r.SDC)
+}
+
+func (r *CampaignResult) add(o Outcome) {
+	switch o {
+	case Benign:
+		r.Benign++
+	case Corrected:
+		r.Corrected++
+	case Detected:
+		r.Detected++
+	case SDC:
+		r.SDC++
+	}
+}
+
+// Run executes the campaign.
+func Run(cfg CampaignConfig) (CampaignResult, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 100
+	}
+	if cfg.Bits <= 0 {
+		cfg.Bits = 1
+	}
+	if cfg.Size <= 0 {
+		cfg.Size = 32
+	}
+	res := CampaignResult{Config: cfg}
+	in := NewInjector(cfg.Seed)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		var (
+			o   Outcome
+			err error
+		)
+		if cfg.Structure == core.StructVector {
+			o, err = vectorTrial(cfg, in)
+		} else {
+			o, err = matrixTrial(cfg, in)
+		}
+		if err != nil {
+			return res, err
+		}
+		res.add(o)
+	}
+	return res, nil
+}
+
+// vectorTrial corrupts a fresh protected vector and classifies the result.
+func vectorTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
+	rng := rand.New(rand.NewSource(in.rng.Int63()))
+	data := make([]float64, cfg.Size)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	v := core.NewVector(cfg.Size, cfg.Scheme)
+	v.SetCRCBackend(cfg.Backend)
+	for i, x := range data {
+		if err := v.Set(i, x); err != nil {
+			return 0, err
+		}
+	}
+	want := make([]float64, cfg.Size)
+	if err := v.CopyTo(want); err != nil {
+		return 0, err
+	}
+	var c core.Counters
+	v.SetCounters(&c)
+	flips := in.RandomVectorFlips(v, cfg.Bits, cfg.SameCodeword)
+	if cfg.BurstWindow > 0 {
+		flips = in.BurstVectorFlips(v, cfg.BurstWindow)
+	}
+	for _, f := range flips {
+		FlipVectorBit(v, f)
+	}
+	got := make([]float64, cfg.Size)
+	if err := v.CopyTo(got); err != nil {
+		return Detected, nil
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return SDC, nil
+		}
+	}
+	if c.Corrected() > 0 {
+		return Corrected, nil
+	}
+	// Values intact without a correction: flips landed in padding or
+	// cancelled out of the observable data.
+	return Benign, nil
+}
+
+// matrixTrial corrupts a fresh protected matrix and classifies via a full
+// scrub plus decoded comparison.
+func matrixTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
+	side := cfg.Size
+	if side < 4 {
+		side = 4
+	}
+	plain := csr.Laplacian2D(side, side)
+	m, err := core.NewMatrix(plain, core.MatrixOptions{
+		ElemScheme:   cfg.Scheme,
+		RowPtrScheme: cfg.Scheme,
+		Backend:      cfg.Backend,
+	})
+	if err != nil {
+		return 0, err
+	}
+	want, err := m.ToCSR()
+	if err != nil {
+		return 0, err
+	}
+	var c core.Counters
+	m.SetCounters(&c)
+
+	var target MatrixTarget
+	if cfg.Structure == core.StructRowPtr {
+		target = TargetRowPtr
+	} else if in.rng.Intn(3) == 0 {
+		target = TargetCols
+	} else {
+		target = TargetValues
+	}
+	for _, f := range in.RandomMatrixFlips(m, target, cfg.Bits, cfg.SameCodeword) {
+		FlipMatrixBit(m, target, f)
+	}
+	if _, err := m.CheckAll(); err != nil {
+		return Detected, nil
+	}
+	got, err := m.ToCSR()
+	if err != nil {
+		return Detected, nil
+	}
+	if !csrEqual(want, got) {
+		return SDC, nil
+	}
+	if c.Corrected() > 0 {
+		return Corrected, nil
+	}
+	return Benign, nil
+}
+
+func csrEqual(a, b *csr.Matrix) bool {
+	if a.Rows() != b.Rows() || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] || a.Vals[i] != b.Vals[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,310 @@
+package faults
+
+import (
+	"testing"
+
+	"abft/internal/core"
+	"abft/internal/csr"
+	"abft/internal/solvers"
+)
+
+// The paper's section IV capability matrix, asserted per scheme:
+//
+//	SED       detects 1 flip (and any odd count), corrects none
+//	SECDED    corrects 1 flip, detects 2 flips per codeword
+//	CRC32C    corrects 1-2 flips, detects up to 5 flips per codeword (HD 6)
+
+func runCampaign(t *testing.T, cfg CampaignConfig) CampaignResult {
+	t.Helper()
+	if cfg.Trials == 0 {
+		cfg.Trials = 120
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("campaign %+v: %v", cfg, err)
+	}
+	return res
+}
+
+func TestVectorSingleFlipCapability(t *testing.T) {
+	for _, s := range core.ProtectingSchemes {
+		res := runCampaign(t, CampaignConfig{
+			Scheme: s, Structure: core.StructVector, Bits: 1, SameCodeword: true,
+		})
+		if res.SDC != 0 {
+			t.Fatalf("%v: %d SDCs on single flips: %v", s, res.SDC, res)
+		}
+		if s == core.SED {
+			if res.Corrected != 0 || res.Detected == 0 {
+				t.Fatalf("sed should detect-only: %v", res)
+			}
+		} else {
+			if res.Corrected != res.Total() {
+				t.Fatalf("%v should correct every single flip: %v", s, res)
+			}
+		}
+	}
+}
+
+func TestVectorDoubleFlipCapability(t *testing.T) {
+	for _, s := range []core.Scheme{core.SECDED64, core.SECDED128, core.CRC32C} {
+		res := runCampaign(t, CampaignConfig{
+			Scheme: s, Structure: core.StructVector, Bits: 2, SameCodeword: true,
+		})
+		if res.SDC != 0 {
+			t.Fatalf("%v: %d SDCs on double flips: %v", s, res.SDC, res)
+		}
+		if s == core.CRC32C && res.Corrected != res.Total() {
+			t.Fatalf("crc32c should correct double flips: %v", res)
+		}
+		if s != core.CRC32C && res.Detected != res.Total() {
+			t.Fatalf("%v should detect double flips: %v", s, res)
+		}
+	}
+}
+
+func TestVectorCRCFiveFlipNoSDC(t *testing.T) {
+	// HD=6 inside the codeword: up to five flips never silent.
+	for bits := 3; bits <= 5; bits++ {
+		res := runCampaign(t, CampaignConfig{
+			Scheme: core.CRC32C, Structure: core.StructVector,
+			Bits: bits, SameCodeword: true, Trials: 150,
+		})
+		if res.SDC != 0 {
+			t.Fatalf("crc32c: %d SDCs at %d flips: %v", res.SDC, bits, res)
+		}
+	}
+}
+
+func TestVectorSEDEvenFlipsAreSDCs(t *testing.T) {
+	res := runCampaign(t, CampaignConfig{
+		Scheme: core.SED, Structure: core.StructVector, Bits: 2, SameCodeword: true,
+	})
+	// Parity misses every 2-flip pattern inside one codeword (a word):
+	// flips either cancel in the data (benign) or corrupt silently (SDC).
+	if res.Detected != 0 || res.Corrected != 0 {
+		t.Fatalf("sed double flips inside a word must be invisible: %v", res)
+	}
+	if res.SDC == 0 {
+		t.Fatalf("expected SDCs from sed double flips: %v", res)
+	}
+}
+
+func TestUnprotectedEverythingIsSDC(t *testing.T) {
+	res := runCampaign(t, CampaignConfig{
+		Scheme: core.None, Structure: core.StructVector, Bits: 1, SameCodeword: true,
+	})
+	if res.Detected != 0 || res.Corrected != 0 {
+		t.Fatalf("unprotected vector cannot detect or correct: %v", res)
+	}
+	if res.SDC == 0 {
+		t.Fatalf("unprotected flips must corrupt: %v", res)
+	}
+}
+
+func TestMatrixElementCampaigns(t *testing.T) {
+	for _, s := range core.ProtectingSchemes {
+		res := runCampaign(t, CampaignConfig{
+			Scheme: s, Structure: core.StructElements, Bits: 1, SameCodeword: true,
+			Trials: 60,
+		})
+		if res.SDC != 0 {
+			t.Fatalf("%v elements: SDC on single flip: %v", s, res)
+		}
+		if s != core.SED && res.Corrected != res.Total() {
+			t.Fatalf("%v elements: single flips not all corrected: %v", s, res)
+		}
+	}
+}
+
+func TestMatrixRowPtrCampaigns(t *testing.T) {
+	for _, s := range core.ProtectingSchemes {
+		res := runCampaign(t, CampaignConfig{
+			Scheme: s, Structure: core.StructRowPtr, Bits: 1, SameCodeword: true,
+			Trials: 60,
+		})
+		if res.SDC != 0 {
+			t.Fatalf("%v rowptr: SDC on single flip: %v", s, res)
+		}
+	}
+}
+
+func TestScatteredFlipsAcrossStructure(t *testing.T) {
+	// Flips scattered across distinct codewords are all singles, so
+	// SECDED corrects them all even at high multiplicity.
+	res := runCampaign(t, CampaignConfig{
+		Scheme: core.SECDED64, Structure: core.StructVector,
+		Bits: 6, SameCodeword: false, Size: 4096, Trials: 50,
+	})
+	if res.SDC != 0 {
+		t.Fatalf("scattered flips caused SDCs: %v", res)
+	}
+	if res.Corrected < res.Total()*9/10 {
+		t.Fatalf("scattered flips mostly correctable, got %v", res)
+	}
+}
+
+func TestInjectingOperatorMidSolve(t *testing.T) {
+	plain := csr.Laplacian2D(12, 12)
+	m, err := core.NewMatrix(plain, core.MatrixOptions{
+		ElemScheme: core.SECDED64, RowPtrScheme: core.SECDED64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c core.Counters
+	m.SetCounters(&c)
+	n := plain.Rows()
+	b := core.NewVector(n, core.SECDED64)
+	for i := 0; i < n; i++ {
+		if err := b.Set(i, float64(i%13)-6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := core.NewVector(n, core.SECDED64)
+
+	op := &InjectingOperator{
+		Op:       solvers.MatrixOperator{M: m},
+		InjectAt: 3,
+		Inject: func() {
+			FlipMatrixBit(m, TargetValues, Flip{Word: 100, Bit: 17})
+		},
+	}
+	res, err := solvers.CG(op, x, b, solvers.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("mid-solve single flip should be transparent: %v", err)
+	}
+	if !res.Converged {
+		t.Fatal("solve did not converge")
+	}
+	if c.Corrected() == 0 {
+		t.Fatal("mid-solve flip was not corrected")
+	}
+}
+
+func TestInjectingOperatorUncorrectableMidSolve(t *testing.T) {
+	plain := csr.Laplacian2D(12, 12)
+	m, err := core.NewMatrix(plain, core.MatrixOptions{
+		ElemScheme: core.SED, RowPtrScheme: core.SED,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := plain.Rows()
+	b := core.NewVector(n, core.None)
+	for i := 0; i < n; i++ {
+		if err := b.Set(i, float64(i%7)-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := core.NewVector(n, core.None)
+	op := &InjectingOperator{
+		Op:       solvers.MatrixOperator{M: m},
+		InjectAt: 2,
+		Inject: func() {
+			FlipMatrixBit(m, TargetValues, Flip{Word: 50, Bit: 33})
+		},
+	}
+	_, err = solvers.CG(op, x, b, solvers.Options{Tol: 1e-10})
+	if !solvers.IsFault(err) {
+		t.Fatalf("sed mid-solve flip should be a detected fault: %v", err)
+	}
+}
+
+func TestVectorCRCBurstNeverSilent(t *testing.T) {
+	// Paper section IV: CRC32C detects all burst errors up to 32 bits.
+	// Any burst confined to a 32-bit window of a codeword must therefore
+	// be corrected exactly or reported — never silent.
+	res := runCampaign(t, CampaignConfig{
+		Scheme: core.CRC32C, Structure: core.StructVector,
+		BurstWindow: 32, Trials: 300,
+	})
+	if res.SDC != 0 {
+		t.Fatalf("crc32c: %d silent bursts within 32 bits: %v", res.SDC, res)
+	}
+	if res.Detected+res.Corrected == 0 {
+		t.Fatalf("bursts had no effect at all: %v", res)
+	}
+}
+
+func TestBurstFlipsStayInWindow(t *testing.T) {
+	v := core.NewVector(64, core.CRC32C)
+	in := NewInjector(3)
+	for trial := 0; trial < 200; trial++ {
+		flips := in.BurstVectorFlips(v, 32)
+		if len(flips) == 0 {
+			t.Fatal("empty burst")
+		}
+		lo, hi := 1<<30, -1
+		group := -1
+		for _, f := range flips {
+			bit := (f.Word%4)*64 + f.Bit
+			if g := f.Word / 4; group == -1 {
+				group = g
+			} else if g != group {
+				t.Fatal("burst crossed codeword groups")
+			}
+			if bit < lo {
+				lo = bit
+			}
+			if bit > hi {
+				hi = bit
+			}
+		}
+		if hi-lo >= 32 {
+			t.Fatalf("burst span %d exceeds window", hi-lo+1)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	v := core.NewVector(64, core.SECDED64)
+	a := NewInjector(7).RandomVectorFlips(v, 5, false)
+	b := NewInjector(7).RandomVectorFlips(v, 5, false)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different flips")
+		}
+	}
+	seen := map[Flip]bool{}
+	for _, f := range a {
+		if seen[f] {
+			t.Fatal("duplicate flip returned")
+		}
+		seen[f] = true
+	}
+}
+
+func TestOutcomeAndTargetStrings(t *testing.T) {
+	if Benign.String() != "benign" || Corrected.String() != "corrected" ||
+		Detected.String() != "detected" || SDC.String() != "sdc" {
+		t.Fatal("outcome strings wrong")
+	}
+	if TargetValues.String() != "values" || TargetCols.String() != "cols" ||
+		TargetRowPtr.String() != "rowptr" {
+		t.Fatal("target strings wrong")
+	}
+	if Outcome(9).String() == "" || MatrixTarget(9).String() == "" {
+		t.Fatal("unknown values should format")
+	}
+}
+
+func TestCampaignResultRates(t *testing.T) {
+	r := CampaignResult{Benign: 1, Corrected: 2, Detected: 3, SDC: 4}
+	if r.Total() != 10 {
+		t.Fatal("total wrong")
+	}
+	if r.Rate(Corrected) != 0.2 || r.Rate(SDC) != 0.4 ||
+		r.Rate(Benign) != 0.1 || r.Rate(Detected) != 0.3 {
+		t.Fatal("rates wrong")
+	}
+	if (CampaignResult{}).Rate(SDC) != 0 {
+		t.Fatal("empty result should have zero rates")
+	}
+	if r.String() == "" {
+		t.Fatal("result should format")
+	}
+}

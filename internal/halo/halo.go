@@ -1,0 +1,400 @@
+// Package halo implements the spatial domain decomposition TeaLeaf uses
+// on distributed machines: the grid splits into horizontal bands
+// ("chunks", TeaLeaf's term), each owning an ABFT-protected local matrix
+// and protected local vectors with one halo row above and below. Before
+// every matrix-vector product the chunks exchange boundary rows — the
+// in-process analogue of TeaLeaf's MPI halo exchange — and global inner
+// products reduce per-chunk partial sums.
+//
+// The exchange itself goes through the protected read/write paths: data
+// is integrity-checked when packed from the neighbour and re-encoded when
+// stored into the halo, so a bit flip in either chunk's memory is caught
+// at the boundary exactly as it would be inside a kernel. Chunks execute
+// in parallel goroutines in bulk-synchronous phases.
+package halo
+
+import (
+	"fmt"
+
+	"abft/internal/core"
+	"abft/internal/csr"
+	"abft/internal/ecc"
+	"abft/internal/par"
+)
+
+// Options configures a decomposed solve.
+type Options struct {
+	// Chunks is the number of horizontal bands (default 2).
+	Chunks int
+	// ElemScheme, RowPtrScheme and VectorScheme protect each chunk's
+	// local structures.
+	ElemScheme   core.Scheme
+	RowPtrScheme core.Scheme
+	VectorScheme core.Scheme
+	// Backend selects the CRC32C implementation.
+	Backend ecc.Backend
+}
+
+// Decomposition is a five-point operator split into row bands.
+type Decomposition struct {
+	nx, ny int
+	opt    Options
+	chunks []*chunk
+
+	counters core.Counters
+}
+
+// chunk owns grid rows [j0, j1); its local vectors carry nx-wide halo
+// rows below and above the interior, so the local vector length is
+// nx*(h+2) while the local matrix has nx*h rows.
+type chunk struct {
+	nx, j0, j1 int
+	matrix     *core.Matrix
+}
+
+// interiorLen returns the owned element count.
+func (c *chunk) interiorLen() int { return c.nx * (c.j1 - c.j0) }
+
+// localLen returns the halo-extended vector length.
+func (c *chunk) localLen() int { return c.nx * (c.j1 - c.j0 + 2) }
+
+// NewDecomposition builds the banded operator for an nx x ny grid with
+// face coefficients kx ((nx+1) x ny) and ky (nx x (ny+1)) scaled by rx,
+// ry — the same inputs as csr.FivePoint. nx must be a multiple of 4 so
+// halo rows align with protection codeword blocks, and every chunk must
+// receive at least one grid row.
+func NewDecomposition(nx, ny int, kx, ky []float64, rx, ry float64, opt Options) (*Decomposition, error) {
+	if opt.Chunks <= 0 {
+		opt.Chunks = 2
+	}
+	if nx%4 != 0 {
+		return nil, fmt.Errorf("halo: nx=%d must be a multiple of the codeword block (4)", nx)
+	}
+	if ny < opt.Chunks {
+		return nil, fmt.Errorf("halo: %d chunks exceed %d grid rows", opt.Chunks, ny)
+	}
+	if len(kx) != (nx+1)*ny || len(ky) != nx*(ny+1) {
+		return nil, fmt.Errorf("halo: coefficient slice lengths wrong")
+	}
+	d := &Decomposition{nx: nx, ny: ny, opt: opt}
+	rowsPer := ny / opt.Chunks
+	extra := ny % opt.Chunks
+	j0 := 0
+	for ci := 0; ci < opt.Chunks; ci++ {
+		h := rowsPer
+		if ci < extra {
+			h++
+		}
+		c := &chunk{nx: nx, j0: j0, j1: j0 + h}
+		m, err := c.assemble(kx, ky, rx, ry, ny, opt)
+		if err != nil {
+			return nil, err
+		}
+		m.SetCounters(&d.counters)
+		c.matrix = m
+		d.chunks = append(d.chunks, c)
+		j0 += h
+	}
+	return d, nil
+}
+
+// assemble builds the chunk's rectangular local matrix: nx*h rows over
+// the halo-extended column space nx*(h+2). Couplings to rows outside the
+// whole domain carry zero coefficients (insulated boundary), exactly as
+// in the global assembly; couplings to neighbour chunks land in the halo
+// columns.
+func (c *chunk) assemble(kx, ky []float64, rx, ry float64, ny int, opt Options) (*core.Matrix, error) {
+	nx, h := c.nx, c.j1-c.j0
+	entries := make([]csr.Entry, 0, 5*nx*h)
+	// Local column of interior cell (i, j): halo row 0 is below.
+	lcol := func(i, j int) int { return (j-c.j0+1)*nx + i }
+	for j := c.j0; j < c.j1; j++ {
+		for i := 0; i < nx; i++ {
+			row := (j-c.j0)*nx + i
+			w := rx * kx[j*(nx+1)+i]
+			e := rx * kx[j*(nx+1)+i+1]
+			s := ry * ky[j*nx+i]
+			n := ry * ky[(j+1)*nx+i]
+			diag := 1 + w + e + s + n
+			put := func(col int, v float64) {
+				entries = append(entries, csr.Entry{Row: row, Col: col, Val: v})
+			}
+			if j > 0 {
+				put(lcol(i, j-1), -s)
+			} else {
+				put(lcol(i, j), 0)
+			}
+			if i > 0 {
+				put(lcol(i-1, j), -w)
+			} else {
+				put(lcol(i, j), 0)
+			}
+			put(lcol(i, j), diag)
+			if i < nx-1 {
+				put(lcol(i+1, j), -e)
+			} else {
+				put(lcol(i, j), 0)
+			}
+			if j < ny-1 {
+				put(lcol(i, j+1), -n)
+			} else {
+				put(lcol(i, j), 0)
+			}
+		}
+	}
+	plain, err := csr.New(nx*h, nx*(h+2), entries)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewMatrix(plain, core.MatrixOptions{
+		ElemScheme:   opt.ElemScheme,
+		RowPtrScheme: opt.RowPtrScheme,
+		Backend:      opt.Backend,
+	})
+}
+
+// Chunks returns the number of bands.
+func (d *Decomposition) Chunks() int { return len(d.chunks) }
+
+// Counters exposes the shared ABFT statistics of all chunks and fields.
+func (d *Decomposition) Counters() *core.Counters { return &d.counters }
+
+// ChunkMatrix exposes chunk c's protected local matrix (fault injection).
+func (d *Decomposition) ChunkMatrix(c int) *core.Matrix { return d.chunks[c].matrix }
+
+// Field is a distributed vector: one protected halo-extended local vector
+// per chunk.
+type Field struct {
+	d     *Decomposition
+	local []*core.Vector
+}
+
+// NewField allocates a zero distributed vector.
+func (d *Decomposition) NewField() *Field {
+	f := &Field{d: d}
+	for _, c := range d.chunks {
+		v := core.NewVector(c.localLen(), d.opt.VectorScheme)
+		v.SetCRCBackend(d.opt.Backend)
+		v.SetCounters(&d.counters)
+		f.local = append(f.local, v)
+	}
+	return f
+}
+
+// Local exposes chunk c's halo-extended protected vector (fault
+// injection and tests).
+func (f *Field) Local(c int) *core.Vector { return f.local[c] }
+
+// Scatter fills the field from a global grid array of length nx*ny.
+func (f *Field) Scatter(global []float64) error {
+	d := f.d
+	if len(global) != d.nx*d.ny {
+		return fmt.Errorf("halo: scatter length %d, want %d", len(global), d.nx*d.ny)
+	}
+	for ci, c := range d.chunks {
+		v := f.local[ci]
+		var buf [4]float64
+		for li := 0; li < c.interiorLen(); li += 4 {
+			for k := 0; k < 4; k++ {
+				if li+k < c.interiorLen() {
+					buf[k] = global[c.j0*d.nx+li+k]
+				} else {
+					buf[k] = 0
+				}
+			}
+			v.WriteBlock((c.nx+li)/4, &buf)
+		}
+	}
+	return nil
+}
+
+// Gather verifies and collects the interior of every chunk into a global
+// array.
+func (f *Field) Gather(global []float64) error {
+	d := f.d
+	if len(global) != d.nx*d.ny {
+		return fmt.Errorf("halo: gather length %d, want %d", len(global), d.nx*d.ny)
+	}
+	for ci, c := range d.chunks {
+		all := make([]float64, c.localLen())
+		if err := f.local[ci].CopyTo(all); err != nil {
+			return fmt.Errorf("halo: chunk %d: %w", ci, err)
+		}
+		copy(global[c.j0*d.nx:c.j1*d.nx], all[c.nx:c.nx+c.interiorLen()])
+	}
+	return nil
+}
+
+// Exchange updates every internal halo: chunk c's bottom interior row
+// travels to chunk c-1's upper halo and its top interior row to chunk
+// c+1's lower halo. Transfers read through the integrity-checked path and
+// re-encode on store, so corruption on either side is caught here. Domain
+// boundary halos keep their zero coefficient couplings and need no data.
+func (f *Field) Exchange() error {
+	d := f.d
+	blocksPerRow := d.nx / 4
+	return par.ForEach(len(d.chunks), len(d.chunks), 1, func(lo, hi int) error {
+		for ci := lo; ci < hi; ci++ {
+			c := d.chunks[ci]
+			var buf [4]float64
+			if ci > 0 {
+				// Lower halo <- neighbour's top interior row, which in
+				// the halo-extended layout [halo | interior | halo]
+				// starts at element nx + nx*(h-1) = interiorLen().
+				src := f.local[ci-1]
+				top := d.chunks[ci-1].interiorLen()
+				for b := 0; b < blocksPerRow; b++ {
+					if err := src.ReadBlock(top/4+b, &buf); err != nil {
+						return fmt.Errorf("halo: pack chunk %d: %w", ci-1, err)
+					}
+					f.local[ci].WriteBlock(b, &buf)
+				}
+			}
+			if ci < len(d.chunks)-1 {
+				// Upper halo <- neighbour's bottom interior row.
+				src := f.local[ci+1]
+				for b := 0; b < blocksPerRow; b++ {
+					if err := src.ReadBlock(d.nx/4+b, &buf); err != nil {
+						return fmt.Errorf("halo: pack chunk %d: %w", ci+1, err)
+					}
+					f.local[ci].WriteBlock((c.localLen()-d.nx)/4+b, &buf)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// SpMV computes dst = A x across all chunks: one halo exchange, then the
+// protected local products in parallel.
+func (d *Decomposition) SpMV(dst, x *Field) error {
+	if err := x.Exchange(); err != nil {
+		return err
+	}
+	return par.ForEach(len(d.chunks), len(d.chunks), 1, func(lo, hi int) error {
+		for ci := lo; ci < hi; ci++ {
+			c := d.chunks[ci]
+			// The local product writes the interior of dst: compute into
+			// a separate interior-sized view. Local matrices map
+			// interior rows to halo-extended columns, so dst's interior
+			// lives at block offset nx/4.
+			tmp := core.NewVector(c.interiorLen(), d.opt.VectorScheme)
+			tmp.SetCRCBackend(d.opt.Backend)
+			tmp.SetCounters(&d.counters)
+			if err := core.SpMV(tmp, c.matrix, x.local[ci], 1); err != nil {
+				return fmt.Errorf("halo: chunk %d: %w", ci, err)
+			}
+			var buf [4]float64
+			for b := 0; b < c.interiorLen()/4; b++ {
+				if err := tmp.ReadBlock(b, &buf); err != nil {
+					return err
+				}
+				dst.local[ci].WriteBlock(d.nx/4+b, &buf)
+			}
+		}
+		return nil
+	})
+}
+
+// Dot reduces the global inner product over the interiors (halos are
+// excluded, as in TeaLeaf's MPI allreduce).
+func (d *Decomposition) Dot(a, b *Field) (float64, error) {
+	partials := make([]float64, len(d.chunks))
+	err := par.ForEach(len(d.chunks), len(d.chunks), 1, func(lo, hi int) error {
+		for ci := lo; ci < hi; ci++ {
+			c := d.chunks[ci]
+			var av, bv [4]float64
+			var s float64
+			for blk := d.nx / 4; blk < (c.interiorLen()+d.nx)/4; blk++ {
+				if err := a.local[ci].ReadBlock(blk, &av); err != nil {
+					return err
+				}
+				if err := b.local[ci].ReadBlock(blk, &bv); err != nil {
+					return err
+				}
+				s += av[0] * bv[0]
+				s += av[1] * bv[1]
+				s += av[2] * bv[2]
+				s += av[3] * bv[3]
+			}
+			partials[ci] = s
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return total, nil
+}
+
+// Waxpby computes dst = alpha*x + beta*y over every chunk's full local
+// vector (halos included: they hold the same linear combination of
+// exchanged values, keeping them consistent between exchanges).
+func (d *Decomposition) Waxpby(dst *Field, alpha float64, x *Field, beta float64, y *Field) error {
+	return par.ForEach(len(d.chunks), len(d.chunks), 1, func(lo, hi int) error {
+		for ci := lo; ci < hi; ci++ {
+			if err := core.Waxpby(dst.local[ci], alpha, x.local[ci], beta, y.local[ci], 1); err != nil {
+				return fmt.Errorf("halo: chunk %d: %w", ci, err)
+			}
+		}
+		return nil
+	})
+}
+
+// CG solves A x = b over the decomposition with plain conjugate
+// gradients: the distributed version of the paper's instrumented solver,
+// with a halo exchange per iteration and allreduced inner products.
+func (d *Decomposition) CG(x, b *Field, tol float64, maxIter int) (iters int, residual float64, err error) {
+	r := d.NewField()
+	p := d.NewField()
+	w := d.NewField()
+
+	if err := d.SpMV(w, x); err != nil {
+		return 0, 0, err
+	}
+	if err := d.Waxpby(r, 1, b, -1, w); err != nil {
+		return 0, 0, err
+	}
+	if err := d.Waxpby(p, 1, r, 0, r); err != nil {
+		return 0, 0, err
+	}
+	rro, err := d.Dot(r, r)
+	if err != nil {
+		return 0, 0, err
+	}
+	for it := 1; it <= maxIter; it++ {
+		if err := d.SpMV(w, p); err != nil {
+			return it, rro, err
+		}
+		pw, err := d.Dot(p, w)
+		if err != nil {
+			return it, rro, err
+		}
+		if pw == 0 {
+			return it, rro, fmt.Errorf("halo: cg breakdown at iteration %d", it)
+		}
+		alpha := rro / pw
+		if err := d.Waxpby(x, alpha, p, 1, x); err != nil {
+			return it, rro, err
+		}
+		if err := d.Waxpby(r, -alpha, w, 1, r); err != nil {
+			return it, rro, err
+		}
+		rrn, err := d.Dot(r, r)
+		if err != nil {
+			return it, rrn, err
+		}
+		if rrn <= tol*tol {
+			return it, rrn, nil
+		}
+		if err := d.Waxpby(p, 1, r, rrn/rro, p); err != nil {
+			return it, rrn, err
+		}
+		rro = rrn
+	}
+	return maxIter, rro, fmt.Errorf("halo: cg did not converge in %d iterations", maxIter)
+}

@@ -1,0 +1,261 @@
+package halo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"abft/internal/core"
+	"abft/internal/csr"
+	"abft/internal/faults"
+)
+
+// testCoefficients builds insulated-boundary face coefficients for an
+// nx x ny grid, matching csr.Laplacian2D's interior pattern.
+func testCoefficients(nx, ny int) (kx, ky []float64) {
+	kx = make([]float64, (nx+1)*ny)
+	ky = make([]float64, nx*(ny+1))
+	for j := 0; j < ny; j++ {
+		for i := 1; i < nx; i++ {
+			kx[j*(nx+1)+i] = 1
+		}
+	}
+	for j := 1; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			ky[j*nx+i] = 1
+		}
+	}
+	return kx, ky
+}
+
+func newTestDecomp(t *testing.T, nx, ny, chunks int, s core.Scheme) *Decomposition {
+	t.Helper()
+	kx, ky := testCoefficients(nx, ny)
+	d, err := NewDecomposition(nx, ny, kx, ky, 1, 1, Options{
+		Chunks:       chunks,
+		ElemScheme:   s,
+		RowPtrScheme: s,
+		VectorScheme: s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDecompositionValidation(t *testing.T) {
+	kx, ky := testCoefficients(12, 6)
+	if _, err := NewDecomposition(13, 6, kx, ky, 1, 1, Options{}); err == nil {
+		t.Fatal("nx not multiple of 4 accepted")
+	}
+	if _, err := NewDecomposition(12, 6, kx, ky, 1, 1, Options{Chunks: 7}); err == nil {
+		t.Fatal("more chunks than rows accepted")
+	}
+	if _, err := NewDecomposition(12, 6, kx[:3], ky, 1, 1, Options{}); err == nil {
+		t.Fatal("short coefficients accepted")
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	d := newTestDecomp(t, 8, 10, 3, core.SECDED64)
+	rng := rand.New(rand.NewSource(1))
+	global := make([]float64, 80)
+	for i := range global {
+		global[i] = d.NewField().Local(0).Mask(rng.NormFloat64())
+	}
+	f := d.NewField()
+	if err := f.Scatter(global); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 80)
+	if err := f.Gather(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range global {
+		if got[i] != global[i] {
+			t.Fatalf("element %d: %g want %g", i, got[i], global[i])
+		}
+	}
+	if err := f.Scatter(make([]float64, 3)); err == nil {
+		t.Fatal("short scatter accepted")
+	}
+	if err := f.Gather(make([]float64, 3)); err == nil {
+		t.Fatal("short gather accepted")
+	}
+}
+
+func TestDistributedSpMVMatchesGlobal(t *testing.T) {
+	const nx, ny = 12, 9
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, nx*ny)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	kx, ky := testCoefficients(nx, ny)
+	global := csr.FivePoint(nx, ny, kx, ky, 1, 1)
+	want := make([]float64, nx*ny)
+	global.SpMV(want, xs)
+
+	for _, chunks := range []int{1, 2, 3, 4} {
+		for _, s := range []core.Scheme{core.None, core.SED, core.SECDED64, core.CRC32C} {
+			d := newTestDecomp(t, nx, ny, chunks, s)
+			x := d.NewField()
+			if err := x.Scatter(xs); err != nil {
+				t.Fatal(err)
+			}
+			y := d.NewField()
+			if err := d.SpMV(y, x); err != nil {
+				t.Fatalf("chunks=%d %v: %v", chunks, s, err)
+			}
+			got := make([]float64, nx*ny)
+			if err := y.Gather(got); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				// Protected fields mask inputs and outputs, perturbing
+				// values by <= 2^-44 relative; None must match exactly.
+				diff := math.Abs(got[i] - want[i])
+				if s == core.None && diff != 0 {
+					t.Fatalf("chunks=%d none: row %d differs exactly: %g vs %g",
+						chunks, i, got[i], want[i])
+				}
+				if diff > 1e-9*math.Max(1, math.Abs(want[i])) {
+					t.Fatalf("chunks=%d %v: row %d: %g want %g", chunks, s, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedDotMatchesGlobal(t *testing.T) {
+	const nx, ny = 8, 7
+	rng := rand.New(rand.NewSource(3))
+	as := make([]float64, nx*ny)
+	bs := make([]float64, nx*ny)
+	for i := range as {
+		as[i] = rng.NormFloat64()
+		bs[i] = rng.NormFloat64()
+	}
+	d := newTestDecomp(t, nx, ny, 3, core.SED)
+	a := d.NewField()
+	b := d.NewField()
+	if err := a.Scatter(as); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Scatter(bs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Dot(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := a.Local(0).Mask
+	var want float64
+	for i := range as {
+		want += mask(as[i]) * mask(bs[i])
+	}
+	if math.Abs(got-want) > 1e-10*math.Abs(want) {
+		t.Fatalf("dot %g want %g", got, want)
+	}
+}
+
+func TestDistributedCGMatchesSingleChunk(t *testing.T) {
+	const nx, ny = 12, 12
+	rng := rand.New(rand.NewSource(4))
+	bs := make([]float64, nx*ny)
+	for i := range bs {
+		bs[i] = rng.NormFloat64()
+	}
+	solve := func(chunks int) []float64 {
+		d := newTestDecomp(t, nx, ny, chunks, core.SECDED64)
+		b := d.NewField()
+		if err := b.Scatter(bs); err != nil {
+			t.Fatal(err)
+		}
+		x := d.NewField()
+		iters, _, err := d.CG(x, b, 1e-10, 5000)
+		if err != nil {
+			t.Fatalf("chunks=%d: %v", chunks, err)
+		}
+		if iters == 0 {
+			t.Fatalf("chunks=%d: no iterations", chunks)
+		}
+		out := make([]float64, nx*ny)
+		if err := x.Gather(out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := solve(1)
+	for _, chunks := range []int{2, 3, 4} {
+		got := solve(chunks)
+		for i := range ref {
+			if math.Abs(got[i]-ref[i]) > 1e-7 {
+				t.Fatalf("chunks=%d: solution %d differs: %g vs %g",
+					chunks, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestDistributedCorrectsChunkFault(t *testing.T) {
+	const nx, ny = 8, 8
+	d := newTestDecomp(t, nx, ny, 2, core.SECDED64)
+	bs := make([]float64, nx*ny)
+	for i := range bs {
+		bs[i] = float64(i%7) - 3
+	}
+	b := d.NewField()
+	if err := b.Scatter(bs); err != nil {
+		t.Fatal(err)
+	}
+	x := d.NewField()
+	// Flip a bit in chunk 1's protected matrix: corrected transparently
+	// during the distributed solve.
+	m := d.ChunkMatrix(1)
+	m.RawVals()[17] = math.Float64frombits(math.Float64bits(m.RawVals()[17]) ^ 1<<40)
+	if _, _, err := d.CG(x, b, 1e-9, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if d.Counters().Corrected() == 0 {
+		t.Fatal("chunk fault not corrected")
+	}
+}
+
+func TestExchangeDetectsCorruptedBoundary(t *testing.T) {
+	const nx, ny = 8, 8
+	d := newTestDecomp(t, nx, ny, 2, core.SED)
+	f := d.NewField()
+	if err := f.Scatter(make([]float64, nx*ny)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the top interior row of chunk 0: the pack side of the halo
+	// exchange must detect it before it propagates to chunk 1.
+	top := d.chunks[0].interiorLen()
+	f.Local(0).Raw()[top] ^= 1 << 33
+	if err := f.Exchange(); err == nil {
+		t.Fatal("corrupted boundary row exchanged silently")
+	}
+}
+
+func TestDistributedFaultInjectionCampaignStyle(t *testing.T) {
+	// A mid-solve flip in one chunk via the injector utilities.
+	const nx, ny = 8, 8
+	d := newTestDecomp(t, nx, ny, 2, core.SECDED64)
+	bs := make([]float64, nx*ny)
+	for i := range bs {
+		bs[i] = float64(i % 5)
+	}
+	b := d.NewField()
+	if err := b.Scatter(bs); err != nil {
+		t.Fatal(err)
+	}
+	x := d.NewField()
+	faults.FlipMatrixBit(d.ChunkMatrix(0), faults.TargetCols, faults.Flip{Word: 9, Bit: 4})
+	if _, _, err := d.CG(x, b, 1e-9, 5000); err != nil {
+		t.Fatalf("single flip should be transparent: %v", err)
+	}
+	if d.Counters().Corrected() == 0 {
+		t.Fatal("correction not recorded")
+	}
+}

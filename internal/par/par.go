@@ -1,0 +1,67 @@
+// Package par provides the small goroutine-parallel building blocks used
+// by the protected solver kernels. Work is split into contiguous ranges
+// whose boundaries respect ECC codeword alignment, so no two workers ever
+// touch the same codeword — the property that makes buffered group writes
+// race-free (paper section VI-C).
+package par
+
+// Ranges splits [0,n) into at most workers contiguous half-open ranges
+// whose interior boundaries are multiples of align. It returns fewer
+// ranges when n is too small to give every worker aligned work. align and
+// workers are clamped to at least 1.
+func Ranges(n, workers, align int) [][2]int {
+	if align < 1 {
+		align = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if n <= 0 {
+		return nil
+	}
+	chunk := (n + workers - 1) / workers
+	chunk = (chunk + align - 1) / align * align
+	var out [][2]int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// Run executes fn over every range, in parallel when more than one range
+// is given, and returns the error from the lowest-indexed failing range.
+func Run(ranges [][2]int, fn func(lo, hi int) error) error {
+	if len(ranges) == 0 {
+		return nil
+	}
+	if len(ranges) == 1 {
+		return fn(ranges[0][0], ranges[0][1])
+	}
+	errs := make([]error, len(ranges))
+	done := make(chan int, len(ranges))
+	for i, r := range ranges {
+		go func(i int, lo, hi int) {
+			errs[i] = fn(lo, hi)
+			done <- i
+		}(i, r[0], r[1])
+	}
+	for range ranges {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach runs fn over [0,n) split across workers with the given
+// alignment; a convenience wrapper combining Ranges and Run.
+func ForEach(n, workers, align int, fn func(lo, hi int) error) error {
+	return Run(Ranges(n, workers, align), fn)
+}

@@ -1,0 +1,112 @@
+package solvers
+
+import "abft/internal/core"
+
+// CG solves A x = b by preconditioned conjugate gradients, the solver the
+// paper instruments (TeaLeaf's tl_use_cg path). x carries the initial
+// guess in and the solution out. All vector traffic flows through the
+// ABFT-protected kernels, so every iteration checks the data it touches.
+func CG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	w := opt.Workers
+	var res Result
+
+	r := newTemp(x)
+	p := newTemp(x)
+	wv := newTemp(x)
+	var z *core.Vector
+	if opt.Preconditioner != nil {
+		z = newTemp(x)
+	}
+
+	// r = b - A x
+	if err := a.Apply(wv, x); err != nil {
+		return res, iterErr("cg", 0, err)
+	}
+	if err := core.Waxpby(r, 1, b, -1, wv, w); err != nil {
+		return res, iterErr("cg", 0, err)
+	}
+	// p = z = M^-1 r (or r unpreconditioned); rro = r . z
+	zed := r
+	if z != nil {
+		if err := opt.Preconditioner.Apply(z, r); err != nil {
+			return res, iterErr("cg", 0, err)
+		}
+		zed = z
+	}
+	if err := core.Copy(p, zed, w); err != nil {
+		return res, iterErr("cg", 0, err)
+	}
+	rro, err := core.Dot(r, zed, w)
+	if err != nil {
+		return res, iterErr("cg", 0, err)
+	}
+	rr, err := core.Dot(r, r, w)
+	if err != nil {
+		return res, iterErr("cg", 0, err)
+	}
+	rr0 := rr
+	res.ResidualNorm = sqrt(rr)
+	if converged(rr, rr0, opt) {
+		res.Converged = true
+		return res, nil
+	}
+
+	for it := 1; it <= opt.MaxIter; it++ {
+		res.Iterations = it
+		// w = A p
+		if err := a.Apply(wv, p); err != nil {
+			return res, iterErr("cg", it, err)
+		}
+		pw, err := core.Dot(p, wv, w)
+		if err != nil {
+			return res, iterErr("cg", it, err)
+		}
+		if pw == 0 {
+			return res, iterErr("cg", it, errBreakdown)
+		}
+		alpha := rro / pw
+		// x += alpha p ; r -= alpha w
+		if err := core.Axpy(x, alpha, p, w); err != nil {
+			return res, iterErr("cg", it, err)
+		}
+		if err := core.Axpy(r, -alpha, wv, w); err != nil {
+			return res, iterErr("cg", it, err)
+		}
+		zed := r
+		if z != nil {
+			if err := opt.Preconditioner.Apply(z, r); err != nil {
+				return res, iterErr("cg", it, err)
+			}
+			zed = z
+		}
+		rrn, err := core.Dot(r, zed, w)
+		if err != nil {
+			return res, iterErr("cg", it, err)
+		}
+		beta := rrn / rro
+		res.Alphas = append(res.Alphas, alpha)
+		res.Betas = append(res.Betas, beta)
+		// p = z + beta p
+		if err := core.Xpby(p, zed, beta, w); err != nil {
+			return res, iterErr("cg", it, err)
+		}
+		rro = rrn
+		rr = rrn
+		if z != nil {
+			// Preconditioned: rrn is r.z; the stopping rule needs r.r.
+			if rr, err = core.Dot(r, r, w); err != nil {
+				return res, iterErr("cg", it, err)
+			}
+		}
+		res.ResidualNorm = sqrt(rr)
+		if opt.RecordHistory {
+			res.History = append(res.History, res.ResidualNorm)
+		}
+		if converged(rr, rr0, opt) {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package solvers
+
+import "abft/internal/core"
+
+// Chebyshev solves A x = b with the Chebyshev semi-iteration (TeaLeaf's
+// tl_use_chebyshev path): a short CG run estimates the spectrum, then the
+// fixed three-term recurrence iterates without inner products — the same
+// structure TeaLeaf uses to cut synchronisation costs on large machines.
+func Chebyshev(a Operator, x, b *core.Vector, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	w := opt.Workers
+	var res Result
+
+	eigMin, eigMax, err := estimateSpectrum(a, x, b, opt)
+	if err != nil {
+		return res, err
+	}
+	res.EigMin, res.EigMax = eigMin, eigMax
+	theta := (eigMax + eigMin) / 2
+	delta := (eigMax - eigMin) / 2
+	sigma := theta / delta
+	rho := 1 / sigma
+
+	r := newTemp(x)
+	p := newTemp(x)
+	t := newTemp(x)
+
+	// r = b - A x ; p = r / theta
+	if err := a.Apply(t, x); err != nil {
+		return res, iterErr("chebyshev", 0, err)
+	}
+	if err := core.Waxpby(r, 1, b, -1, t, w); err != nil {
+		return res, iterErr("chebyshev", 0, err)
+	}
+	rr0, err := core.Dot(r, r, w)
+	if err != nil {
+		return res, iterErr("chebyshev", 0, err)
+	}
+	if converged(rr0, rr0, opt) {
+		res.Converged = true
+		res.ResidualNorm = sqrt(rr0)
+		return res, nil
+	}
+	if err := core.Waxpby(p, 1/theta, r, 0, r, w); err != nil {
+		return res, iterErr("chebyshev", 0, err)
+	}
+
+	for it := 1; it <= opt.MaxIter; it++ {
+		res.Iterations = it
+		// x += p ; r -= A p
+		if err := core.Axpy(x, 1, p, w); err != nil {
+			return res, iterErr("chebyshev", it, err)
+		}
+		if err := a.Apply(t, p); err != nil {
+			return res, iterErr("chebyshev", it, err)
+		}
+		if err := core.Axpy(r, -1, t, w); err != nil {
+			return res, iterErr("chebyshev", it, err)
+		}
+		rhoNew := 1 / (2*sigma - rho)
+		// p = rhoNew*rho*p + (2*rhoNew/delta)*r
+		if err := core.Waxpby(p, rhoNew*rho, p, 2*rhoNew/delta, r, w); err != nil {
+			return res, iterErr("chebyshev", it, err)
+		}
+		rho = rhoNew
+
+		rr, err := core.Dot(r, r, w)
+		if err != nil {
+			return res, iterErr("chebyshev", it, err)
+		}
+		res.ResidualNorm = sqrt(rr)
+		if opt.RecordHistory {
+			res.History = append(res.History, res.ResidualNorm)
+		}
+		if converged(rr, rr0, opt) {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package solvers
+
+import (
+	"fmt"
+
+	"abft/internal/csr"
+)
+
+// DenseSolve solves A x = b by Gaussian elimination with partial pivoting
+// on a densified copy of the sparse matrix. It is the exact reference the
+// iterative solvers are validated against in tests; do not use it beyond
+// small systems.
+func DenseSolve(a *csr.Matrix, b []float64) ([]float64, error) {
+	n := a.Rows()
+	if a.Cols32() != n {
+		return nil, fmt.Errorf("solvers: dense solve needs a square matrix, got %dx%d", n, a.Cols32())
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("solvers: rhs length %d, want %d", len(b), n)
+	}
+	m := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		m[r] = make([]float64, n+1)
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			m[r][a.Cols[k]] += a.Vals[k]
+		}
+		m[r][n] = b[r]
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(m[r][col]) > abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if m[pivot][col] == 0 {
+			return nil, fmt.Errorf("solvers: singular matrix at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := m[r][n]
+		for c := r + 1; c < n; c++ {
+			sum -= m[r][c] * x[c]
+		}
+		x[r] = sum / m[r][r]
+	}
+	return x, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

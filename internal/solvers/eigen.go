@@ -1,0 +1,115 @@
+package solvers
+
+import (
+	"errors"
+	"math"
+
+	"abft/internal/core"
+)
+
+// lanczosTridiag converts CG coefficients into the Lanczos tridiagonal
+// matrix whose spectrum approximates the operator's: diagonal entries
+// d_i = 1/alpha_i + beta_{i-1}/alpha_{i-1} and off-diagonal entries
+// e_i = sqrt(beta_i)/alpha_i (TeaLeaf's tqli input).
+func lanczosTridiag(alphas, betas []float64) (diag, off []float64) {
+	n := len(alphas)
+	diag = make([]float64, n)
+	off = make([]float64, n-1)
+	for i := 0; i < n; i++ {
+		diag[i] = 1 / alphas[i]
+		if i > 0 {
+			diag[i] += betas[i-1] / alphas[i-1]
+		}
+		if i < n-1 {
+			off[i] = math.Sqrt(math.Max(betas[i], 0)) / alphas[i]
+		}
+	}
+	return diag, off
+}
+
+// sturmCount returns the number of eigenvalues of the symmetric
+// tridiagonal matrix (diag, off) that are strictly less than x, via the
+// classic Sturm sequence recurrence.
+func sturmCount(diag, off []float64, x float64) int {
+	count := 0
+	q := 1.0
+	const tiny = 1e-300
+	for i := range diag {
+		var e2 float64
+		if i > 0 {
+			e2 = off[i-1] * off[i-1]
+		}
+		q = diag[i] - x - e2/q
+		if q == 0 {
+			q = tiny
+		}
+		if q < 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// tridiagEigenBounds estimates the smallest and largest eigenvalues of the
+// symmetric tridiagonal matrix (diag, off) by bisection on the Sturm
+// count, starting from Gershgorin bounds.
+func tridiagEigenBounds(diag, off []float64) (eigMin, eigMax float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range diag {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(off[i-1])
+		}
+		if i < len(off) {
+			r += math.Abs(off[i])
+		}
+		lo = math.Min(lo, diag[i]-r)
+		hi = math.Max(hi, diag[i]+r)
+	}
+	n := len(diag)
+	// bisect returns the point where the Sturm count first reaches target.
+	bisect := func(target int) float64 {
+		a, b := lo, hi
+		for b-a > 1e-10*math.Max(1, math.Abs(b)) {
+			mid := 0.5 * (a + b)
+			if sturmCount(diag, off, mid) >= target {
+				b = mid
+			} else {
+				a = mid
+			}
+		}
+		return 0.5 * (a + b)
+	}
+	return bisect(1), bisect(n)
+}
+
+// errNoSpectrum reports that eigenvalue estimation had too little data.
+var errNoSpectrum = errors.New("solvers: too few CG iterations to estimate the spectrum")
+
+// estimateSpectrum runs up to EigenIters CG iterations to harvest Lanczos
+// coefficients and returns (eigMin, eigMax) with a safety widening applied,
+// mirroring TeaLeaf's Chebyshev bootstrap.
+func estimateSpectrum(a Operator, x, b *core.Vector, opt Options) (eigMin, eigMax float64, err error) {
+	guess := x.Clone()
+	probe := opt
+	probe.MaxIter = opt.EigenIters
+	probe.RecordHistory = false
+	probe.Preconditioner = nil
+	res, err := CG(a, guess, b, probe)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(res.Alphas) < 2 {
+		return 0, 0, errNoSpectrum
+	}
+	diag, off := lanczosTridiag(res.Alphas, res.Betas)
+	eigMin, eigMax = tridiagEigenBounds(diag, off)
+	// Widen the estimated interval to guard against Lanczos
+	// underestimating the extremes on few iterations.
+	eigMin *= 0.95
+	eigMax *= 1.05
+	if eigMin <= 0 {
+		eigMin = eigMax * 1e-6
+	}
+	return eigMin, eigMax, nil
+}

@@ -1,0 +1,62 @@
+package solvers
+
+import (
+	"errors"
+	"math"
+
+	"abft/internal/core"
+)
+
+// errBreakdown reports a numerical breakdown (zero curvature or diagonal).
+var errBreakdown = errors.New("solvers: numerical breakdown")
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// Jacobi solves A x = b with the damped-free Jacobi iteration
+// x += D^-1 (b - A x), TeaLeaf's tl_use_jacobi path. It converges slowly
+// but exercises the same protected kernels with a different access mix.
+func Jacobi(a Operator, x, b *core.Vector, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	w := opt.Workers
+	var res Result
+
+	pre, err := NewJacobiPreconditioner(a, w)
+	if err != nil {
+		return res, err
+	}
+	r := newTemp(x)
+	t := newTemp(x)
+
+	rr0 := -1.0
+	for it := 1; it <= opt.MaxIter; it++ {
+		res.Iterations = it
+		if err := a.Apply(t, x); err != nil {
+			return res, iterErr("jacobi", it, err)
+		}
+		if err := core.Waxpby(r, 1, b, -1, t, w); err != nil {
+			return res, iterErr("jacobi", it, err)
+		}
+		rr, err := core.Dot(r, r, w)
+		if err != nil {
+			return res, iterErr("jacobi", it, err)
+		}
+		if rr0 < 0 {
+			rr0 = rr
+		}
+		res.ResidualNorm = sqrt(rr)
+		if opt.RecordHistory {
+			res.History = append(res.History, res.ResidualNorm)
+		}
+		if converged(rr, rr0, opt) {
+			res.Converged = true
+			return res, nil
+		}
+		if err := pre.Apply(t, r); err != nil {
+			return res, iterErr("jacobi", it, err)
+		}
+		if err := core.Axpy(x, 1, t, w); err != nil {
+			return res, iterErr("jacobi", it, err)
+		}
+	}
+	return res, nil
+}

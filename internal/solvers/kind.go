@@ -1,0 +1,68 @@
+package solvers
+
+import (
+	"fmt"
+
+	"abft/internal/core"
+)
+
+// Kind names a solver algorithm.
+type Kind int
+
+const (
+	// KindCG is conjugate gradients, the paper's instrumented solver.
+	KindCG Kind = iota
+	// KindJacobi is the pointwise Jacobi iteration.
+	KindJacobi
+	// KindChebyshev is the Chebyshev semi-iteration.
+	KindChebyshev
+	// KindPPCG is polynomially preconditioned CG.
+	KindPPCG
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCG:
+		return "cg"
+	case KindJacobi:
+		return "jacobi"
+	case KindChebyshev:
+		return "chebyshev"
+	case KindPPCG:
+		return "ppcg"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a solver name to its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "cg", "":
+		return KindCG, nil
+	case "jacobi":
+		return KindJacobi, nil
+	case "chebyshev", "cheby":
+		return KindChebyshev, nil
+	case "ppcg":
+		return KindPPCG, nil
+	default:
+		return KindCG, fmt.Errorf("solvers: unknown solver %q", s)
+	}
+}
+
+// Solve dispatches to the named solver.
+func Solve(kind Kind, a Operator, x, b *core.Vector, opt Options) (Result, error) {
+	switch kind {
+	case KindCG:
+		return CG(a, x, b, opt)
+	case KindJacobi:
+		return Jacobi(a, x, b, opt)
+	case KindChebyshev:
+		return Chebyshev(a, x, b, opt)
+	case KindPPCG:
+		return PPCG(a, x, b, opt)
+	default:
+		return Result{}, fmt.Errorf("solvers: unknown kind %v", kind)
+	}
+}

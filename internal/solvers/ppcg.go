@@ -1,0 +1,81 @@
+package solvers
+
+import "abft/internal/core"
+
+// chebPreconditioner approximates z = A^-1 r with a fixed number of
+// Chebyshev iterations on A z = r from z = 0 — the polynomial
+// preconditioner at the heart of PPCG (TeaLeaf's tl_ppcg_inner_steps).
+type chebPreconditioner struct {
+	a            Operator
+	theta, delta float64
+	sigma        float64
+	steps        int
+	workers      int
+	rr, p, t     *core.Vector
+}
+
+func newChebPreconditioner(a Operator, model *core.Vector, eigMin, eigMax float64, steps, workers int) *chebPreconditioner {
+	theta := (eigMax + eigMin) / 2
+	delta := (eigMax - eigMin) / 2
+	return &chebPreconditioner{
+		a:       a,
+		theta:   theta,
+		delta:   delta,
+		sigma:   theta / delta,
+		steps:   steps,
+		workers: workers,
+		rr:      newTemp(model),
+		p:       newTemp(model),
+		t:       newTemp(model),
+	}
+}
+
+// Apply runs the inner Chebyshev smoothing: z starts at 0 and absorbs
+// `steps` polynomial corrections toward A^-1 r.
+func (c *chebPreconditioner) Apply(z, r *core.Vector) error {
+	w := c.workers
+	z.Fill(0)
+	if err := core.Copy(c.rr, r, w); err != nil {
+		return err
+	}
+	// p = rr / theta
+	if err := core.Waxpby(c.p, 1/c.theta, c.rr, 0, c.rr, w); err != nil {
+		return err
+	}
+	rho := 1 / c.sigma
+	for j := 0; j < c.steps; j++ {
+		// z += p ; rr -= A p
+		if err := core.Axpy(z, 1, c.p, w); err != nil {
+			return err
+		}
+		if err := c.a.Apply(c.t, c.p); err != nil {
+			return err
+		}
+		if err := core.Axpy(c.rr, -1, c.t, w); err != nil {
+			return err
+		}
+		rhoNew := 1 / (2*c.sigma - rho)
+		if err := core.Waxpby(c.p, rhoNew*rho, c.p, 2*rhoNew/c.delta, c.rr, w); err != nil {
+			return err
+		}
+		rho = rhoNew
+	}
+	return nil
+}
+
+// PPCG solves A x = b with polynomially preconditioned conjugate
+// gradients (TeaLeaf's tl_use_ppcg path): CG outer iterations whose
+// preconditioner is a short Chebyshev smoothing, trading extra SpMVs per
+// iteration for far fewer iterations and dot products.
+func PPCG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	eigMin, eigMax, err := estimateSpectrum(a, x, b, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	inner := opt
+	inner.Preconditioner = newChebPreconditioner(a, x, eigMin, eigMax, opt.InnerSteps, opt.Workers)
+	res, err := CG(a, x, b, inner)
+	res.EigMin, res.EigMax = eigMin, eigMax
+	return res, err
+}

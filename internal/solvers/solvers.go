@@ -1,0 +1,183 @@
+// Package solvers implements the iterative sparse solvers TeaLeaf offers —
+// Conjugate Gradients (the paper's solver), Jacobi, Chebyshev and PPCG —
+// on top of the ABFT-protected kernels of package core. A detected
+// uncorrectable fault surfaces as an error wrapping *core.FaultError with
+// the iteration it interrupted, leaving the recovery policy (abort, retry
+// the solve, accept the iteration loss) to the application; this is the
+// flexibility over hardware ECC the paper highlights.
+package solvers
+
+import (
+	"errors"
+	"fmt"
+
+	"abft/internal/core"
+)
+
+// Operator is the linear operator a solver iterates with. core.Matrix is
+// adapted via MatrixOperator.
+type Operator interface {
+	// Rows returns the operator dimension.
+	Rows() int
+	// Apply computes dst = A x.
+	Apply(dst, x *core.Vector) error
+	// Diagonal extracts the main diagonal (for Jacobi preconditioning).
+	Diagonal(dst []float64) error
+}
+
+// MatrixOperator adapts a protected matrix to the Operator interface.
+type MatrixOperator struct {
+	M *core.Matrix
+	// Workers is the kernel goroutine count; below 2 runs serially.
+	Workers int
+	// DisableCache turns off the stencil-aware decode cache (ablation).
+	DisableCache bool
+}
+
+// Rows returns the matrix dimension.
+func (o MatrixOperator) Rows() int { return o.M.Rows() }
+
+// Apply computes dst = M x with the configured kernel options.
+func (o MatrixOperator) Apply(dst, x *core.Vector) error {
+	return core.SpMVOpts(dst, o.M, x, core.SpMVOptions{
+		Workers:      o.Workers,
+		DisableCache: o.DisableCache,
+	})
+}
+
+// Diagonal extracts the main diagonal of the protected matrix.
+func (o MatrixOperator) Diagonal(dst []float64) error { return o.M.Diagonal(dst) }
+
+// Options configures a solve.
+type Options struct {
+	// Tol is the convergence tolerance on the residual L2 norm. With
+	// RelativeTol it is measured against the initial residual norm,
+	// otherwise absolutely (TeaLeaf's tl_eps behaviour).
+	Tol float64
+	// RelativeTol switches Tol to ||r|| <= Tol * ||r0||.
+	RelativeTol bool
+	// MaxIter bounds the iteration count (default 10000).
+	MaxIter int
+	// Workers is the kernel goroutine count for vector operations.
+	Workers int
+	// Preconditioner, when non-nil, is applied as z = M^-1 r each
+	// iteration (CG only).
+	Preconditioner Preconditioner
+	// EigenIters is the number of CG iterations used to estimate the
+	// operator spectrum for Chebyshev and PPCG (default 20).
+	EigenIters int
+	// InnerSteps is the PPCG polynomial degree (default 4).
+	InnerSteps int
+	// RecordHistory stores the residual norm after every iteration.
+	RecordHistory bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 10000
+	}
+	if o.EigenIters == 0 {
+		o.EigenIters = 20
+	}
+	if o.InnerSteps == 0 {
+		o.InnerSteps = 4
+	}
+	return o
+}
+
+// Result reports the outcome of a solve.
+type Result struct {
+	// Iterations is the number of solver iterations performed.
+	Iterations int
+	// ResidualNorm is the final residual L2 norm (from the recurrence,
+	// not recomputed).
+	ResidualNorm float64
+	// Converged reports whether the tolerance was met within MaxIter.
+	Converged bool
+	// Alphas and Betas are the CG coefficients (CG-family solvers), the
+	// inputs to Lanczos eigenvalue estimation.
+	Alphas, Betas []float64
+	// EigMin and EigMax are the spectrum estimates used (Chebyshev/PPCG).
+	EigMin, EigMax float64
+	// History holds per-iteration residual norms when requested.
+	History []float64
+}
+
+// Preconditioner applies z = M^-1 r.
+type Preconditioner interface {
+	Apply(z, r *core.Vector) error
+}
+
+// JacobiPreconditioner scales by the inverse diagonal.
+type JacobiPreconditioner struct {
+	invDiag []float64
+	workers int
+}
+
+// NewJacobiPreconditioner builds the inverse-diagonal preconditioner for A.
+func NewJacobiPreconditioner(a Operator, workers int) (*JacobiPreconditioner, error) {
+	d := make([]float64, a.Rows())
+	if err := a.Diagonal(d); err != nil {
+		return nil, err
+	}
+	for i, x := range d {
+		if x == 0 {
+			return nil, fmt.Errorf("solvers: zero diagonal at row %d", i)
+		}
+		d[i] = 1 / x
+	}
+	return &JacobiPreconditioner{invDiag: d, workers: workers}, nil
+}
+
+// Apply computes z = D^-1 r.
+func (p *JacobiPreconditioner) Apply(z, r *core.Vector) error {
+	return core.DiagScale(z, p.invDiag, r, p.workers)
+}
+
+// IterationError wraps a fault with the iteration that hit it.
+type IterationError struct {
+	Solver    string
+	Iteration int
+	Err       error
+}
+
+func (e *IterationError) Error() string {
+	return fmt.Sprintf("%s: iteration %d: %v", e.Solver, e.Iteration, e.Err)
+}
+
+// Unwrap exposes the underlying fault for errors.As.
+func (e *IterationError) Unwrap() error { return e.Err }
+
+func iterErr(solver string, it int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &IterationError{Solver: solver, Iteration: it, Err: err}
+}
+
+// IsFault reports whether err stems from a detected uncorrectable ABFT
+// fault (as opposed to a numerical breakdown or sizing problem).
+func IsFault(err error) bool {
+	var fe *core.FaultError
+	var be *core.BoundsError
+	return errors.As(err, &fe) || errors.As(err, &be)
+}
+
+// newTemp allocates a work vector matching x's protection scheme and
+// counters.
+func newTemp(x *core.Vector) *core.Vector {
+	v := core.NewVector(x.Len(), x.Scheme())
+	v.SetCounters(x.Counters())
+	return v
+}
+
+// converged evaluates the stopping rule on squared residual norms.
+func converged(rr, rr0 float64, opt Options) bool {
+	if opt.RelativeTol {
+		return rr <= opt.Tol*opt.Tol*rr0
+	}
+	return rr <= opt.Tol*opt.Tol
+}

@@ -1,0 +1,79 @@
+package tealeaf
+
+import "fmt"
+
+// Checkpoint is a copy of the mutable application state (the energy
+// field; density and the operator are constant over a run). Together with
+// Restore it implements the classic fallback the paper contrasts ABFT
+// against: when an uncorrectable error hits, roll back to the last
+// checkpoint instead of aborting the job — but in-memory and at
+// application level, orders of magnitude cheaper than file-system
+// checkpoint-restart.
+type Checkpoint struct {
+	step   int
+	energy []float64
+}
+
+// Step returns the timestep at which the checkpoint was taken.
+func (c Checkpoint) Step() int { return c.step }
+
+// Checkpoint captures the current application state.
+func (s *Simulation) Checkpoint() Checkpoint {
+	return Checkpoint{
+		step:   s.step,
+		energy: append([]float64(nil), s.energy...),
+	}
+}
+
+// Restore rolls the simulation back to a checkpoint and re-protects the
+// operator (discarding any latent corruption in the protected matrix).
+func (s *Simulation) Restore(c Checkpoint) error {
+	if len(c.energy) != len(s.energy) {
+		return fmt.Errorf("tealeaf: checkpoint size %d does not match simulation %d",
+			len(c.energy), len(s.energy))
+	}
+	copy(s.energy, c.energy)
+	s.step = c.step
+	return s.Reprotect()
+}
+
+// RunWithCheckpoints advances EndStep timesteps, checkpointing every
+// `every` steps; on a fault it rolls back to the last checkpoint and
+// re-runs from there, giving up after maxRollbacks. It returns the run
+// result and the number of rollbacks performed.
+func (s *Simulation) RunWithCheckpoints(every, maxRollbacks int) (RunResult, int, error) {
+	if every <= 0 {
+		every = 1
+	}
+	var out RunResult
+	cp := s.Checkpoint()
+	rollbacks := 0
+	for s.step < s.cfg.EndStep {
+		sr, err := s.Advance()
+		if err != nil {
+			if rollbacks >= maxRollbacks {
+				return out, rollbacks, fmt.Errorf("tealeaf: giving up after %d rollbacks: %w",
+					rollbacks, err)
+			}
+			rollbacks++
+			if rerr := s.Restore(cp); rerr != nil {
+				return out, rollbacks, rerr
+			}
+			// Drop step results made after the checkpoint.
+			for len(out.Steps) > 0 && out.Steps[len(out.Steps)-1].Step > cp.step {
+				last := out.Steps[len(out.Steps)-1]
+				out.TotalIterations -= last.Iterations
+				out.Steps = out.Steps[:len(out.Steps)-1]
+			}
+			continue
+		}
+		out.Steps = append(out.Steps, sr)
+		out.TotalIterations += sr.Iterations
+		if s.step%every == 0 {
+			cp = s.Checkpoint()
+		}
+	}
+	out.Summary = s.FieldSummary()
+	out.Counters = s.counters.Snapshot()
+	return out, rollbacks, nil
+}

@@ -1,0 +1,139 @@
+package tealeaf
+
+import (
+	"math"
+	"testing"
+
+	"abft/internal/core"
+)
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := sim.Checkpoint()
+	if _, err := sim.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i, e := range sim.Energy() {
+		if e != cp.energy[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("advance changed nothing; checkpoint test is vacuous")
+	}
+	if err := sim.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Step() != 0 {
+		t.Fatalf("step %d after restore", sim.Step())
+	}
+	for i, e := range sim.Energy() {
+		if e != cp.energy[i] {
+			t.Fatalf("energy %d not restored", i)
+		}
+	}
+}
+
+func TestRestoreRejectsWrongSize(t *testing.T) {
+	a, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := smallConfig()
+	big.NX = 32
+	b, err := New(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Restore(b.Checkpoint()); err == nil {
+		t.Fatal("mismatched checkpoint accepted")
+	}
+}
+
+func TestRunWithCheckpointsCleanRun(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ElemScheme, cfg.RowPtrScheme = core.SECDED64, core.SECDED64
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rollbacks, err := sim.RunWithCheckpoints(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rollbacks != 0 {
+		t.Fatalf("clean run rolled back %d times", rollbacks)
+	}
+	if len(res.Steps) != cfg.EndStep {
+		t.Fatalf("steps %d want %d", len(res.Steps), cfg.EndStep)
+	}
+}
+
+func TestRunWithCheckpointsRecoversFromFault(t *testing.T) {
+	cfg := smallConfig()
+	cfg.EndStep = 3
+	cfg.ElemScheme, cfg.RowPtrScheme = core.SED, core.SED // detect-only
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant an uncorrectable (for SED) fault before the run: the first
+	// step fails, rolls back, and the reprotected matrix lets the run
+	// complete.
+	sim.Matrix().RawVals()[50] = math.Float64frombits(
+		math.Float64bits(sim.Matrix().RawVals()[50]) ^ 1<<22)
+	res, rollbacks, err := sim.RunWithCheckpoints(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rollbacks != 1 {
+		t.Fatalf("rollbacks %d want 1", rollbacks)
+	}
+	if len(res.Steps) != cfg.EndStep {
+		t.Fatalf("steps %d want %d", len(res.Steps), cfg.EndStep)
+	}
+
+	// Same fault with zero rollback budget must fail.
+	sim2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2.Matrix().RawVals()[50] = math.Float64frombits(
+		math.Float64bits(sim2.Matrix().RawVals()[50]) ^ 1<<22)
+	if _, _, err := sim2.RunWithCheckpoints(1, 0); err == nil {
+		t.Fatal("zero rollback budget should fail")
+	}
+}
+
+func TestRunWithCheckpointsMatchesPlainRun(t *testing.T) {
+	cfg := smallConfig()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _, err := b.RunWithCheckpoints(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Summary.InternalEnergy != rb.Summary.InternalEnergy {
+		t.Fatalf("checkpointed run diverged: %g vs %g",
+			ra.Summary.InternalEnergy, rb.Summary.InternalEnergy)
+	}
+	if ra.TotalIterations != rb.TotalIterations {
+		t.Fatalf("iterations diverged: %d vs %d", ra.TotalIterations, rb.TotalIterations)
+	}
+}

@@ -1,0 +1,150 @@
+// Package tealeaf reimplements the TeaLeaf heat-conduction mini-app from
+// the Mantevo suite, the workload the paper instruments: linear heat
+// conduction on a 2D regular grid, discretised with a five-point stencil
+// and solved implicitly each timestep by an iterative sparse solver. All
+// solver data structures are protected with the ABFT schemes of package
+// core according to the configuration.
+package tealeaf
+
+import (
+	"fmt"
+
+	"abft/internal/core"
+	"abft/internal/ecc"
+	"abft/internal/solvers"
+)
+
+// Coefficient selects how the conduction coefficient derives from density.
+type Coefficient int
+
+const (
+	// Conductivity uses the cell density directly (TeaLeaf
+	// COEF_CONDUCTIVITY).
+	Conductivity Coefficient = iota + 1
+	// RecipConductivity uses the reciprocal density (TeaLeaf
+	// COEF_RECIP_CONDUCTIVITY).
+	RecipConductivity
+)
+
+// Geometry shapes a state region.
+type Geometry int
+
+const (
+	// Rectangle covers cells whose centres lie inside the box.
+	Rectangle Geometry = iota + 1
+	// Circle covers cells whose centres lie inside the disc.
+	Circle
+	// Point covers the single cell containing the point.
+	Point
+)
+
+// State is an initial-condition region; state 1 is the background applied
+// to every cell, later states overwrite geometrically.
+type State struct {
+	Density float64
+	Energy  float64
+	Geom    Geometry
+	// Rectangle bounds.
+	XMin, XMax, YMin, YMax float64
+	// Circle/point centre and radius.
+	XCentre, YCentre, Radius float64
+}
+
+// Config describes a complete TeaLeaf run, including the ABFT protection
+// applied to the solver's data structures.
+type Config struct {
+	// Grid extent in cells and physical coordinates.
+	NX, NY                 int
+	XMin, YMin, XMax, YMax float64
+	// DtInit is the (constant) timestep.
+	DtInit float64
+	// EndStep is the number of timesteps to run.
+	EndStep int
+	// Coefficient selects the conduction model.
+	Coefficient Coefficient
+	// States are the initial-condition regions (state 1 first).
+	States []State
+
+	// Solver selects the iterative method (CG by default, as the paper).
+	Solver solvers.Kind
+	// Eps is the solver tolerance on the residual L2 norm.
+	Eps float64
+	// RelativeTol measures Eps against the initial residual.
+	RelativeTol bool
+	// MaxIters bounds solver iterations per timestep.
+	MaxIters int
+	// EigenIters and InnerSteps configure Chebyshev/PPCG.
+	EigenIters, InnerSteps int
+
+	// ElemScheme protects the CSR elements, RowPtrScheme the row-pointer
+	// vector, VectorScheme every dense solver vector.
+	ElemScheme   core.Scheme
+	RowPtrScheme core.Scheme
+	VectorScheme core.Scheme
+	// CheckInterval performs full matrix checks every n-th sweep only.
+	CheckInterval int
+	// CRCBackend selects hardware or software CRC32C.
+	CRCBackend ecc.Backend
+	// Workers is the kernel goroutine count.
+	Workers int
+	// RetryOnFault rebuilds the protected state from the application
+	// fields and retries the step once after a detected uncorrectable
+	// error, instead of failing the run.
+	RetryOnFault bool
+}
+
+// DefaultConfig returns the standard tea benchmark deck (the tea_bm series
+// initial states) on a modest grid with the paper's solver settings.
+func DefaultConfig() Config {
+	return Config{
+		NX: 64, NY: 64,
+		XMin: 0, YMin: 0, XMax: 10, YMax: 10,
+		DtInit:      0.004,
+		EndStep:     5,
+		Coefficient: Conductivity,
+		States: []State{
+			{Density: 100, Energy: 0.0001},
+			{Density: 0.1, Energy: 25, Geom: Rectangle, XMin: 0, XMax: 1, YMin: 1, YMax: 2},
+			{Density: 0.1, Energy: 0.1, Geom: Rectangle, XMin: 1, XMax: 6, YMin: 1, YMax: 2},
+			{Density: 0.1, Energy: 0.1, Geom: Rectangle, XMin: 5, XMax: 6, YMin: 1, YMax: 8},
+			{Density: 0.1, Energy: 0.1, Geom: Rectangle, XMin: 5, XMax: 10, YMin: 7, YMax: 8},
+		},
+		Solver:   solvers.KindCG,
+		Eps:      1e-10,
+		MaxIters: 10000,
+	}
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if c.NX <= 0 || c.NY <= 0 {
+		return fmt.Errorf("tealeaf: grid %dx%d invalid", c.NX, c.NY)
+	}
+	if c.XMax <= c.XMin || c.YMax <= c.YMin {
+		return fmt.Errorf("tealeaf: domain [%g,%g]x[%g,%g] invalid", c.XMin, c.XMax, c.YMin, c.YMax)
+	}
+	if c.DtInit <= 0 {
+		return fmt.Errorf("tealeaf: timestep %g invalid", c.DtInit)
+	}
+	if c.EndStep <= 0 {
+		return fmt.Errorf("tealeaf: end step %d invalid", c.EndStep)
+	}
+	if len(c.States) == 0 {
+		return fmt.Errorf("tealeaf: at least one state required")
+	}
+	for i, s := range c.States {
+		if s.Density <= 0 {
+			return fmt.Errorf("tealeaf: state %d density %g invalid", i+1, s.Density)
+		}
+		if s.Energy < 0 {
+			return fmt.Errorf("tealeaf: state %d energy %g invalid", i+1, s.Energy)
+		}
+	}
+	if c.Coefficient != Conductivity && c.Coefficient != RecipConductivity {
+		return fmt.Errorf("tealeaf: coefficient %d invalid", c.Coefficient)
+	}
+	if c.Eps <= 0 {
+		return fmt.Errorf("tealeaf: tolerance %g invalid", c.Eps)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package tealeaf
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"abft/internal/core"
+)
+
+func TestTestdataDeckRuns(t *testing.T) {
+	f, err := os.Open("testdata/tea_bm_short.in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cfg, err := ParseInput(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NX != 32 || cfg.ElemScheme != core.SECDED64 || cfg.CheckInterval != 8 {
+		t.Fatalf("deck parsed wrong: %+v", cfg)
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 || res.TotalIterations == 0 {
+		t.Fatalf("run incomplete: %+v", res)
+	}
+}
+
+func TestRunsAreDeterministic(t *testing.T) {
+	// Same configuration twice must produce bit-identical energy fields;
+	// the ABFT layer adds no nondeterminism.
+	cfg := smallConfig()
+	cfg.ElemScheme, cfg.RowPtrScheme, cfg.VectorScheme = core.CRC32C, core.CRC32C, core.CRC32C
+	run := func() []float64 {
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), sim.Energy()...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("energy %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestRecipConductivityChangesOperator(t *testing.T) {
+	a := smallConfig()
+	a.EndStep = 1
+	b := a
+	b.Coefficient = RecipConductivity
+	sa, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sa.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range sa.Energy() {
+		if sa.Energy()[i] != sb.Energy()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("conductivity model had no effect")
+	}
+	// Both still conserve energy.
+	for _, s := range []*Simulation{sa, sb} {
+		sum := s.FieldSummary()
+		if math.IsNaN(sum.InternalEnergy) || sum.InternalEnergy <= 0 {
+			t.Fatalf("bad internal energy %g", sum.InternalEnergy)
+		}
+	}
+}
+
+func TestCountersAccumulateAcrossSteps(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ElemScheme, cfg.RowPtrScheme, cfg.VectorScheme = core.SED, core.SED, core.SED
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sim.Advance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Advance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := sim.Counters().Snapshot()
+	if total.Checks != r1.Checks+r2.Checks {
+		t.Fatalf("per-step deltas %d+%d do not sum to total %d",
+			r1.Checks, r2.Checks, total.Checks)
+	}
+}

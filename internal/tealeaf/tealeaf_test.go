@@ -1,0 +1,366 @@
+package tealeaf
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"abft/internal/core"
+	"abft/internal/solvers"
+)
+
+// smallConfig is a fast version of the benchmark deck for tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NX, cfg.NY = 24, 24
+	cfg.EndStep = 2
+	cfg.Eps = 1e-12
+	return cfg
+}
+
+func TestSimulationRunsAndConservesEnergy(t *testing.T) {
+	sim, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sim.FieldSummary()
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := res.Summary
+	// Heat conduction with insulated boundaries conserves total internal
+	// energy: the implicit operator satisfies A*1 = 1.
+	if rel := math.Abs(after.InternalEnergy-before.InternalEnergy) / before.InternalEnergy; rel > 1e-8 {
+		t.Fatalf("internal energy drifted by %g (before %g after %g)",
+			rel, before.InternalEnergy, after.InternalEnergy)
+	}
+	if after.Mass != before.Mass || after.Volume != before.Volume {
+		t.Fatal("mass or volume changed")
+	}
+	if res.TotalIterations == 0 {
+		t.Fatal("solver did no work")
+	}
+	if len(res.Steps) != 2 {
+		t.Fatalf("expected 2 steps, got %d", len(res.Steps))
+	}
+}
+
+func TestSimulationDiffusesHeat(t *testing.T) {
+	cfg := smallConfig()
+	cfg.EndStep = 1
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hot region (state 2: energy 25) must cool, the cold background
+	// must warm.
+	eBefore := append([]float64(nil), sim.Energy()...)
+	if _, err := sim.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	eAfter := sim.Energy()
+	hot, cold := -1, -1
+	for i := range eBefore {
+		if eBefore[i] == 25 && hot < 0 {
+			hot = i
+		}
+		if eBefore[i] == 0.0001 && cold < 0 {
+			cold = i
+		}
+	}
+	if hot < 0 || cold < 0 {
+		t.Fatal("state initialisation did not produce hot and cold cells")
+	}
+	if !(eAfter[hot] < eBefore[hot]) {
+		t.Fatalf("hot cell did not cool: %g -> %g", eBefore[hot], eAfter[hot])
+	}
+}
+
+func TestProtectedRunMatchesUnprotected(t *testing.T) {
+	// Paper section VI-B: with redundancy embedded in the mantissa LSBs
+	// the solver must converge to the same solution within 2.0e-11
+	// percent, with iteration growth under 1 percent.
+	base := smallConfig()
+	ref, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refNorm := l2(ref.Energy())
+
+	for _, s := range core.ProtectingSchemes {
+		cfg := base
+		cfg.ElemScheme, cfg.RowPtrScheme, cfg.VectorScheme = s, s, s
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		normDiff := math.Abs(l2(sim.Energy())-refNorm) / refNorm
+		if normDiff > 2.0e-13*100 { // the paper's 2.0e-11 percent
+			t.Fatalf("%v: solution norm differs by %g percent", s, normDiff*100)
+		}
+		growth := float64(res.TotalIterations-refRes.TotalIterations) /
+			float64(refRes.TotalIterations)
+		if growth > 0.01 {
+			t.Fatalf("%v: iteration growth %.2f%% exceeds 1%%", s, growth*100)
+		}
+		if res.Counters.Checks == 0 {
+			t.Fatalf("%v: no integrity checks performed", s)
+		}
+	}
+}
+
+func l2(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func TestSimulationWithCheckInterval(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ElemScheme, cfg.RowPtrScheme = core.SED, core.SED
+	cfg.CheckInterval = 8
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(func() Config {
+		c := smallConfig()
+		c.ElemScheme, c.RowPtrScheme = core.SED, core.SED
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Checks >= fres.Counters.Checks {
+		t.Fatalf("interval checking did not reduce checks: %d vs %d",
+			res.Counters.Checks, fres.Counters.Checks)
+	}
+}
+
+func TestSimulationFaultRetry(t *testing.T) {
+	cfg := smallConfig()
+	cfg.EndStep = 1
+	cfg.ElemScheme, cfg.RowPtrScheme = core.SED, core.SED
+	cfg.RetryOnFault = true
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SED detects but cannot correct: without retry the step would fail.
+	sim.Matrix().RawVals()[40] = math.Float64frombits(
+		math.Float64bits(sim.Matrix().RawVals()[40]) ^ 1<<21)
+	sr, err := sim.Advance()
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if !sr.Retried {
+		t.Fatal("step did not record the retry")
+	}
+
+	// Without RetryOnFault the same fault is fatal.
+	cfg.RetryOnFault = false
+	sim2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2.Matrix().RawVals()[40] = math.Float64frombits(
+		math.Float64bits(sim2.Matrix().RawVals()[40]) ^ 1<<21)
+	if _, err := sim2.Advance(); err == nil {
+		t.Fatal("fault ignored without retry")
+	}
+}
+
+func TestSimulationTransparentCorrection(t *testing.T) {
+	cfg := smallConfig()
+	cfg.EndStep = 1
+	cfg.ElemScheme, cfg.RowPtrScheme, cfg.VectorScheme = core.SECDED64, core.SECDED64, core.SECDED64
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Matrix().RawVals()[100] = math.Float64frombits(
+		math.Float64bits(sim.Matrix().RawVals()[100]) ^ 1<<45)
+	sr, err := sim.Advance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Corrected == 0 {
+		t.Fatal("correction not performed or not counted")
+	}
+}
+
+func TestAllSolverKinds(t *testing.T) {
+	for _, kind := range []solvers.Kind{solvers.KindCG, solvers.KindJacobi,
+		solvers.KindChebyshev, solvers.KindPPCG} {
+		cfg := smallConfig()
+		cfg.NX, cfg.NY = 16, 16
+		cfg.EndStep = 1
+		cfg.Solver = kind
+		cfg.Eps = 1e-8
+		cfg.MaxIters = 50000
+		cfg.VectorScheme = core.SECDED64
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestParseInputFullDeck(t *testing.T) {
+	deck := `
+*tea
+! standard benchmark with ABFT extensions
+state 1 density=100.0 energy=0.0001
+state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=1.0 ymin=1.0 ymax=2.0
+state 3 density=0.2 energy=0.5 geometry=circle xcentre=5.0 ycentre=5.0 radius=1.5
+x_cells=40
+y_cells=30
+xmin=0.0 ymin=0.0 xmax=10.0 ymax=10.0
+initial_timestep=0.004
+end_step=3
+tl_use_ppcg
+tl_eps=1e-12
+tl_max_iters=2000
+tl_ppcg_inner_steps=5
+coefficient=recip
+abft_elements=crc32c
+abft_rowptr=secded64
+abft_vectors=sed
+abft_interval=16
+abft_crc=software
+workers=2
+profiler_on
+*endtea
+`
+	cfg, err := ParseInput(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NX != 40 || cfg.NY != 30 {
+		t.Fatalf("grid %dx%d", cfg.NX, cfg.NY)
+	}
+	if len(cfg.States) != 3 {
+		t.Fatalf("states %d", len(cfg.States))
+	}
+	if cfg.States[2].Geom != Circle || cfg.States[2].Radius != 1.5 {
+		t.Fatalf("state 3 wrong: %+v", cfg.States[2])
+	}
+	if cfg.Solver != solvers.KindPPCG || cfg.InnerSteps != 5 {
+		t.Fatal("solver settings wrong")
+	}
+	if cfg.Coefficient != RecipConductivity {
+		t.Fatal("coefficient wrong")
+	}
+	if cfg.ElemScheme != core.CRC32C || cfg.RowPtrScheme != core.SECDED64 ||
+		cfg.VectorScheme != core.SED {
+		t.Fatal("abft schemes wrong")
+	}
+	if cfg.CheckInterval != 16 || cfg.Workers != 2 {
+		t.Fatal("interval or workers wrong")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseInputErrors(t *testing.T) {
+	for _, deck := range []string{
+		"x_cells=abc",
+		"state x density=1",
+		"state 1 geometry=blob",
+		"coefficient=wood",
+		"abft_elements=rot13",
+		"abft_crc=abacus",
+		"state 1 density=oops",
+	} {
+		if _, err := ParseInput(strings.NewReader(deck)); err == nil {
+			t.Errorf("deck %q accepted", deck)
+		}
+	}
+}
+
+func TestParseInputDefaultsWhenEmpty(t *testing.T) {
+	cfg, err := ParseInput(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultConfig()
+	if cfg.NX != def.NX || len(cfg.States) != len(def.States) {
+		t.Fatal("empty deck should produce the default configuration")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.NX = 0 },
+		func(c *Config) { c.XMax = c.XMin },
+		func(c *Config) { c.DtInit = -1 },
+		func(c *Config) { c.EndStep = 0 },
+		func(c *Config) { c.States = nil },
+		func(c *Config) { c.States[0].Density = 0 },
+		func(c *Config) { c.States[1].Energy = -2 },
+		func(c *Config) { c.Coefficient = 0 },
+		func(c *Config) { c.Eps = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateGeometries(t *testing.T) {
+	cfg := smallConfig()
+	cfg.States = []State{
+		{Density: 1, Energy: 1},
+		{Density: 2, Energy: 2, Geom: Circle, XCentre: 5, YCentre: 5, Radius: 2},
+		{Density: 3, Energy: 3, Geom: Point, XCentre: 0.3, YCentre: 0.3},
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[float64]int{}
+	for _, d := range sim.Density() {
+		counts[d]++
+	}
+	if counts[2] == 0 {
+		t.Fatal("circle state applied nowhere")
+	}
+	if counts[3] != 1 {
+		t.Fatalf("point state applied to %d cells, want 1", counts[3])
+	}
+	if counts[1] == 0 {
+		t.Fatal("background state missing")
+	}
+}
