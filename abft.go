@@ -5,6 +5,8 @@ import (
 	"abft/internal/core"
 	"abft/internal/csr"
 	"abft/internal/ecc"
+	"abft/internal/op"
+	"abft/internal/sell"
 	"abft/internal/solvers"
 )
 
@@ -52,6 +54,40 @@ func NewVector(n int, s Scheme) *Vector { return core.NewVector(n, s) }
 // VectorFromSlice builds a protected vector holding a copy of data.
 func VectorFromSlice(data []float64, s Scheme) *Vector { return core.VectorFromSlice(data, s) }
 
+// ProtectedMatrix is the format-agnostic protected sparse matrix every
+// storage format implements; all solvers operate through it. See
+// core.ProtectedMatrix for the contract.
+type ProtectedMatrix = core.ProtectedMatrix
+
+// Format names a protected sparse storage format.
+type Format = op.Format
+
+// Storage formats.
+const (
+	// FormatCSR is compressed sparse row, the paper's primary format.
+	FormatCSR = op.CSR
+	// FormatCOO is coordinate (triplet) format.
+	FormatCOO = op.COO
+	// FormatSELLCS is SELL-C-sigma (sliced ELLPACK).
+	FormatSELLCS = op.SELLCS
+)
+
+// Formats lists every storage format.
+var Formats = op.Formats
+
+// ParseFormat converts a format name ("csr", "coo", "sellcs") to a Format.
+func ParseFormat(s string) (Format, error) { return op.ParseFormat(s) }
+
+// FormatOptions configures protection for any storage format.
+type FormatOptions = op.Config
+
+// NewProtectedMatrix builds a protected matrix of the given storage
+// format from an unprotected CSR source; the result is used through the
+// ProtectedMatrix interface and can be handed to any solver.
+func NewProtectedMatrix(f Format, src *CSRMatrix, opt FormatOptions) (ProtectedMatrix, error) {
+	return op.New(f, src, opt)
+}
+
 // Matrix is an ABFT-protected CSR sparse matrix.
 type Matrix = core.Matrix
 
@@ -73,6 +109,18 @@ type COOOptions = coo.Options
 // NewCOOMatrix builds a protected coordinate-format copy of a CSR matrix.
 func NewCOOMatrix(src *CSRMatrix, opt COOOptions) (*COOMatrix, error) {
 	return coo.NewMatrix(src, opt)
+}
+
+// SELLMatrix is an ABFT-protected SELL-C-sigma (sliced ELLPACK) sparse
+// matrix, the third storage format behind the shared Operator API.
+type SELLMatrix = sell.Matrix
+
+// SELLOptions configures SELL-C-sigma protection.
+type SELLOptions = sell.Options
+
+// NewSELLMatrix builds a protected SELL-C-sigma copy of a CSR matrix.
+func NewSELLMatrix(src *CSRMatrix, opt SELLOptions) (*SELLMatrix, error) {
+	return sell.NewMatrix(src, opt)
 }
 
 // CSRMatrix is the unprotected compressed-sparse-row substrate.
@@ -138,23 +186,28 @@ type SolveOptions = solvers.Options
 // SolveResult reports a solve outcome.
 type SolveResult = solvers.Result
 
-// SolveCG solves m x = b by conjugate gradients, the paper's solver.
-func SolveCG(m *Matrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
+// SolveCG solves m x = b by conjugate gradients, the paper's solver. m is
+// a protected matrix of any storage format (CSR, COO, SELL-C-sigma); a
+// *Matrix built with NewMatrix works unchanged.
+func SolveCG(m ProtectedMatrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
 	return solvers.CG(solvers.MatrixOperator{M: m, Workers: opt.Workers}, x, b, opt)
 }
 
-// SolveJacobi solves m x = b with the Jacobi iteration.
-func SolveJacobi(m *Matrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
+// SolveJacobi solves m x = b with the Jacobi iteration; m is a protected
+// matrix of any storage format.
+func SolveJacobi(m ProtectedMatrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
 	return solvers.Jacobi(solvers.MatrixOperator{M: m, Workers: opt.Workers}, x, b, opt)
 }
 
-// SolveChebyshev solves m x = b with the Chebyshev semi-iteration.
-func SolveChebyshev(m *Matrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
+// SolveChebyshev solves m x = b with the Chebyshev semi-iteration; m is a
+// protected matrix of any storage format.
+func SolveChebyshev(m ProtectedMatrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
 	return solvers.Chebyshev(solvers.MatrixOperator{M: m, Workers: opt.Workers}, x, b, opt)
 }
 
-// SolvePPCG solves m x = b with polynomially preconditioned CG.
-func SolvePPCG(m *Matrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
+// SolvePPCG solves m x = b with polynomially preconditioned CG; m is a
+// protected matrix of any storage format.
+func SolvePPCG(m ProtectedMatrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
 	return solvers.PPCG(solvers.MatrixOperator{M: m, Workers: opt.Workers}, x, b, opt)
 }
 

@@ -76,7 +76,7 @@ func TestFacadeSolverVariants(t *testing.T) {
 	}
 	opt := abft.SolveOptions{Tol: 1e-8, MaxIter: 50000, EigenIters: 12}
 
-	for name, solve := range map[string]func(*abft.Matrix, *abft.Vector, *abft.Vector, abft.SolveOptions) (abft.SolveResult, error){
+	for name, solve := range map[string]func(abft.ProtectedMatrix, *abft.Vector, *abft.Vector, abft.SolveOptions) (abft.SolveResult, error){
 		"cg":        abft.SolveCG,
 		"jacobi":    abft.SolveJacobi,
 		"chebyshev": abft.SolveChebyshev,
@@ -133,6 +133,61 @@ func TestFacadeCRCBackends(t *testing.T) {
 		}
 		if _, err := m.CheckAll(); err != nil {
 			t.Fatalf("backend %v: %v", backend, err)
+		}
+	}
+}
+
+func TestFacadeSolversAcrossFormats(t *testing.T) {
+	// Every solver must run unmodified over every storage format through
+	// the shared ProtectedMatrix interface, converging to the same answer.
+	plain := abft.Laplacian2D(8, 8)
+	bs := make([]float64, plain.Rows())
+	for i := range bs {
+		bs[i] = float64(i%5) - 2
+	}
+	opt := abft.SolveOptions{Tol: 1e-8, MaxIter: 50000, EigenIters: 12}
+	solvers := map[string]func(abft.ProtectedMatrix, *abft.Vector, *abft.Vector, abft.SolveOptions) (abft.SolveResult, error){
+		"cg":        abft.SolveCG,
+		"jacobi":    abft.SolveJacobi,
+		"chebyshev": abft.SolveChebyshev,
+		"ppcg":      abft.SolvePPCG,
+	}
+	for name, solve := range solvers {
+		var iters []int
+		for _, f := range abft.Formats {
+			m, err := abft.NewProtectedMatrix(f, plain, abft.FormatOptions{
+				Scheme:       abft.SECDED64,
+				RowPtrScheme: abft.SECDED64,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, f, err)
+			}
+			// A flipped bit anywhere must not disturb the solve.
+			m.RawVals()[7] = math.Float64frombits(math.Float64bits(m.RawVals()[7]) ^ 1<<35)
+			b := abft.VectorFromSlice(bs, abft.SECDED64)
+			x := abft.NewVector(m.Rows(), abft.SECDED64)
+			res, err := solve(m, x, b, opt)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, f, err)
+			}
+			if !res.Converged {
+				t.Fatalf("%s/%v did not converge", name, f)
+			}
+			iters = append(iters, res.Iterations)
+		}
+		for _, it := range iters[1:] {
+			if it != iters[0] {
+				t.Fatalf("%s: iteration counts diverge across formats: %v", name, iters)
+			}
+		}
+	}
+}
+
+func TestFacadeFormatRoundTrip(t *testing.T) {
+	for _, f := range abft.Formats {
+		got, err := abft.ParseFormat(f.String())
+		if err != nil || got != f {
+			t.Fatalf("round trip %v: %v %v", f, got, err)
 		}
 	}
 }

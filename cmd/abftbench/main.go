@@ -30,7 +30,7 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,all")
 		nx      = flag.Int("nx", 128, "grid cells per side (paper: 2048)")
 		steps   = flag.Int("steps", 2, "timesteps per run (paper: 5)")
 		runs    = flag.Int("runs", 3, "repetitions averaged (paper: 5)")
@@ -113,6 +113,13 @@ func run() error {
 		bench.PrintRows(out, "Full protection (section VII-B)", []bench.Row{row})
 		fmt.Fprintf(out, "paper reference: %.1f%% hardware-ECC overhead (NVIDIA K40), %.0f%% software target\n\n",
 			bench.HardwareECCTargetPct, 11.0)
+	}
+	if all || want["formats"] {
+		rows, err := bench.FormatComparison(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintRows(out, "Storage formats: element protection overhead per format", rows)
 	}
 	if all || want["conv"] {
 		rows, err := bench.Convergence(opt)

@@ -1,12 +1,15 @@
 // Command faultinject runs fault-injection campaigns against the ABFT
-// schemes and prints the outcome distribution per scheme, structure and
-// flip count — the experimental verification of the paper's section IV
-// capability claims (SECDED corrects 1 and detects 2 flips per codeword;
-// CRC32C detects up to 5 at Hamming distance 6 and corrects 1-2).
+// schemes and prints the outcome distribution per storage format, scheme,
+// structure and flip count — the experimental verification of the paper's
+// section IV capability claims (SECDED corrects 1 and detects 2 flips per
+// codeword; CRC32C detects up to 5 at Hamming distance 6 and corrects
+// 1-2), extended across the protected-operator layer's formats.
 //
 // Usage:
 //
-//	faultinject                             # the full capability matrix
+//	faultinject                             # the full capability matrix (CSR)
+//	faultinject -format coo                 # inject into COO storage
+//	faultinject -format all                 # sweep csr, coo and sellcs
 //	faultinject -scheme crc32c -bits 5 -trials 1000
 //	faultinject -structure vector -scatter
 package main
@@ -19,6 +22,7 @@ import (
 
 	"abft/internal/core"
 	"abft/internal/faults"
+	"abft/internal/op"
 )
 
 func main() {
@@ -28,8 +32,29 @@ func main() {
 	}
 }
 
+func parseFormats(s string) ([]op.Format, error) {
+	if s == "all" {
+		return op.Formats, nil
+	}
+	var out []op.Format
+	for _, name := range strings.Split(s, ",") {
+		f, err := op.ParseFormat(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// tally accumulates per-format outcome totals for the summary.
+type tally struct {
+	benign, corrected, detected, sdc int
+}
+
 func run() error {
 	var (
+		format    = flag.String("format", "csr", "matrix storage formats: csr, coo, sellcs, all, or a comma list")
 		scheme    = flag.String("scheme", "", "restrict to one scheme (sed, secded64, secded128, crc32c)")
 		structure = flag.String("structure", "", "restrict to one structure (vector, elements, rowptr)")
 		bits      = flag.Int("bits", 0, "restrict to one flip count (default sweep 1..5)")
@@ -40,6 +65,10 @@ func run() error {
 	)
 	flag.Parse()
 
+	formats, err := parseFormats(*format)
+	if err != nil {
+		return err
+	}
 	schemes := core.ProtectingSchemes
 	if *scheme != "" {
 		s, err := core.ParseScheme(*scheme)
@@ -72,32 +101,79 @@ func run() error {
 	}
 	fmt.Printf("fault injection: %d trials per configuration, %s flips, size %d\n\n",
 		*trials, mode, *size)
-	header := fmt.Sprintf("%-11s %-10s %5s %9s %10s %10s %8s %8s",
-		"scheme", "structure", "flips", "benign", "corrected", "detected", "sdc", "sdc rate")
+	header := fmt.Sprintf("%-7s %-11s %-10s %5s %9s %10s %10s %8s %8s",
+		"format", "scheme", "structure", "flips", "benign", "corrected", "detected", "sdc", "sdc rate")
 	fmt.Println(header)
 	fmt.Println(strings.Repeat("-", len(header)))
 
+	tallies := map[op.Format]*tally{}
 	for _, st := range structures {
-		for _, s := range schemes {
-			for _, b := range bitCounts {
-				res, err := faults.Run(faults.CampaignConfig{
-					Scheme:       s,
-					Structure:    st,
-					Bits:         b,
-					Trials:       *trials,
-					Seed:         *seed,
-					SameCodeword: !*scatter,
-					Size:         *size,
-				})
-				if err != nil {
-					return err
+		for _, f := range formats {
+			if st == core.StructVector && f != formats[0] {
+				continue // vectors have no storage format; run once
+			}
+			if st == core.StructRowPtr && f == op.SELLCS {
+				fmt.Printf("%-7s %-11s %-10s        (skipped: sell-c-sigma has no protected auxiliary structure)\n",
+					f, "-", st)
+				continue
+			}
+			fname := f.String()
+			if st == core.StructVector {
+				fname = "-"
+			}
+			for _, s := range schemes {
+				for _, b := range bitCounts {
+					res, err := faults.Run(faults.CampaignConfig{
+						Scheme:       s,
+						Structure:    st,
+						Format:       f,
+						Bits:         b,
+						Trials:       *trials,
+						Seed:         *seed,
+						SameCodeword: !*scatter,
+						Size:         *size,
+					})
+					if err != nil {
+						return err
+					}
+					if st != core.StructVector {
+						tl := tallies[f]
+						if tl == nil {
+							tl = &tally{}
+							tallies[f] = tl
+						}
+						tl.benign += res.Benign
+						tl.corrected += res.Corrected
+						tl.detected += res.Detected
+						tl.sdc += res.SDC
+					}
+					fmt.Printf("%-7s %-11s %-10s %5d %9d %10d %10d %8d %7.1f%%\n",
+						fname, s, st, b, res.Benign, res.Corrected, res.Detected, res.SDC,
+						100*res.Rate(faults.SDC))
 				}
-				fmt.Printf("%-11s %-10s %5d %9d %10d %10d %8d %7.1f%%\n",
-					s, st, b, res.Benign, res.Corrected, res.Detected, res.SDC,
-					100*res.Rate(faults.SDC))
 			}
 		}
 	}
+
+	if len(tallies) > 0 {
+		fmt.Println("\nper-format matrix campaign totals:")
+		fmt.Printf("%-7s %9s %10s %10s %8s %16s\n",
+			"format", "benign", "corrected", "detected", "sdc", "handled rate")
+		for _, f := range formats {
+			tl := tallies[f]
+			if tl == nil {
+				continue
+			}
+			total := tl.benign + tl.corrected + tl.detected + tl.sdc
+			handled := 0.0
+			if total > 0 {
+				handled = 100 * float64(tl.corrected+tl.detected) / float64(total)
+			}
+			fmt.Printf("%-7s %9d %10d %10d %8d %15.1f%%\n",
+				f, tl.benign, tl.corrected, tl.detected, tl.sdc, handled)
+		}
+	}
+
 	fmt.Println("\npaper section IV expectations (flips within one codeword):")
 	fmt.Println("  sed:       detects odd flip counts, corrects none, misses even counts")
 	fmt.Println("  secded:    corrects 1, detects 2; 3+ may mis-correct")

@@ -21,6 +21,7 @@ import (
 
 	"abft/internal/core"
 	"abft/internal/ecc"
+	"abft/internal/op"
 	"abft/internal/solvers"
 	"abft/internal/tealeaf"
 )
@@ -40,7 +41,8 @@ func run() error {
 		solver   = flag.String("solver", "", "solver: cg, jacobi, chebyshev, ppcg")
 		eps      = flag.Float64("eps", 0, "solver tolerance")
 		relative = flag.Bool("relative", false, "measure tolerance against the initial residual")
-		elems    = flag.String("elements", "", "CSR element protection: none, sed, secded64, secded128, crc32c")
+		format   = flag.String("format", "", "matrix storage format: csr, coo, sellcs")
+		elems    = flag.String("elements", "", "matrix element protection: none, sed, secded64, secded128, crc32c")
 		rowptr   = flag.String("rowptr", "", "row-pointer protection scheme")
 		vectors  = flag.String("vectors", "", "dense vector protection scheme")
 		interval = flag.Int("interval", 0, "full matrix checks every n-th sweep")
@@ -79,6 +81,13 @@ func run() error {
 		cfg.Eps = *eps
 	}
 	cfg.RelativeTol = cfg.RelativeTol || *relative
+	if *format != "" {
+		f, err := op.ParseFormat(*format)
+		if err != nil {
+			return err
+		}
+		cfg.Format = f
+	}
 	if err := setScheme(*elems, &cfg.ElemScheme); err != nil {
 		return err
 	}
@@ -108,8 +117,8 @@ func run() error {
 	fmt.Printf("TeaLeaf (ABFT reproduction)\n")
 	fmt.Printf("  grid %dx%d, %d steps, dt %g, solver %v\n",
 		cfg.NX, cfg.NY, cfg.EndStep, cfg.DtInit, cfg.Solver)
-	fmt.Printf("  protection: elements=%v rowptr=%v vectors=%v interval=%d crc=%v workers=%d\n",
-		cfg.ElemScheme, cfg.RowPtrScheme, cfg.VectorScheme, cfg.CheckInterval,
+	fmt.Printf("  protection: format=%v elements=%v rowptr=%v vectors=%v interval=%d crc=%v workers=%d\n",
+		cfg.Format, cfg.ElemScheme, cfg.RowPtrScheme, cfg.VectorScheme, cfg.CheckInterval,
 		cfg.CRCBackend, cfg.Workers)
 
 	sim, err := tealeaf.New(cfg)

@@ -2,16 +2,24 @@
 // tolerance techniques of Pawelczak, McIntosh-Smith, Price and Martineau,
 // "Application-Based Fault Tolerance Techniques for Fully Protecting
 // Sparse Matrix Solvers" (IEEE CLUSTER 2017): software ECC — parity,
-// SECDED Hamming codes and CRC32C — embedded into the unused bits of a CSR
-// sparse matrix and the mantissa tails of dense float64 vectors, so that
-// every data structure of an iterative sparse solver is protected against
-// memory bit flips with zero storage overhead.
+// SECDED Hamming codes and CRC32C — embedded into the unused bits of
+// sparse-matrix index structures and the mantissa tails of dense float64
+// vectors, so that every data structure of an iterative sparse solver is
+// protected against memory bit flips with zero storage overhead.
+//
+// Three protected storage formats — CSR, COO and SELL-C-sigma — sit
+// behind the format-agnostic ProtectedMatrix interface; every solver,
+// fault campaign and benchmark operates through it.
 //
 // The package is a facade over the implementation packages:
 //
 //   - internal/ecc      — the error detecting and correcting codes
-//   - internal/core     — protected matrices, vectors and solver kernels
+//   - internal/core     — protected CSR matrix, vectors, kernels and the
+//     ProtectedMatrix interface
 //   - internal/csr      — the unprotected CSR substrate
+//   - internal/coo      — the protected coordinate format
+//   - internal/sell     — the protected SELL-C-sigma format
+//   - internal/op       — the storage-format registry
 //   - internal/solvers  — CG, Jacobi, Chebyshev and PPCG
 //   - internal/tealeaf  — the TeaLeaf heat-conduction mini-app workload
 //   - internal/faults   — fault injection and outcome classification

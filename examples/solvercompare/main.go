@@ -1,8 +1,10 @@
 // Solvercompare: the four TeaLeaf solvers (CG, Jacobi, Chebyshev, PPCG)
-// running on the same fully protected system. The paper instruments CG but
-// notes the ABFT techniques apply to any solver with the same data access
-// pattern; this example shows all four converging through the protected
-// kernels, with their iteration counts and ABFT check totals side by side.
+// running on the same fully protected system, then CG running over every
+// protected storage format (CSR, COO, SELL-C-sigma) through the shared
+// ProtectedMatrix interface. The paper instruments CG on CSR but notes
+// the ABFT techniques apply to any solver with the same data access
+// pattern; the format table shows they also apply to any storage layout
+// behind the format-agnostic operator layer.
 //
 //	go run ./examples/solvercompare
 package main
@@ -64,4 +66,32 @@ func main() {
 	fmt.Println("\nPPCG trades extra SpMVs per iteration for far fewer iterations and dot")
 	fmt.Println("products; Jacobi shows why Krylov methods dominate — every kernel of every")
 	fmt.Println("solver ran through the same integrity-checked ABFT code paths")
+
+	fmt.Printf("\nCG across storage formats (same system, same SECDED64 protection)\n\n")
+	fmt.Printf("%-8s %10s %12s %14s %12s\n", "format", "iters", "residual", "time", "checks")
+	for _, f := range abft.Formats {
+		m, err := abft.NewProtectedMatrix(f, plain, abft.FormatOptions{
+			Scheme:       abft.SECDED64,
+			RowPtrScheme: abft.SECDED64,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var c abft.Counters
+		m.SetCounters(&c)
+		b := abft.VectorFromSlice(bs, abft.SECDED64)
+		b.SetCounters(&c)
+		x := abft.NewVector(n, abft.SECDED64)
+		x.SetCounters(&c)
+		start := time.Now()
+		res, err := abft.SolveCG(m, x, b, abft.SolveOptions{Tol: 1e-9, MaxIter: 200000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8v %10d %12.2e %14v %12d\n",
+			f, res.Iterations, res.ResidualNorm,
+			time.Since(start).Round(time.Microsecond), c.Checks())
+	}
+	fmt.Println("\nidentical iteration counts across formats: the operator layer changes the")
+	fmt.Println("storage walk and the embedded-ECC layout, never the arithmetic")
 }

@@ -1,0 +1,3 @@
+module abft
+
+go 1.24

@@ -17,6 +17,7 @@ import (
 
 	"abft/internal/core"
 	"abft/internal/ecc"
+	"abft/internal/op"
 	"abft/internal/tealeaf"
 )
 
@@ -74,6 +75,7 @@ func (o Options) logf(format string, args ...any) {
 
 // protection names one full ABFT configuration of the workload.
 type protection struct {
+	format            op.Format
 	elem, rowptr, vec core.Scheme
 	interval          int
 	backend           ecc.Backend
@@ -88,6 +90,7 @@ func (o Options) workloadConfig(p protection) tealeaf.Config {
 	cfg.RelativeTol = true
 	cfg.MaxIters = 100000
 	cfg.Workers = o.Workers
+	cfg.Format = p.format
 	cfg.ElemScheme = p.elem
 	cfg.RowPtrScheme = p.rowptr
 	cfg.VectorScheme = p.vec
@@ -279,3 +282,36 @@ func FullProtection(opt Options) (Row, error) {
 // HardwareECCTargetPct is the paper's measured hardware-ECC overhead for
 // TeaLeaf on the NVIDIA K40 (the comparison target for FullProtection).
 const HardwareECCTargetPct = 8.1
+
+// FormatComparison extends the scheme-overhead experiment along the
+// storage-format axis of the protected-operator layer: the TeaLeaf CG
+// workload runs once unprotected and once per element scheme for every
+// registered format (CSR, COO, SELL-C-sigma), each measured against its
+// own unprotected baseline so the overhead isolates the ABFT cost from
+// the format's intrinsic SpMV cost.
+func FormatComparison(opt Options) ([]Row, error) {
+	o := opt.withDefaults()
+	var rows []Row
+	for _, f := range op.Formats {
+		base, err := o.measure(protection{format: f})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %v baseline: %w", f, err)
+		}
+		o.logf("%v baseline: %v", f, base)
+		for _, v := range []schemeVariant{
+			{"sed", core.SED, ecc.Hardware},
+			{"secded64", core.SECDED64, ecc.Hardware},
+			{"crc32c", core.CRC32C, ecc.Hardware},
+		} {
+			d, err := o.measure(protection{format: f, elem: v.scheme, backend: v.backend})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %v/%s: %w", f, v.label, err)
+			}
+			label := fmt.Sprintf("%v/%s", f, v.label)
+			o.logf("%-18s %v", label, d)
+			rows = append(rows, Row{Label: label, Base: base, Protected: d,
+				OverheadPct: overhead(base, d)})
+		}
+	}
+	return rows, nil
+}

@@ -31,6 +31,7 @@ import (
 	"abft/internal/core"
 	"abft/internal/csr"
 	"abft/internal/ecc"
+	"abft/internal/par"
 )
 
 // Codecs for the embedded layouts. The 128-bit element codeword is
@@ -396,25 +397,126 @@ func (m *Matrix) CheckAll() (corrected int, err error) {
 	return int(m.counters.Corrected() - before), err
 }
 
-// SpMV computes dst = m * x with full integrity checking: every element
+// groupSize returns the number of entries per element codeword, the
+// alignment parallel entry ranges must respect so no two workers ever
+// touch the same codeword.
+func (m *Matrix) groupSize() int {
+	switch m.scheme {
+	case core.SECDED128:
+		return 2
+	case core.CRC32C:
+		return crcGroup
+	default:
+		return 1
+	}
+}
+
+// SpMV computes dst = m * x serially; a convenience wrapper around Apply.
+func (m *Matrix) SpMV(dst *core.Vector, x *core.Vector) error {
+	return m.Apply(dst, x, 1)
+}
+
+// Apply computes dst = m * x with full integrity checking: every element
 // codeword is verified before use, indices are range-checked, and the
 // result is committed to the protected output block-wise through a dense
-// accumulator (COO scatter cannot stream output codewords directly).
-func (m *Matrix) SpMV(dst *core.Vector, x *core.Vector) error {
+// accumulator (COO scatter cannot stream output codewords directly; this
+// is the buffered-write strategy of paper section VI-C applied to a
+// scatter pattern). Workers above 1 split the entry stream into
+// codeword-aligned ranges, scatter into per-worker accumulators, and
+// reduce block-wise — each codeword and each output block has exactly one
+// owner, so the parallel path is race-free and bit-identical to serial.
+func (m *Matrix) Apply(dst *core.Vector, x *core.Vector, workers int) error {
 	if dst.Len() != m.rows || x.Len() != m.cols {
 		return fmt.Errorf("coo: SpMV dimension mismatch: dst %d, m %dx%d, x %d",
 			dst.Len(), m.rows, m.cols, x.Len())
 	}
-	acc := make([]float64, m.rows)
-	mask := m.idxMask()
-	var checks uint64
-	defer func() { m.counters.AddChecks(checks) }()
-
 	xbuf := make([]float64, m.cols)
 	if err := x.CopyTo(xbuf); err != nil {
 		return err
 	}
-	for k := 0; k < len(m.vals); k++ {
+	ranges := m.entryRanges(workers)
+	if len(ranges) <= 1 {
+		acc := make([]float64, m.rows)
+		if err := m.scatterRange(acc, xbuf, 0, len(m.vals)); err != nil {
+			return err
+		}
+		return commitAcc(dst, acc, m.rows)
+	}
+	accs := make([][]float64, len(ranges))
+	byLo := make(map[int][]float64, len(ranges))
+	for i, r := range ranges {
+		accs[i] = make([]float64, m.rows)
+		byLo[r[0]] = accs[i]
+	}
+	err := par.Run(ranges, func(lo, hi int) error {
+		return m.scatterRange(byLo[lo], xbuf, lo, hi)
+	})
+	if err != nil {
+		return err
+	}
+	// Reduce the per-worker accumulators block-wise. Ranges are row-aligned,
+	// so every row was summed left-to-right inside exactly one accumulator
+	// and the result is bit-identical for any worker count.
+	return par.ForEach((m.rows+3)/4, workers, 1, func(blo, bhi int) error {
+		var out [4]float64
+		for blk := blo; blk < bhi; blk++ {
+			for i := 0; i < 4; i++ {
+				out[i] = 0
+				if idx := blk*4 + i; idx < m.rows {
+					for _, acc := range accs {
+						out[i] += acc[idx]
+					}
+				}
+			}
+			dst.WriteBlock(blk, &out)
+		}
+		return nil
+	})
+}
+
+// entryRanges splits the entry stream into at most workers contiguous
+// ranges whose interior boundaries respect both codeword-group alignment
+// (no two workers share a codeword, so corrections can be committed) and
+// row boundaries (each row is summed by one worker, so parallel results
+// are bit-identical to serial).
+func (m *Matrix) entryRanges(workers int) [][2]int {
+	g := m.groupSize()
+	raw := par.Ranges(len(m.vals), workers, g)
+	if len(raw) <= 1 {
+		return raw
+	}
+	mask := m.idxMask()
+	var out [][2]int
+	lo := 0
+	for _, r := range raw[:len(raw)-1] {
+		hi := r[1]
+		// Advance the boundary in group steps until it also lands on a
+		// row change (group padding at the stream tail has row index 0,
+		// which differs from the last real rows, terminating the walk).
+		for hi < len(m.vals) && m.rowIdx[hi-1]&mask == m.rowIdx[hi]&mask {
+			hi += g
+			if hi > len(m.vals) {
+				hi = len(m.vals)
+			}
+		}
+		if hi > lo {
+			out = append(out, [2]int{lo, hi})
+		}
+		lo = hi
+		if lo >= len(m.vals) {
+			return out
+		}
+	}
+	return append(out, [2]int{lo, len(m.vals)})
+}
+
+// scatterRange verifies and scatters entries [lo,hi) into acc. Ranges are
+// codeword-aligned, so corrections may always be committed to storage.
+func (m *Matrix) scatterRange(acc, xbuf []float64, lo, hi int) error {
+	mask := m.idxMask()
+	var checks uint64
+	defer func() { m.counters.AddChecks(checks) }()
+	for k := lo; k < hi; k++ {
 		switch m.scheme {
 		case core.SED:
 			checks++
@@ -457,10 +559,16 @@ func (m *Matrix) SpMV(dst *core.Vector, x *core.Vector) error {
 		}
 		acc[row] += m.vals[k] * xbuf[col]
 	}
+	return nil
+}
+
+// commitAcc writes a dense accumulator into the protected output vector
+// one codeword block at a time.
+func commitAcc(dst *core.Vector, acc []float64, n int) error {
 	var out [4]float64
-	for blk := 0; blk*4 < m.rows; blk++ {
+	for blk := 0; blk*4 < n; blk++ {
 		for i := 0; i < 4; i++ {
-			if idx := blk*4 + i; idx < m.rows {
+			if idx := blk*4 + i; idx < n {
 				out[i] = acc[idx]
 			} else {
 				out[i] = 0
@@ -470,6 +578,42 @@ func (m *Matrix) SpMV(dst *core.Vector, x *core.Vector) error {
 	}
 	return nil
 }
+
+// Diagonal extracts the main diagonal into dst (length >= Rows), fully
+// verifying every codeword on the way. Used to build Jacobi
+// preconditioners.
+func (m *Matrix) Diagonal(dst []float64) error {
+	if len(dst) < m.rows {
+		return fmt.Errorf("coo: Diagonal destination too short")
+	}
+	plain, err := m.ToCSR()
+	if err != nil {
+		return err
+	}
+	plain.Diagonal(dst)
+	return nil
+}
+
+// Scrub verifies and repairs every codeword, satisfying
+// core.ProtectedMatrix; it is CheckAll under the interface's name.
+func (m *Matrix) Scrub() (corrected int, err error) { return m.CheckAll() }
+
+// ElemCodewordSpan reports the positions of one randomly chosen element
+// codeword, satisfying core.ElemSpanner: single triplets under
+// SED/SECDED64, consecutive pairs under SECDED128, 8-entry groups under
+// CRC32C.
+func (m *Matrix) ElemCodewordSpan(pick func(n int) int) (base, span, stride int) {
+	switch m.scheme {
+	case core.SECDED128:
+		return pick(len(m.vals)/2) * 2, 2, 1
+	case core.CRC32C:
+		return pick(len(m.vals)/crcGroup) * crcGroup, crcGroup, 1
+	}
+	return pick(len(m.vals)), 1, 1
+}
+
+// CounterSnapshot returns a copy of the attached counters.
+func (m *Matrix) CounterSnapshot() core.CounterSnapshot { return m.counters.Snapshot() }
 
 // ToCSR decodes and verifies the matrix back into CSR form.
 func (m *Matrix) ToCSR() (*csr.Matrix, error) {

@@ -1,0 +1,89 @@
+package core
+
+// ProtectedMatrix is the format-agnostic contract every ABFT-protected
+// sparse matrix implementation satisfies: CSR (this package), coordinate
+// format (internal/coo) and SELL-C-sigma (internal/sell). Solvers, fault
+// campaigns and benchmarks depend on this interface only, never on a
+// concrete storage layout — the "opaque operator" framing of
+// Elliott/Hoemmen/Mueller applied to the paper's embedded-ECC matrices.
+//
+// Implementations embed their redundancy in otherwise-unused bits of their
+// own storage (zero overhead), verify the codewords they stream through
+// during Apply, and repair what their scheme can correct.
+type ProtectedMatrix interface {
+	// Rows returns the number of rows.
+	Rows() int
+	// Cols returns the number of columns.
+	Cols() int
+	// NNZ returns the number of stored entries (including any padding a
+	// scheme's structural constraints required).
+	NNZ() int
+	// Scheme returns the element protection scheme.
+	Scheme() Scheme
+	// Apply computes dst = A x with integrity checking, using up to
+	// workers goroutines (values below 2 run serially).
+	Apply(dst, x *Vector, workers int) error
+	// Diagonal extracts the fully verified main diagonal into dst
+	// (length >= Rows), for building Jacobi preconditioners.
+	Diagonal(dst []float64) error
+	// Scrub verifies and repairs every codeword of the matrix — the
+	// end-of-timestep patrol sweep of paper section VI-A-2. It returns
+	// the number of corrections and the first uncorrectable error,
+	// continuing past errors so the full damage is counted.
+	Scrub() (corrected int, err error)
+	// SetCounters attaches a statistics accumulator (shared or nil).
+	SetCounters(*Counters)
+	// CounterSnapshot returns a point-in-time copy of the attached
+	// counters (zeros when none are attached).
+	CounterSnapshot() CounterSnapshot
+	// RawVals exposes the stored values for fault injection.
+	RawVals() []float64
+	// RawCols exposes the stored column indices (data + embedded ECC)
+	// for fault injection.
+	RawCols() []uint32
+}
+
+// ElemSpanner is an optional capability of ProtectedMatrix
+// implementations: it exposes the format's element-codeword geometry to
+// fault injectors, which need to confine flips to a single codeword when
+// measuring per-codeword capability (the paper's nECmED budget). pick is
+// the caller's uniform random chooser over [0, n). The codeword covers
+// storage positions base, base+stride, ..., base+(span-1)*stride of the
+// value and column arrays. All formats in this repository implement it.
+type ElemSpanner interface {
+	ElemCodewordSpan(pick func(n int) int) (base, span, stride int)
+}
+
+// ElemCodewordSpan reports the positions of one randomly chosen element
+// codeword, satisfying ElemSpanner: single entries under SED/SECDED64,
+// consecutive pairs under SECDED128, a whole matrix row under CRC32C.
+func (m *Matrix) ElemCodewordSpan(pick func(n int) int) (base, span, stride int) {
+	switch m.elemScheme {
+	case SECDED128:
+		return pick(len(m.colIdx)/2) * 2, 2, 1
+	case CRC32C:
+		r := pick(m.rows)
+		lo, hi, err := m.RowRange(r)
+		if err == nil && hi > lo {
+			return lo, hi - lo, 1
+		}
+	}
+	return pick(len(m.colIdx)), 1, 1
+}
+
+// Scheme returns the element protection scheme, satisfying
+// ProtectedMatrix. The row-pointer vector may carry a different scheme;
+// see RowPtrScheme.
+func (m *Matrix) Scheme() Scheme { return m.elemScheme }
+
+// Apply computes dst = m x, satisfying ProtectedMatrix.
+func (m *Matrix) Apply(dst, x *Vector, workers int) error {
+	return SpMVOpts(dst, m, x, SpMVOptions{Workers: workers})
+}
+
+// Scrub verifies and repairs every codeword, satisfying ProtectedMatrix;
+// it is CheckAll under the interface's name.
+func (m *Matrix) Scrub() (corrected int, err error) { return m.CheckAll() }
+
+// CounterSnapshot returns a copy of the attached counters.
+func (m *Matrix) CounterSnapshot() CounterSnapshot { return m.counters.Snapshot() }

@@ -8,6 +8,7 @@ import (
 	"abft/internal/core"
 	"abft/internal/csr"
 	"abft/internal/ecc"
+	"abft/internal/op"
 )
 
 func flipFloatBits(x float64, mask uint64) float64 {
@@ -21,6 +22,9 @@ type CampaignConfig struct {
 	Scheme core.Scheme
 	// Structure selects vectors, matrix elements or row pointers.
 	Structure core.Structure
+	// Format is the matrix storage format under test (matrix structures
+	// only; vector campaigns ignore it). The zero value is CSR.
+	Format op.Format
 	// Bits is the number of distinct flips per trial.
 	Bits int
 	// Trials is the number of repetitions.
@@ -74,8 +78,8 @@ func (r CampaignResult) Rate(o Outcome) float64 {
 }
 
 func (r CampaignResult) String() string {
-	return fmt.Sprintf("%s/%s bits=%d same-codeword=%v: benign=%d corrected=%d detected=%d sdc=%d",
-		r.Config.Scheme, r.Config.Structure, r.Config.Bits, r.Config.SameCodeword,
+	return fmt.Sprintf("%s/%s/%s bits=%d same-codeword=%v: benign=%d corrected=%d detected=%d sdc=%d",
+		r.Config.Format, r.Config.Scheme, r.Config.Structure, r.Config.Bits, r.Config.SameCodeword,
 		r.Benign, r.Corrected, r.Detected, r.SDC)
 }
 
@@ -167,21 +171,32 @@ func vectorTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
 	return Benign, nil
 }
 
-// matrixTrial corrupts a fresh protected matrix and classifies via a full
-// scrub plus decoded comparison.
+// decodable is the slice of ProtectedMatrix every format also implements:
+// decoding back to plain CSR for exact outcome classification.
+type decodable interface {
+	core.ProtectedMatrix
+	ToCSR() (*csr.Matrix, error)
+}
+
+// matrixTrial corrupts a fresh protected matrix of the configured storage
+// format and classifies via a full scrub plus decoded comparison.
 func matrixTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
 	side := cfg.Size
 	if side < 4 {
 		side = 4
 	}
 	plain := csr.Laplacian2D(side, side)
-	m, err := core.NewMatrix(plain, core.MatrixOptions{
-		ElemScheme:   cfg.Scheme,
+	pm, err := op.New(cfg.Format, plain, op.Config{
+		Scheme:       cfg.Scheme,
 		RowPtrScheme: cfg.Scheme,
 		Backend:      cfg.Backend,
 	})
 	if err != nil {
 		return 0, err
+	}
+	m, ok := pm.(decodable)
+	if !ok {
+		return 0, fmt.Errorf("faults: format %v does not decode to CSR", cfg.Format)
 	}
 	want, err := m.ToCSR()
 	if err != nil {
@@ -198,10 +213,14 @@ func matrixTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
 	} else {
 		target = TargetValues
 	}
-	for _, f := range in.RandomMatrixFlips(m, target, cfg.Bits, cfg.SameCodeword) {
+	flips := in.RandomMatrixFlips(m, target, cfg.Bits, cfg.SameCodeword)
+	if flips == nil {
+		return 0, fmt.Errorf("faults: format %v has no %v structure", cfg.Format, target)
+	}
+	for _, f := range flips {
 		FlipMatrixBit(m, target, f)
 	}
-	if _, err := m.CheckAll(); err != nil {
+	if _, err := m.Scrub(); err != nil {
 		return Detected, nil
 	}
 	got, err := m.ToCSR()

@@ -136,9 +136,27 @@ const (
 	TargetValues MatrixTarget = iota
 	// TargetCols flips bits in the stored column indices (data + ECC).
 	TargetCols
-	// TargetRowPtr flips bits in the stored row pointers (data + ECC).
+	// TargetRowPtr flips bits in the protected auxiliary index vector:
+	// the row pointers of a CSR matrix or the row indices of a COO
+	// matrix. SELL-C-sigma has no protected auxiliary structure (its
+	// slice metadata is trusted; see internal/sell), so this target is
+	// unavailable there.
 	TargetRowPtr
 )
+
+// auxWords returns the protected auxiliary index vector of a matrix, or
+// nil when the format has none. The optional interfaces match the raw
+// accessors of internal/core (RawRowPtr) and internal/coo (RawRows).
+func auxWords(m core.ProtectedMatrix) []uint32 {
+	switch a := m.(type) {
+	case interface{ RawRowPtr() []uint32 }:
+		return a.RawRowPtr()
+	case interface{ RawRows() []uint32 }:
+		return a.RawRows()
+	default:
+		return nil
+	}
+}
 
 func (t MatrixTarget) String() string {
 	switch t {
@@ -153,8 +171,10 @@ func (t MatrixTarget) String() string {
 	}
 }
 
-// FlipMatrixBit applies one flip to the chosen matrix structure.
-func FlipMatrixBit(m *core.Matrix, target MatrixTarget, f Flip) {
+// FlipMatrixBit applies one flip to the chosen structure of a protected
+// matrix of any storage format. TargetRowPtr is a no-op on formats
+// without a protected auxiliary structure.
+func FlipMatrixBit(m core.ProtectedMatrix, target MatrixTarget, f Flip) {
 	switch target {
 	case TargetValues:
 		v := m.RawVals()
@@ -162,7 +182,9 @@ func FlipMatrixBit(m *core.Matrix, target MatrixTarget, f Flip) {
 	case TargetCols:
 		m.RawCols()[f.Word] ^= 1 << uint(f.Bit)
 	case TargetRowPtr:
-		m.RawRowPtr()[f.Word] ^= 1 << uint(f.Bit)
+		if aux := auxWords(m); aux != nil {
+			aux[f.Word] ^= 1 << uint(f.Bit)
+		}
 	}
 }
 
@@ -170,11 +192,30 @@ func flipFloat(x float64, bit uint) float64 {
 	return flipFloatBits(x, 1<<bit)
 }
 
-// RandomMatrixFlips picks n distinct flips in the chosen structure. With
-// sameCodeword the flips stay within one ECC codeword (an element
-// codeword spans the value and index of its elements; a row-pointer
-// codeword spans its group of entries).
-func (in *Injector) RandomMatrixFlips(m *core.Matrix, target MatrixTarget, n int, sameCodeword bool) []Flip {
+// elemCodewordSpan picks a random element codeword and returns the entry
+// positions base, base+stride, ... (span positions) that belong to it,
+// delegating to the format's own geometry (core.ElemSpanner). A format
+// without the capability degrades to a scheme-generic span, which under
+// CRC32C cannot locate the multi-element codeword and confines flips to
+// a single word instead — every format in this repository implements
+// the capability, so the fallback only guards external implementations.
+func (in *Injector) elemCodewordSpan(m core.ProtectedMatrix, words int) (base, span, stride int) {
+	if sp, ok := m.(core.ElemSpanner); ok {
+		return sp.ElemCodewordSpan(in.rng.Intn)
+	}
+	switch m.Scheme() {
+	case core.SECDED128:
+		return in.rng.Intn(words/2) * 2, 2, 1
+	}
+	return in.rng.Intn(words), 1, 1
+}
+
+// RandomMatrixFlips picks n distinct flips in the chosen structure of a
+// protected matrix of any format. With sameCodeword the flips stay within
+// one ECC codeword (an element codeword spans the value and index of its
+// elements; a CSR row-pointer codeword spans its group of entries). It
+// returns nil when the target structure does not exist on the format.
+func (in *Injector) RandomMatrixFlips(m core.ProtectedMatrix, target MatrixTarget, n int, sameCodeword bool) []Flip {
 	bits := 64
 	var words int
 	switch target {
@@ -183,34 +224,25 @@ func (in *Injector) RandomMatrixFlips(m *core.Matrix, target MatrixTarget, n int
 	case TargetCols:
 		words, bits = len(m.RawCols()), 32
 	case TargetRowPtr:
-		words, bits = len(m.RawRowPtr()), 32
+		words, bits = len(auxWords(m)), 32
 	}
-	base, span := 0, words
+	if words == 0 {
+		return nil
+	}
+	base, span, stride := 0, words, 1
 	if sameCodeword {
-		switch target {
-		case TargetRowPtr:
-			g := m.RowPtrScheme().RowPtrGroup()
+		if c, ok := m.(*core.Matrix); ok && target == TargetRowPtr {
+			g := c.RowPtrScheme().RowPtrGroup()
 			base = in.rng.Intn(words/g) * g
 			span = g
-		default:
-			switch m.ElemScheme() {
-			case core.SECDED128:
-				base = in.rng.Intn(words/2) * 2
-				span = 2
-			case core.CRC32C:
-				r := in.rng.Intn(m.Rows())
-				lo, hi, err := m.RowRange(r)
-				if err == nil && hi > lo {
-					base, span = lo, hi-lo
-				}
-			default:
-				base = in.rng.Intn(words)
-				span = 1
-			}
+		} else {
+			// COO row indices share the element codeword layout, so the
+			// element span covers every non-CSR target.
+			base, span, stride = in.elemCodewordSpan(m, words)
 		}
 	}
 	return in.distinctFlips(n, func() Flip {
-		return Flip{Word: base + in.rng.Intn(span), Bit: in.rng.Intn(bits)}
+		return Flip{Word: base + in.rng.Intn(span)*stride, Bit: in.rng.Intn(bits)}
 	})
 }
 

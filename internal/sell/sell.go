@@ -1,0 +1,661 @@
+// Package sell implements ABFT protection for sparse matrices in the
+// SELL-C-sigma (sliced ELLPACK) format of Kreutzer et al., the
+// SIMD-friendly layout used by GPU and wide-vector SpMV kernels: rows are
+// sorted by descending length inside windows of sigma rows, grouped into
+// slices of C consecutive stored rows, and each slice is padded to its
+// widest row and laid out column-major, so all C lanes of a slice advance
+// in lockstep.
+//
+// The protection follows the CSR element conventions of internal/core
+// (paper Fig 1): an element is the 96-bit (value, column-index) pair and
+// the redundancy lives in the unused top bits of the 32-bit column index,
+// costing zero extra storage:
+//
+//	SED        parity over value^column in column bit 31; cols <= 2^31-1
+//	SECDED64   8 check bits in the column top byte; cols <= 2^24-1
+//	SECDED128  9 check bits across two consecutive stored elements
+//	           (slices hold a multiple of C=4 entries, so pairs always
+//	           align); cols <= 2^24-1
+//	CRC32C     one CRC32C per stored row, byte-wise in the top bytes of
+//	           the row's first four entries (slice widths are padded to
+//	           >= 4 under this scheme); cols <= 2^24-1
+//
+// The structural metadata — slice offsets, the row permutation and the
+// per-row lengths — is trusted: it is small, rebuildable from the source
+// matrix, and analogous to the loop bounds of a kernel rather than to the
+// streamed data the paper's schemes target. SpMV range-checks every
+// decoded column index against the matrix dimensions, so metadata-sized
+// corruption of the element stream still cannot fault the process.
+package sell
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"abft/internal/core"
+	"abft/internal/csr"
+	"abft/internal/ecc"
+	"abft/internal/par"
+)
+
+// C is the slice height (stored rows per slice). It equals the vector
+// codeword block of internal/core, so a slice's output rows always form
+// whole protected-vector blocks.
+const C = 4
+
+// DefaultSigma is the sorting-window size used when Options.Sigma is zero.
+const DefaultSigma = 32
+
+// Codecs for the embedded layouts, identical specs to the CSR element
+// codecs of internal/core (the codeword is [val(64) | col(32)] with check
+// bits in the column top byte).
+var (
+	codecElem64  = ecc.MustSECDED(96, []int{88, 89, 90, 91, 92, 93, 94, 95})
+	codecElem128 = ecc.MustSECDED(192, []int{88, 89, 90, 91, 92, 184, 185, 186, 187})
+)
+
+const (
+	sedColMask = 0x7FFF_FFFF
+	eccColMask = 0x00FF_FFFF
+)
+
+// Options configures SELL-C-sigma protection.
+type Options struct {
+	// Scheme protects the (value, column-index) element stream.
+	Scheme core.Scheme
+	// Backend selects the CRC32C implementation.
+	Backend ecc.Backend
+	// Sigma is the row-sorting window in rows; it is rounded up to a
+	// multiple of C and defaults to DefaultSigma. Larger windows reduce
+	// padding at the cost of a wider output scatter.
+	Sigma int
+}
+
+// Matrix is a sparse matrix in SELL-C-sigma format with embedded ECC.
+type Matrix struct {
+	scheme     core.Scheme
+	backend    ecc.Backend
+	rows, cols int
+	nnz        int // logical entries (excluding slice padding)
+	sigma      int
+
+	// Trusted structural metadata (see the package comment).
+	slicePtr []uint32 // entry offset of each slice, len slices+1
+	perm     []uint32 // stored row -> original row; padRow for dummy lanes
+	rowLen   []uint32 // real entries of each stored row
+	maxWidth int      // widest slice, sizes CRC scratch buffers
+
+	colIdx []uint32 // column indices + embedded ECC, column-major per slice
+	vals   []float64
+
+	counters *core.Counters
+}
+
+// padRow marks a dummy lane added to fill the last slice.
+const padRow = ^uint32(0)
+
+// NewMatrix builds a protected SELL-C-sigma copy of src.
+func NewMatrix(src *csr.Matrix, opt Options) (*Matrix, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	s := opt.Scheme
+	if src.Cols32() > s.MaxCols() {
+		return nil, fmt.Errorf("sell: %d columns exceed %s limit %d", src.Cols32(), s, s.MaxCols())
+	}
+	sigma := opt.Sigma
+	if sigma <= 0 {
+		sigma = DefaultSigma
+	}
+	sigma = (sigma + C - 1) / C * C
+
+	rows := src.Rows()
+	padded := (rows + C - 1) / C * C
+	m := &Matrix{
+		scheme:  s,
+		backend: opt.Backend,
+		rows:    rows,
+		cols:    src.Cols32(),
+		nnz:     src.NNZ(),
+		sigma:   sigma,
+		perm:    make([]uint32, padded),
+		rowLen:  make([]uint32, padded),
+	}
+	// Sort rows by descending length inside each sigma window; the stable
+	// tie-break keeps the permutation deterministic.
+	for sr := range m.perm {
+		if sr < rows {
+			m.perm[sr] = uint32(sr)
+		} else {
+			m.perm[sr] = padRow
+		}
+	}
+	rlen := func(r uint32) int { return int(src.RowPtr[r+1] - src.RowPtr[r]) }
+	for base := 0; base < rows; base += sigma {
+		hi := base + sigma
+		if hi > rows {
+			hi = rows
+		}
+		win := m.perm[base:hi]
+		sort.SliceStable(win, func(i, j int) bool { return rlen(win[i]) > rlen(win[j]) })
+	}
+	for sr, r := range m.perm {
+		if r != padRow {
+			m.rowLen[sr] = uint32(rlen(r))
+		}
+	}
+
+	// Size the slices: each is padded to its widest row, and under CRC32C
+	// to at least four entries so every lane can hold its checksum.
+	slices := padded / C
+	m.slicePtr = make([]uint32, slices+1)
+	for sl := 0; sl < slices; sl++ {
+		width := 0
+		for l := 0; l < C; l++ {
+			if n := int(m.rowLen[sl*C+l]); n > width {
+				width = n
+			}
+		}
+		if s == core.CRC32C && width < 4 {
+			width = 4
+		}
+		if width > m.maxWidth {
+			m.maxWidth = width
+		}
+		m.slicePtr[sl+1] = m.slicePtr[sl] + uint32(width*C)
+	}
+	total := int(m.slicePtr[slices])
+	m.colIdx = make([]uint32, total)
+	m.vals = make([]float64, total)
+
+	// Fill column-major per slice; padding entries are explicit zeros on
+	// a clamped diagonal column so SpMV adds 0*x[c] and nothing changes.
+	for sl := 0; sl < slices; sl++ {
+		width := m.sliceWidth(sl)
+		for l := 0; l < C; l++ {
+			sr := sl*C + l
+			r := m.perm[sr]
+			pad := uint32(0)
+			if r != padRow {
+				pad = r
+				if int(pad) >= m.cols {
+					pad = uint32(m.cols - 1)
+				}
+			}
+			for j := 0; j < width; j++ {
+				k := m.entryIndex(sl, l, j)
+				if r != padRow && j < int(m.rowLen[sr]) {
+					e := src.RowPtr[r] + uint32(j)
+					m.colIdx[k] = src.Cols[e]
+					m.vals[k] = src.Vals[e]
+				} else {
+					m.colIdx[k] = pad
+					m.vals[k] = 0
+				}
+			}
+		}
+	}
+	m.encodeAll()
+	return m, nil
+}
+
+// entryIndex returns the storage index of entry j of lane l in slice sl.
+func (m *Matrix) entryIndex(sl, l, j int) int {
+	return int(m.slicePtr[sl]) + j*C + l
+}
+
+// sliceWidth returns the padded entry count per lane of slice sl.
+func (m *Matrix) sliceWidth(sl int) int {
+	return int(m.slicePtr[sl+1]-m.slicePtr[sl]) / C
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NNZ returns the number of logical entries.
+func (m *Matrix) NNZ() int { return m.nnz }
+
+// Scheme returns the protection scheme.
+func (m *Matrix) Scheme() core.Scheme { return m.scheme }
+
+// Sigma returns the row-sorting window.
+func (m *Matrix) Sigma() int { return m.sigma }
+
+// Slices returns the number of C-row slices.
+func (m *Matrix) Slices() int { return len(m.slicePtr) - 1 }
+
+// StoredEntries returns the stored entry count including slice padding.
+func (m *Matrix) StoredEntries() int { return len(m.vals) }
+
+// SliceRange returns the half-open storage range [lo, hi) of slice sl.
+// Lane l of the slice occupies positions lo+l, lo+l+C, lo+l+2C, ...
+func (m *Matrix) SliceRange(sl int) (lo, hi int) {
+	return int(m.slicePtr[sl]), int(m.slicePtr[sl+1])
+}
+
+// SetCounters attaches a statistics accumulator.
+func (m *Matrix) SetCounters(c *core.Counters) { m.counters = c }
+
+// CounterSnapshot returns a copy of the attached counters.
+func (m *Matrix) CounterSnapshot() core.CounterSnapshot { return m.counters.Snapshot() }
+
+// RawVals exposes the stored values for fault injection.
+func (m *Matrix) RawVals() []float64 { return m.vals }
+
+// RawCols exposes the stored column indices (data + embedded ECC) for
+// fault injection.
+func (m *Matrix) RawCols() []uint32 { return m.colIdx }
+
+// colMask returns the AND-mask isolating the data bits of a column index.
+func (m *Matrix) colMask() uint32 {
+	switch m.scheme {
+	case core.None:
+		return 0xFFFF_FFFF
+	case core.SED:
+		return sedColMask
+	default:
+		return eccColMask
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+func (m *Matrix) encodeAll() {
+	switch m.scheme {
+	case core.None:
+	case core.SED:
+		for k := range m.vals {
+			c := m.colIdx[k] & sedColMask
+			p := ecc.Parity64(math.Float64bits(m.vals[k]) ^ uint64(c))
+			m.colIdx[k] = c | uint32(p)<<31
+		}
+	case core.SECDED64:
+		for k := range m.vals {
+			cw := ecc.Word4{math.Float64bits(m.vals[k]), uint64(m.colIdx[k] & eccColMask)}
+			codecElem64.Encode(&cw)
+			m.colIdx[k] = uint32(cw[1])
+		}
+	case core.SECDED128:
+		for t := 0; 2*t < len(m.vals); t++ {
+			m.encodePair(t)
+		}
+	case core.CRC32C:
+		buf := make([]byte, m.maxWidth*12)
+		for sl := 0; sl < m.Slices(); sl++ {
+			for l := 0; l < C; l++ {
+				m.encodeLaneCRC(sl, l, buf)
+			}
+		}
+	}
+}
+
+func (m *Matrix) encodePair(t int) {
+	k := 2 * t
+	v0 := math.Float64bits(m.vals[k])
+	v1 := math.Float64bits(m.vals[k+1])
+	c0 := uint64(m.colIdx[k] & eccColMask)
+	c1 := uint64(m.colIdx[k+1] & eccColMask)
+	cw := ecc.Word4{v0, c0 | v1<<32, v1>>32 | c1<<32}
+	codecElem128.Encode(&cw)
+	m.colIdx[k] = uint32(cw[1])
+	m.colIdx[k+1] = uint32(cw[2] >> 32)
+}
+
+// encodeLaneCRC recomputes the checksum of lane l in slice sl: a CRC32C
+// over the lane's (value, column) records in entry order, stored byte-wise
+// in the top bytes of the lane's first four column indices.
+func (m *Matrix) encodeLaneCRC(sl, l int, buf []byte) {
+	n := m.sliceWidth(sl)
+	msg := buf[:12*n]
+	for j := 0; j < n; j++ {
+		k := m.entryIndex(sl, l, j)
+		m.colIdx[k] &= eccColMask
+		binary.LittleEndian.PutUint64(msg[12*j:], math.Float64bits(m.vals[k]))
+		binary.LittleEndian.PutUint32(msg[12*j+8:], m.colIdx[k])
+	}
+	crc := ecc.Checksum(msg, m.backend)
+	for j := 0; j < 4 && j < n; j++ {
+		m.colIdx[m.entryIndex(sl, l, j)] |= (crc >> (8 * uint(j)) & 0xFF) << 24
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checking
+
+func (m *Matrix) fault(idx int, detail string) error {
+	m.counters.AddDetected(1)
+	return &core.FaultError{
+		Structure: core.StructElements,
+		Scheme:    m.scheme,
+		Index:     idx,
+		Detail:    detail,
+	}
+}
+
+// checkSED verifies element k (detection only).
+func (m *Matrix) checkSED(k int) error {
+	if ecc.Parity64(math.Float64bits(m.vals[k])^uint64(m.colIdx[k])) != 0 {
+		return m.fault(k, "parity mismatch")
+	}
+	return nil
+}
+
+// check64 verifies element k, repairing single flips when commit is true.
+func (m *Matrix) check64(k int, commit bool) error {
+	cw := ecc.Word4{math.Float64bits(m.vals[k]), uint64(m.colIdx[k])}
+	switch res, _ := codecElem64.Check(&cw); res {
+	case ecc.Corrected:
+		if commit {
+			m.vals[k] = math.Float64frombits(cw[0])
+			m.colIdx[k] = uint32(cw[1])
+		}
+		m.counters.AddCorrected(1)
+	case ecc.Detected:
+		return m.fault(k, "secded64 double-bit error")
+	}
+	return nil
+}
+
+// checkPair verifies element pair t (storage entries 2t and 2t+1).
+func (m *Matrix) checkPair(t int, commit bool) error {
+	k := 2 * t
+	v0 := math.Float64bits(m.vals[k])
+	v1 := math.Float64bits(m.vals[k+1])
+	cw := ecc.Word4{v0, uint64(m.colIdx[k]) | v1<<32, v1>>32 | uint64(m.colIdx[k+1])<<32}
+	switch res, _ := codecElem128.Check(&cw); res {
+	case ecc.Corrected:
+		if commit {
+			m.vals[k] = math.Float64frombits(cw[0])
+			m.colIdx[k] = uint32(cw[1])
+			m.vals[k+1] = math.Float64frombits(cw[1]>>32 | cw[2]<<32)
+			m.colIdx[k+1] = uint32(cw[2] >> 32)
+		}
+		m.counters.AddCorrected(1)
+	case ecc.Detected:
+		return m.fault(t, "secded128 double-bit error")
+	}
+	return nil
+}
+
+// checkLaneCRC verifies the CRC codeword of lane l in slice sl; buf must
+// hold 12*sliceWidth bytes of scratch.
+func (m *Matrix) checkLaneCRC(sl, l int, buf []byte, commit bool) error {
+	n := m.sliceWidth(sl)
+	msg := buf[:12*n]
+	var stored uint32
+	for j := 0; j < n; j++ {
+		c := m.colIdx[m.entryIndex(sl, l, j)]
+		binary.LittleEndian.PutUint64(msg[12*j:], math.Float64bits(m.vals[m.entryIndex(sl, l, j)]))
+		binary.LittleEndian.PutUint32(msg[12*j+8:], c&eccColMask)
+		if j < 4 {
+			stored |= (c >> 24) << (8 * uint(j))
+		}
+	}
+	crc := ecc.Checksum(msg, m.backend)
+	if crc == stored {
+		return nil
+	}
+	flips, ok := ecc.CorrectCodeword(msg, stored, crc)
+	if !ok {
+		return m.fault(sl*C+l, "crc32c lane mismatch beyond correction depth")
+	}
+	for _, f := range flips {
+		if f.InCRC {
+			if commit {
+				m.colIdx[m.entryIndex(sl, l, f.Bit/8)] ^= 1 << uint(24+f.Bit%8)
+			}
+			continue
+		}
+		k := m.entryIndex(sl, l, f.Bit/96)
+		bit := f.Bit % 96
+		switch {
+		case bit < 64:
+			if commit {
+				m.vals[k] = math.Float64frombits(math.Float64bits(m.vals[k]) ^ 1<<uint(bit))
+			}
+		case bit < 88:
+			if commit {
+				m.colIdx[k] ^= 1 << uint(bit-64)
+			}
+		default:
+			return m.fault(sl*C+l, "crc flip located in reserved byte")
+		}
+	}
+	m.counters.AddCorrected(1)
+	return nil
+}
+
+// checkSlice verifies every codeword of slice sl in storage order,
+// repairing correctable errors when commit is true. It returns the number
+// of codeword checks performed alongside the first error.
+func (m *Matrix) checkSlice(sl int, buf []byte, commit bool) (checks uint64, err error) {
+	lo, hi := int(m.slicePtr[sl]), int(m.slicePtr[sl+1])
+	record := func(e error) {
+		if e != nil && err == nil {
+			err = e
+		}
+	}
+	switch m.scheme {
+	case core.None:
+	case core.SED:
+		for k := lo; k < hi; k++ {
+			checks++
+			record(m.checkSED(k))
+		}
+	case core.SECDED64:
+		for k := lo; k < hi; k++ {
+			checks++
+			record(m.check64(k, commit))
+		}
+	case core.SECDED128:
+		for t := lo / 2; 2*t < hi; t++ {
+			checks++
+			record(m.checkPair(t, commit))
+		}
+	case core.CRC32C:
+		for l := 0; l < C; l++ {
+			checks++
+			record(m.checkLaneCRC(sl, l, buf, commit))
+		}
+	}
+	return checks, err
+}
+
+// CheckAll verifies and repairs every codeword, returning the number of
+// corrections and the first uncorrectable error.
+func (m *Matrix) CheckAll() (corrected int, err error) {
+	if m.counters == nil {
+		// Attach a scratch accumulator so corrections are counted even
+		// for untracked matrices.
+		m.counters = &core.Counters{}
+		defer func() { m.counters = nil }()
+	}
+	before := m.counters.Corrected()
+	var buf []byte
+	if m.scheme == core.CRC32C {
+		buf = make([]byte, m.maxWidth*12)
+	}
+	var checks uint64
+	for sl := 0; sl < m.Slices(); sl++ {
+		n, e := m.checkSlice(sl, buf, true)
+		checks += n
+		if e != nil && err == nil {
+			err = e
+		}
+	}
+	m.counters.AddChecks(checks)
+	return int(m.counters.Corrected() - before), err
+}
+
+// Scrub verifies and repairs every codeword, satisfying
+// core.ProtectedMatrix; it is CheckAll under the interface's name.
+func (m *Matrix) Scrub() (corrected int, err error) { return m.CheckAll() }
+
+// ElemCodewordSpan reports the positions of one randomly chosen element
+// codeword, satisfying core.ElemSpanner: single entries under
+// SED/SECDED64, storage-consecutive pairs under SECDED128, and a strided
+// lane (entries base, base+C, ...) under CRC32C.
+func (m *Matrix) ElemCodewordSpan(pick func(n int) int) (base, span, stride int) {
+	switch m.scheme {
+	case core.SECDED128:
+		return pick(len(m.vals)/2) * 2, 2, 1
+	case core.CRC32C:
+		sl := pick(m.Slices())
+		lo, hi := m.SliceRange(sl)
+		if width := (hi - lo) / C; width > 0 {
+			return lo + pick(C), width, C
+		}
+	}
+	return pick(len(m.vals)), 1, 1
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+
+// SpMV computes dst = m * x serially; a convenience wrapper around Apply.
+func (m *Matrix) SpMV(dst, x *core.Vector) error { return m.Apply(dst, x, 1) }
+
+// Apply computes dst = m * x with full integrity checking. Each slice's
+// codewords are verified (and repaired) in storage order before its lanes
+// accumulate, decoded column indices are range-checked, and results are
+// committed block-wise through a window-local accumulator — the sigma
+// sort scatters a slice's outputs within its window, so the window is the
+// smallest unit whose output blocks have a single owner.
+//
+// Workers above 1 split the sigma windows across goroutines. Codewords
+// never cross a slice, slices never cross a window, and windows are
+// vector-block aligned, so every codeword and every output block has
+// exactly one owner: the parallel path is race-free and bit-identical to
+// the serial one.
+func (m *Matrix) Apply(dst, x *core.Vector, workers int) error {
+	if dst.Len() != m.rows || x.Len() != m.cols {
+		return fmt.Errorf("sell: SpMV dimension mismatch: dst %d, m %dx%d, x %d",
+			dst.Len(), m.rows, m.cols, x.Len())
+	}
+	xbuf := make([]float64, m.cols)
+	if err := x.CopyTo(xbuf); err != nil {
+		return err
+	}
+	windows := (m.rows + m.sigma - 1) / m.sigma
+	return par.ForEach(windows, workers, 1, func(wlo, whi int) error {
+		acc := make([]float64, m.sigma)
+		var buf []byte
+		if m.scheme == core.CRC32C {
+			buf = make([]byte, m.maxWidth*12)
+		}
+		for w := wlo; w < whi; w++ {
+			if err := m.applyWindow(dst, xbuf, acc, buf, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// applyWindow multiplies the slices of sigma-window w and commits the
+// window's output rows.
+func (m *Matrix) applyWindow(dst *core.Vector, xbuf, acc []float64, buf []byte, w int) error {
+	base := w * m.sigma
+	top := base + m.sigma
+	if top > m.rows {
+		top = m.rows
+	}
+	for i := range acc {
+		acc[i] = 0
+	}
+	mask := m.colMask()
+	slo := base / C
+	shi := (top + C - 1) / C
+	var checks uint64
+	defer func() { m.counters.AddChecks(checks) }()
+	for sl := slo; sl < shi; sl++ {
+		if m.scheme != core.None {
+			n, err := m.checkSlice(sl, buf, true)
+			checks += n
+			if err != nil {
+				return err
+			}
+		}
+		width := m.sliceWidth(sl)
+		for l := 0; l < C; l++ {
+			sr := sl*C + l
+			r := m.perm[sr]
+			if r == padRow {
+				continue
+			}
+			var sum float64
+			for j := 0; j < width; j++ {
+				k := m.entryIndex(sl, l, j)
+				col := m.colIdx[k] & mask
+				if m.scheme != core.None && col >= uint32(m.cols) {
+					m.counters.AddBounds(1)
+					return &core.BoundsError{Structure: core.StructElements, Index: k,
+						Value: col, Limit: uint32(m.cols)}
+				}
+				sum += m.vals[k] * xbuf[col]
+			}
+			acc[int(r)-base] = sum
+		}
+	}
+	var out [C]float64
+	for blk := base / C; blk*C < top; blk++ {
+		for i := 0; i < C; i++ {
+			if idx := blk*C + i; idx < m.rows {
+				out[i] = acc[idx-base]
+			} else {
+				out[i] = 0
+			}
+		}
+		dst.WriteBlock(blk, &out)
+	}
+	return nil
+}
+
+// Diagonal extracts the main diagonal into dst (length >= Rows), fully
+// verifying every codeword on the way.
+func (m *Matrix) Diagonal(dst []float64) error {
+	if len(dst) < m.rows {
+		return fmt.Errorf("sell: Diagonal destination too short")
+	}
+	plain, err := m.ToCSR()
+	if err != nil {
+		return err
+	}
+	plain.Diagonal(dst)
+	return nil
+}
+
+// ToCSR decodes and verifies the matrix back into CSR form. Slice padding
+// entries are dropped; the logical entries (including any explicit zeros
+// of the source) are reproduced exactly.
+func (m *Matrix) ToCSR() (*csr.Matrix, error) {
+	if _, err := m.CheckAll(); err != nil {
+		return nil, err
+	}
+	mask := m.colMask()
+	entries := make([]csr.Entry, 0, m.nnz)
+	for sl := 0; sl < m.Slices(); sl++ {
+		for l := 0; l < C; l++ {
+			sr := sl*C + l
+			r := m.perm[sr]
+			if r == padRow {
+				continue
+			}
+			for j := 0; j < int(m.rowLen[sr]); j++ {
+				k := m.entryIndex(sl, l, j)
+				entries = append(entries, csr.Entry{
+					Row: int(r),
+					Col: int(m.colIdx[k] & mask),
+					Val: m.vals[k],
+				})
+			}
+		}
+	}
+	return csr.New(m.rows, m.cols, entries)
+}

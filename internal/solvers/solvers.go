@@ -14,8 +14,9 @@ import (
 	"abft/internal/core"
 )
 
-// Operator is the linear operator a solver iterates with. core.Matrix is
-// adapted via MatrixOperator.
+// Operator is the linear operator a solver iterates with: a protected
+// matrix of any storage format bound to a worker count, adapted via
+// MatrixOperator.
 type Operator interface {
 	// Rows returns the operator dimension.
 	Rows() int
@@ -25,12 +26,14 @@ type Operator interface {
 	Diagonal(dst []float64) error
 }
 
-// MatrixOperator adapts a protected matrix to the Operator interface.
+// MatrixOperator adapts any format's protected matrix (CSR, COO,
+// SELL-C-sigma) to the Operator interface, binding it to a worker count.
 type MatrixOperator struct {
-	M *core.Matrix
+	M core.ProtectedMatrix
 	// Workers is the kernel goroutine count; below 2 runs serially.
 	Workers int
-	// DisableCache turns off the stencil-aware decode cache (ablation).
+	// DisableCache turns off the stencil-aware decode cache (ablation;
+	// CSR matrices only, other formats ignore it).
 	DisableCache bool
 }
 
@@ -39,10 +42,13 @@ func (o MatrixOperator) Rows() int { return o.M.Rows() }
 
 // Apply computes dst = M x with the configured kernel options.
 func (o MatrixOperator) Apply(dst, x *core.Vector) error {
-	return core.SpMVOpts(dst, o.M, x, core.SpMVOptions{
-		Workers:      o.Workers,
-		DisableCache: o.DisableCache,
-	})
+	if m, ok := o.M.(*core.Matrix); ok && o.DisableCache {
+		return core.SpMVOpts(dst, m, x, core.SpMVOptions{
+			Workers:      o.Workers,
+			DisableCache: true,
+		})
+	}
+	return o.M.Apply(dst, x, o.Workers)
 }
 
 // Diagonal extracts the main diagonal of the protected matrix.

@@ -11,6 +11,7 @@ import (
 
 	"abft/internal/core"
 	"abft/internal/ecc"
+	"abft/internal/op"
 	"abft/internal/solvers"
 )
 
@@ -76,8 +77,13 @@ type Config struct {
 	// EigenIters and InnerSteps configure Chebyshev/PPCG.
 	EigenIters, InnerSteps int
 
-	// ElemScheme protects the CSR elements, RowPtrScheme the row-pointer
-	// vector, VectorScheme every dense solver vector.
+	// Format selects the protected sparse storage format of the system
+	// matrix (CSR by default; COO and SELL-C-sigma route through the
+	// same solvers via the ProtectedMatrix interface).
+	Format op.Format
+	// ElemScheme protects the matrix elements, RowPtrScheme the CSR
+	// row-pointer vector (CSR format only), VectorScheme every dense
+	// solver vector.
 	ElemScheme   core.Scheme
 	RowPtrScheme core.Scheme
 	VectorScheme core.Scheme

@@ -9,6 +9,7 @@ import (
 
 	"abft/internal/core"
 	"abft/internal/ecc"
+	"abft/internal/op"
 	"abft/internal/solvers"
 )
 
@@ -17,7 +18,8 @@ import (
 // does not mention. Beyond the standard keys, ABFT extensions are
 // recognised:
 //
-//	abft_elements=<scheme>   CSR element protection
+//	abft_format=<format>     matrix storage format (csr, coo, sellcs)
+//	abft_elements=<scheme>   matrix element protection
 //	abft_rowptr=<scheme>     row-pointer protection
 //	abft_vectors=<scheme>    dense vector protection
 //	abft_interval=<n>        full-check interval in sweeps
@@ -115,6 +117,13 @@ func parseToken(cfg *Config, tok string) error {
 		default:
 			return fmt.Errorf("unknown coefficient %q", val)
 		}
+		return nil
+	case "abft_format":
+		f, err := op.ParseFormat(val)
+		if err != nil {
+			return err
+		}
+		cfg.Format = f
 		return nil
 	case "abft_elements":
 		return parseScheme(val, &cfg.ElemScheme)

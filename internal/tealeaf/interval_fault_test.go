@@ -62,7 +62,7 @@ func TestIntervalFaultCaughtByScrub(t *testing.T) {
 		t.Fatal("no correction should happen during bounds-only sweeps")
 	}
 	// The scrub finds and repairs it.
-	corrected, err := sim2.Matrix().CheckAll()
+	corrected, err := sim2.Matrix().Scrub()
 	if err != nil {
 		t.Fatalf("scrub failed: %v", err)
 	}

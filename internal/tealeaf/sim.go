@@ -5,6 +5,7 @@ import (
 
 	"abft/internal/core"
 	"abft/internal/csr"
+	"abft/internal/op"
 	"abft/internal/solvers"
 )
 
@@ -21,7 +22,7 @@ type Simulation struct {
 	kx, ky []float64 // face conduction coefficients
 	rx, ry float64
 
-	matrix   *core.Matrix
+	matrix   core.ProtectedMatrix
 	counters core.Counters
 	step     int
 }
@@ -47,8 +48,9 @@ func (s *Simulation) Config() Config { return s.cfg }
 // Counters exposes the shared ABFT statistics for the whole run.
 func (s *Simulation) Counters() *core.Counters { return &s.counters }
 
-// Matrix exposes the protected system matrix (for fault injection).
-func (s *Simulation) Matrix() *core.Matrix { return s.matrix }
+// Matrix exposes the protected system matrix (for fault injection). Its
+// concrete type depends on Config.Format.
+func (s *Simulation) Matrix() core.ProtectedMatrix { return s.matrix }
 
 // Density returns the cell density field (row-major, no halo).
 func (s *Simulation) Density() []float64 { return s.density }
@@ -132,13 +134,14 @@ func (s *Simulation) initCoefficients() {
 }
 
 // buildMatrix assembles and protects the implicit operator
-// A = I + rx Lx + ry Ly. The matrix is constant over the run (density does
-// not change), the property the paper's less-frequent checking exploits.
+// A = I + rx Lx + ry Ly in the configured storage format. The matrix is
+// constant over the run (density does not change), the property the
+// paper's less-frequent checking exploits.
 func (s *Simulation) buildMatrix() error {
 	cfg := s.cfg
 	plain := csr.FivePoint(cfg.NX, cfg.NY, s.kx, s.ky, s.rx, s.ry)
-	m, err := core.NewMatrix(plain, core.MatrixOptions{
-		ElemScheme:    cfg.ElemScheme,
+	m, err := op.New(cfg.Format, plain, op.Config{
+		Scheme:        cfg.ElemScheme,
 		RowPtrScheme:  cfg.RowPtrScheme,
 		Backend:       cfg.CRCBackend,
 		CheckInterval: cfg.CheckInterval,
@@ -241,7 +244,7 @@ func (s *Simulation) advanceOnce() (StepResult, error) {
 		// End-of-timestep scrub: with interval checking, errors that
 		// occurred after the last full check would otherwise escape
 		// (paper section VI-A-2).
-		_, err = s.matrix.CheckAll()
+		_, err = s.matrix.Scrub()
 	}
 	if err != nil {
 		delta := s.counters.Snapshot()

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"abft/internal/core"
+	"abft/internal/op"
 	"abft/internal/solvers"
 )
 
@@ -362,5 +363,59 @@ func TestStateGeometries(t *testing.T) {
 	}
 	if counts[1] == 0 {
 		t.Fatal("background state missing")
+	}
+}
+
+func TestFormatsProduceIdenticalPhysics(t *testing.T) {
+	// The storage format is a solver implementation detail: the simulated
+	// energy field must be bit-identical across CSR, COO and SELL-C-sigma.
+	run := func(f op.Format) []float64 {
+		cfg := smallConfig()
+		cfg.Format = f
+		cfg.ElemScheme, cfg.RowPtrScheme, cfg.VectorScheme = core.SECDED64, core.SECDED64, core.SECDED64
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if sim.Counters().Checks() == 0 {
+			t.Fatalf("%v: no integrity checks recorded", f)
+		}
+		return append([]float64(nil), sim.Energy()...)
+	}
+	ref := run(op.CSR)
+	for _, f := range []op.Format{op.COO, op.SELLCS} {
+		got := run(f)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%v: energy %d differs from CSR run", f, i)
+			}
+		}
+	}
+}
+
+func TestFormatFaultRecovery(t *testing.T) {
+	// RetryOnFault must recover a run regardless of storage format: SED
+	// detects the flip, the step re-protects and retries.
+	for _, f := range []op.Format{op.COO, op.SELLCS} {
+		cfg := smallConfig()
+		cfg.Format = f
+		cfg.ElemScheme = core.SED
+		cfg.RetryOnFault = true
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Matrix().RawVals()[11] = math.Float64frombits(
+			math.Float64bits(sim.Matrix().RawVals()[11]) ^ 1<<30)
+		sr, err := sim.Advance()
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if !sr.Retried {
+			t.Fatalf("%v: fault did not trigger a retry", f)
+		}
 	}
 }
