@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,24 +23,28 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "abftbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("abftbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,all")
-		nx      = flag.Int("nx", 128, "grid cells per side (paper: 2048)")
-		steps   = flag.Int("steps", 2, "timesteps per run (paper: 5)")
-		runs    = flag.Int("runs", 3, "repetitions averaged (paper: 5)")
-		eps     = flag.Float64("eps", 1e-8, "solver tolerance (relative)")
-		workers = flag.Int("workers", 1, "kernel goroutines")
-		maxExp  = flag.Int("maxexp", 7, "largest interval exponent for figures 6-8 (2^n)")
-		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,all")
+		nx      = fs.Int("nx", 128, "grid cells per side (paper: 2048)")
+		steps   = fs.Int("steps", 2, "timesteps per run (paper: 5)")
+		runs    = fs.Int("runs", 3, "repetitions averaged (paper: 5)")
+		eps     = fs.Float64("eps", 1e-8, "solver tolerance (relative)")
+		workers = fs.Int("workers", 1, "kernel goroutines")
+		maxExp  = fs.Int("maxexp", 7, "largest interval exponent for figures 6-8 (2^n)")
+		quiet   = fs.Bool("quiet", false, "suppress progress output")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	opt := bench.Options{
 		NX:             *nx,
@@ -51,7 +56,7 @@ func run() error {
 		Verbose:        !*quiet,
 		Log:            os.Stderr,
 	}
-	out := os.Stdout
+	out := stdout
 
 	fmt.Fprintf(out, "abftbench: grid %dx%d, %d steps, mean of %d runs, eps %g\n",
 		*nx, *nx, *steps, *runs, *eps)

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness in -short mode")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-fig", "crc", "-quiet"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"abftbench:", "CRC32C backends", "hardware"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

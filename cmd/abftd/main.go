@@ -1,0 +1,102 @@
+// Command abftd runs the resident fault-tolerant solve service: an
+// HTTP/JSON API over the protected-operator layer with a bounded worker
+// pool, a content-addressed cache of protected operators shared across
+// requests, and a background scrub daemon patrolling the cached
+// operators.
+//
+// Usage:
+//
+//	abftd -addr :8080 -workers 8 -cache 32 -scrub 5s
+//
+// Endpoints:
+//
+//	POST /v1/solve       submit a solve (append ?wait=1 to block)
+//	GET  /v1/jobs/{id}   poll a job
+//	GET  /healthz        liveness
+//	GET  /metrics        Prometheus text metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"abft/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "abftd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and serves until ctx is cancelled. When ready
+// is non-nil it receives the bound listen address once the socket is
+// open (the hook the smoke tests use to find an ephemeral port).
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("abftd", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 4, "solve worker pool size")
+		queue   = fs.Int("queue", 64, "job queue depth")
+		cache   = fs.Int("cache", 16, "max resident protected operators")
+		scrub   = fs.Duration("scrub", 5*time.Second, "scrub daemon interval (0 disables)")
+		maxw    = fs.Int("maxworkers", 8, "per-job kernel goroutine cap")
+		history = fs.Int("history", 1024, "finished jobs kept queryable")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheOperators:  *cache,
+		ScrubInterval:   *scrub,
+		MaxSolveWorkers: *maxw,
+		JobHistory:      *history,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	fmt.Fprintf(stdout, "abftd listening on %s (workers=%d queue=%d cache=%d scrub=%v)\n",
+		ln.Addr(), *workers, *queue, *cache, *scrub)
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-errc
+		fmt.Fprintln(stdout, "abftd: shut down")
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -17,16 +17,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"abft/internal/core"
+	"abft/internal/csr"
 	"abft/internal/faults"
+	"abft/internal/mm"
 	"abft/internal/op"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "faultinject:", err)
 		os.Exit(1)
 	}
@@ -52,22 +55,34 @@ type tally struct {
 	benign, corrected, detected, sdc int
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("faultinject", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		format    = flag.String("format", "csr", "matrix storage formats: csr, coo, sellcs, all, or a comma list")
-		scheme    = flag.String("scheme", "", "restrict to one scheme (sed, secded64, secded128, crc32c)")
-		structure = flag.String("structure", "", "restrict to one structure (vector, elements, rowptr)")
-		bits      = flag.Int("bits", 0, "restrict to one flip count (default sweep 1..5)")
-		trials    = flag.Int("trials", 400, "trials per configuration")
-		seed      = flag.Int64("seed", 1, "campaign seed")
-		scatter   = flag.Bool("scatter", false, "scatter flips across the structure instead of one codeword")
-		size      = flag.Int("size", 64, "structure size (vector length or grid side)")
+		format    = fs.String("format", "csr", "matrix storage formats: csr, coo, sellcs, all, or a comma list")
+		scheme    = fs.String("scheme", "", "restrict to one scheme (sed, secded64, secded128, crc32c)")
+		structure = fs.String("structure", "", "restrict to one structure (vector, elements, rowptr)")
+		bits      = fs.Int("bits", 0, "restrict to one flip count (default sweep 1..5)")
+		trials    = fs.Int("trials", 400, "trials per configuration")
+		seed      = fs.Int64("seed", 1, "campaign seed")
+		scatter   = fs.Bool("scatter", false, "scatter flips across the structure instead of one codeword")
+		size      = fs.Int("size", 64, "structure size (vector length or grid side)")
+		matrix    = fs.String("matrix", "", "MatrixMarket file to inject into (matrix structures; default: generated stencil)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	formats, err := parseFormats(*format)
 	if err != nil {
 		return err
+	}
+	var plain *csr.Matrix
+	if *matrix != "" {
+		plain, err = mm.ReadFile(*matrix)
+		if err != nil {
+			return err
+		}
 	}
 	schemes := core.ProtectingSchemes
 	if *scheme != "" {
@@ -99,12 +114,17 @@ func run() error {
 	if *scatter {
 		mode = "scattered"
 	}
-	fmt.Printf("fault injection: %d trials per configuration, %s flips, size %d\n\n",
-		*trials, mode, *size)
+	if plain != nil {
+		fmt.Fprintf(stdout, "fault injection: %d trials per configuration, %s flips, matrix %s (%dx%d, %d entries)\n\n",
+			*trials, mode, *matrix, plain.Rows(), plain.Cols32(), plain.NNZ())
+	} else {
+		fmt.Fprintf(stdout, "fault injection: %d trials per configuration, %s flips, size %d\n\n",
+			*trials, mode, *size)
+	}
 	header := fmt.Sprintf("%-7s %-11s %-10s %5s %9s %10s %10s %8s %8s",
 		"format", "scheme", "structure", "flips", "benign", "corrected", "detected", "sdc", "sdc rate")
-	fmt.Println(header)
-	fmt.Println(strings.Repeat("-", len(header)))
+	fmt.Fprintln(stdout, header)
+	fmt.Fprintln(stdout, strings.Repeat("-", len(header)))
 
 	tallies := map[op.Format]*tally{}
 	for _, st := range structures {
@@ -113,7 +133,7 @@ func run() error {
 				continue // vectors have no storage format; run once
 			}
 			if st == core.StructRowPtr && f == op.SELLCS {
-				fmt.Printf("%-7s %-11s %-10s        (skipped: sell-c-sigma has no protected auxiliary structure)\n",
+				fmt.Fprintf(stdout, "%-7s %-11s %-10s        (skipped: sell-c-sigma has no protected auxiliary structure)\n",
 					f, "-", st)
 				continue
 			}
@@ -132,6 +152,7 @@ func run() error {
 						Seed:         *seed,
 						SameCodeword: !*scatter,
 						Size:         *size,
+						Matrix:       plain,
 					})
 					if err != nil {
 						return err
@@ -147,7 +168,7 @@ func run() error {
 						tl.detected += res.Detected
 						tl.sdc += res.SDC
 					}
-					fmt.Printf("%-7s %-11s %-10s %5d %9d %10d %10d %8d %7.1f%%\n",
+					fmt.Fprintf(stdout, "%-7s %-11s %-10s %5d %9d %10d %10d %8d %7.1f%%\n",
 						fname, s, st, b, res.Benign, res.Corrected, res.Detected, res.SDC,
 						100*res.Rate(faults.SDC))
 				}
@@ -156,8 +177,8 @@ func run() error {
 	}
 
 	if len(tallies) > 0 {
-		fmt.Println("\nper-format matrix campaign totals:")
-		fmt.Printf("%-7s %9s %10s %10s %8s %16s\n",
+		fmt.Fprintln(stdout, "\nper-format matrix campaign totals:")
+		fmt.Fprintf(stdout, "%-7s %9s %10s %10s %8s %16s\n",
 			"format", "benign", "corrected", "detected", "sdc", "handled rate")
 		for _, f := range formats {
 			tl := tallies[f]
@@ -169,14 +190,14 @@ func run() error {
 			if total > 0 {
 				handled = 100 * float64(tl.corrected+tl.detected) / float64(total)
 			}
-			fmt.Printf("%-7s %9d %10d %10d %8d %15.1f%%\n",
+			fmt.Fprintf(stdout, "%-7s %9d %10d %10d %8d %15.1f%%\n",
 				f, tl.benign, tl.corrected, tl.detected, tl.sdc, handled)
 		}
 	}
 
-	fmt.Println("\npaper section IV expectations (flips within one codeword):")
-	fmt.Println("  sed:       detects odd flip counts, corrects none, misses even counts")
-	fmt.Println("  secded:    corrects 1, detects 2; 3+ may mis-correct")
-	fmt.Println("  crc32c:    corrects 1-2, detects up to 5 (HD=6); no SDC below 6 flips")
+	fmt.Fprintln(stdout, "\npaper section IV expectations (flips within one codeword):")
+	fmt.Fprintln(stdout, "  sed:       detects odd flip counts, corrects none, misses even counts")
+	fmt.Fprintln(stdout, "  secded:    corrects 1, detects 2; 3+ may mis-correct")
+	fmt.Fprintln(stdout, "  crc32c:    corrects 1-2, detects up to 5 (HD=6); no SDC below 6 flips")
 	return nil
 }

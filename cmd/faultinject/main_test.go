@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"abft/internal/csr"
+	"abft/internal/mm"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-scheme", "secded64", "-structure", "elements",
+		"-bits", "1", "-trials", "20", "-size", "8",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"fault injection: 20 trials", "secded64", "per-format matrix campaign totals"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunMatrixMarketIngestion injects into an operator loaded from a
+// MatrixMarket file instead of the generated stencil.
+func TestRunMatrixMarketIngestion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "op.mtx")
+	if err := mm.WriteFile(path, csr.Laplacian2D(8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-matrix", path,
+		"-scheme", "secded64", "-structure", "elements",
+		"-bits", "1", "-trials", "20",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "matrix "+path) {
+		t.Errorf("output does not name the ingested matrix:\n%s", out.String())
+	}
+
+	var errOut bytes.Buffer
+	if err := run([]string{"-matrix", filepath.Join(t.TempDir(), "missing.mtx")}, &errOut); err == nil {
+		t.Fatal("missing matrix file accepted")
+	}
+}
+
+func TestRunRejectsUnknownNames(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-scheme", "tmr"}, "choices: none, sed, secded64, secded128, crc32c"},
+		{[]string{"-format", "ellpack"}, "choices: csr, coo, sellcs"},
+		{[]string{"-structure", "diagonal"}, "unknown structure"},
+	}
+	for _, c := range cases {
+		var out bytes.Buffer
+		err := run(c.args, &out)
+		if err == nil {
+			t.Errorf("args %v accepted", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("args %v: error %q does not contain %q", c.args, err, c.want)
+		}
+	}
+}

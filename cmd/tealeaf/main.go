@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -27,30 +28,34 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tealeaf:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tealeaf", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		inFile   = flag.String("in", "", "TeaLeaf input deck (tea.in format); flags override")
-		nx       = flag.Int("nx", 0, "grid cells per side (overrides deck)")
-		steps    = flag.Int("steps", 0, "timesteps (overrides deck)")
-		solver   = flag.String("solver", "", "solver: cg, jacobi, chebyshev, ppcg")
-		eps      = flag.Float64("eps", 0, "solver tolerance")
-		relative = flag.Bool("relative", false, "measure tolerance against the initial residual")
-		format   = flag.String("format", "", "matrix storage format: csr, coo, sellcs")
-		elems    = flag.String("elements", "", "matrix element protection: none, sed, secded64, secded128, crc32c")
-		rowptr   = flag.String("rowptr", "", "row-pointer protection scheme")
-		vectors  = flag.String("vectors", "", "dense vector protection scheme")
-		interval = flag.Int("interval", 0, "full matrix checks every n-th sweep")
-		crc      = flag.String("crc", "", "crc32c backend: hardware, software")
-		workers  = flag.Int("workers", 0, "kernel goroutines")
-		retry    = flag.Bool("retry", false, "reprotect and retry a step after an uncorrectable fault")
+		inFile   = fs.String("in", "", "TeaLeaf input deck (tea.in format); flags override")
+		nx       = fs.Int("nx", 0, "grid cells per side (overrides deck)")
+		steps    = fs.Int("steps", 0, "timesteps (overrides deck)")
+		solver   = fs.String("solver", "", "solver: cg, jacobi, chebyshev, ppcg")
+		eps      = fs.Float64("eps", 0, "solver tolerance")
+		relative = fs.Bool("relative", false, "measure tolerance against the initial residual")
+		format   = fs.String("format", "", "matrix storage format: csr, coo, sellcs")
+		elems    = fs.String("elements", "", "matrix element protection: none, sed, secded64, secded128, crc32c")
+		rowptr   = fs.String("rowptr", "", "row-pointer protection scheme")
+		vectors  = fs.String("vectors", "", "dense vector protection scheme")
+		interval = fs.Int("interval", 0, "full matrix checks every n-th sweep")
+		crc      = fs.String("crc", "", "crc32c backend: hardware, software")
+		workers  = fs.Int("workers", 0, "kernel goroutines")
+		retry    = fs.Bool("retry", false, "reprotect and retry a step after an uncorrectable fault")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := tealeaf.DefaultConfig()
 	if *inFile != "" {
@@ -114,10 +119,10 @@ func run() error {
 	}
 	cfg.RetryOnFault = cfg.RetryOnFault || *retry
 
-	fmt.Printf("TeaLeaf (ABFT reproduction)\n")
-	fmt.Printf("  grid %dx%d, %d steps, dt %g, solver %v\n",
+	fmt.Fprintf(stdout, "TeaLeaf (ABFT reproduction)\n")
+	fmt.Fprintf(stdout, "  grid %dx%d, %d steps, dt %g, solver %v\n",
 		cfg.NX, cfg.NY, cfg.EndStep, cfg.DtInit, cfg.Solver)
-	fmt.Printf("  protection: format=%v elements=%v rowptr=%v vectors=%v interval=%d crc=%v workers=%d\n",
+	fmt.Fprintf(stdout, "  protection: format=%v elements=%v rowptr=%v vectors=%v interval=%d crc=%v workers=%d\n",
 		cfg.Format, cfg.ElemScheme, cfg.RowPtrScheme, cfg.VectorScheme, cfg.CheckInterval,
 		cfg.CRCBackend, cfg.Workers)
 
@@ -132,25 +137,25 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("step %4d: %5d iterations, residual %.3e, %8.3fs",
+		fmt.Fprintf(stdout, "step %4d: %5d iterations, residual %.3e, %8.3fs",
 			sr.Step, sr.Iterations, sr.ResidualNorm, time.Since(stepStart).Seconds())
 		if sr.Corrected > 0 || sr.Detected > 0 || sr.Retried {
-			fmt.Printf("  [corrected=%d detected=%d retried=%v]",
+			fmt.Fprintf(stdout, "  [corrected=%d detected=%d retried=%v]",
 				sr.Corrected, sr.Detected, sr.Retried)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	elapsed := time.Since(start)
 
 	sum := sim.FieldSummary()
-	fmt.Printf("\nfield summary\n")
-	fmt.Printf("  volume          %.6e\n", sum.Volume)
-	fmt.Printf("  mass            %.6e\n", sum.Mass)
-	fmt.Printf("  internal energy %.6e\n", sum.InternalEnergy)
-	fmt.Printf("  temperature     %.6e\n", sum.Temperature)
+	fmt.Fprintf(stdout, "\nfield summary\n")
+	fmt.Fprintf(stdout, "  volume          %.6e\n", sum.Volume)
+	fmt.Fprintf(stdout, "  mass            %.6e\n", sum.Mass)
+	fmt.Fprintf(stdout, "  internal energy %.6e\n", sum.InternalEnergy)
+	fmt.Fprintf(stdout, "  temperature     %.6e\n", sum.Temperature)
 	snap := sim.Counters().Snapshot()
-	fmt.Printf("\nabft: %v\n", snap)
-	fmt.Printf("wall clock %.3fs\n", elapsed.Seconds())
+	fmt.Fprintf(stdout, "\nabft: %v\n", snap)
+	fmt.Fprintf(stdout, "wall clock %.3fs\n", elapsed.Seconds())
 	return nil
 }
 

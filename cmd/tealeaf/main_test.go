@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-nx", "16", "-steps", "1",
+		"-format", "sellcs", "-elements", "secded64", "-vectors", "sed",
+		"-eps", "1e-8",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"TeaLeaf", "step    1", "field summary", "temperature"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunRejectsUnknownNames: unknown -scheme/-format values must list
+// the registered choices instead of failing opaquely.
+func TestRunRejectsUnknownNames(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-elements", "tmr"}, "choices: none, sed, secded64, secded128, crc32c"},
+		{[]string{"-vectors", "hamming"}, "choices: none, sed, secded64, secded128, crc32c"},
+		{[]string{"-format", "ellpack"}, "choices: csr, coo, sellcs"},
+		{[]string{"-solver", "gmres"}, "choices: cg, jacobi, chebyshev, ppcg"},
+	}
+	for _, c := range cases {
+		var out bytes.Buffer
+		err := run(c.args, &out)
+		if err == nil {
+			t.Errorf("args %v accepted", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("args %v: error %q does not list %q", c.args, err, c.want)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

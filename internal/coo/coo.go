@@ -63,6 +63,8 @@ type Matrix struct {
 	vals   []float64
 
 	counters *core.Counters
+	// shared marks the matrix as applied concurrently; see SetShared.
+	shared bool
 }
 
 // Options configures COO protection.
@@ -141,6 +143,13 @@ func (m *Matrix) Scheme() core.Scheme { return m.scheme }
 
 // SetCounters attaches a statistics accumulator.
 func (m *Matrix) SetCounters(c *core.Counters) { m.counters = c }
+
+// SetShared marks the matrix as applied concurrently from multiple
+// goroutines: Apply stops committing corrections to storage (they are
+// still counted and the checks still detect), leaving repair to Scrub,
+// which the owner must serialize against Apply. Set before the matrix
+// becomes visible to other goroutines.
+func (m *Matrix) SetShared(shared bool) { m.shared = shared }
 
 // RawRows exposes the stored row indices for fault injection.
 func (m *Matrix) RawRows() []uint32 { return m.rowIdx }
@@ -511,9 +520,11 @@ func (m *Matrix) entryRanges(workers int) [][2]int {
 }
 
 // scatterRange verifies and scatters entries [lo,hi) into acc. Ranges are
-// codeword-aligned, so corrections may always be committed to storage.
+// codeword-aligned, so corrections may always be committed to storage —
+// unless the matrix is shared across Apply callers (see SetShared).
 func (m *Matrix) scatterRange(acc, xbuf []float64, lo, hi int) error {
 	mask := m.idxMask()
+	commit := !m.shared
 	var checks uint64
 	defer func() { m.counters.AddChecks(checks) }()
 	for k := lo; k < hi; k++ {
@@ -525,20 +536,20 @@ func (m *Matrix) scatterRange(acc, xbuf []float64, lo, hi int) error {
 			}
 		case core.SECDED64:
 			checks++
-			if err := m.check64(k, true); err != nil {
+			if err := m.check64(k, commit); err != nil {
 				return err
 			}
 		case core.SECDED128:
 			if k%2 == 0 {
 				checks++
-				if err := m.checkPair(k/2, true); err != nil {
+				if err := m.checkPair(k/2, commit); err != nil {
 					return err
 				}
 			}
 		case core.CRC32C:
 			if k%crcGroup == 0 {
 				checks++
-				if err := m.checkGroupCRC(k/crcGroup, true); err != nil {
+				if err := m.checkGroupCRC(k/crcGroup, commit); err != nil {
 					return err
 				}
 			}

@@ -40,7 +40,7 @@ func SpMVOpts(dst *Vector, m *Matrix, x *Vector, opt SpMVOptions) error {
 	fullCheck := m.StartSweep()
 	ranges := par.Ranges(m.Rows(), opt.Workers, 8)
 	if len(ranges) <= 1 {
-		return m.spmvRange(dst, x, 0, m.Rows(), fullCheck, true, opt.DisableCache)
+		return m.spmvRange(dst, x, 0, m.Rows(), fullCheck, !m.shared, opt.DisableCache)
 	}
 	return par.Run(ranges, func(lo, hi int) error {
 		return m.spmvRange(dst, x, lo, hi, fullCheck, false, opt.DisableCache)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"abft/internal/csr"
 	"abft/internal/ecc"
@@ -48,7 +49,13 @@ type Matrix struct {
 
 	counters *Counters
 	interval int
-	sweep    uint64
+	// shared marks the matrix as read concurrently by multiple Apply
+	// callers; see SetShared.
+	shared bool
+	// sweep is atomic so concurrent SpMVs over one shared matrix (the
+	// solve service runs many jobs against a cached operator) stay
+	// race-free; each Apply still observes a unique sweep number.
+	sweep atomic.Uint64
 }
 
 // NewMatrix builds a protected copy of src. The source matrix is not
@@ -152,6 +159,15 @@ func (m *Matrix) Counters() *Counters { return m.counters }
 // SetCRCBackend selects the CRC32C implementation.
 func (m *Matrix) SetCRCBackend(b ecc.Backend) { m.backend = b }
 
+// SetShared marks the matrix as applied concurrently from multiple
+// goroutines (the solve service shares one cached operator across
+// jobs). Kernels then never commit corrections to storage — the same
+// no-commit discipline the parallel SpMV path already uses for
+// codewords a worker does not own — leaving repair to CheckAll/Scrub,
+// which the owner must serialize against Apply. Set before the matrix
+// becomes visible to other goroutines.
+func (m *Matrix) SetShared(shared bool) { m.shared = shared }
+
 // SetCheckInterval adjusts the full-check cadence; see MatrixOptions.
 func (m *Matrix) SetCheckInterval(n int) { m.interval = n }
 
@@ -173,8 +189,8 @@ func (m *Matrix) RawRowPtr() []uint32 { return m.rowptr }
 // must perform full integrity checks (true) or only range checks (false).
 // SpMV calls it once per multiplication; the first sweep always checks.
 func (m *Matrix) StartSweep() bool {
-	full := m.interval <= 1 || m.sweep%uint64(m.interval) == 0
-	m.sweep++
+	sweep := m.sweep.Add(1) - 1
+	full := m.interval <= 1 || sweep%uint64(m.interval) == 0
 	if m.elemScheme == None && m.rowScheme == None {
 		return false
 	}

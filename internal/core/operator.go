@@ -33,6 +33,12 @@ type ProtectedMatrix interface {
 	Scrub() (corrected int, err error)
 	// SetCounters attaches a statistics accumulator (shared or nil).
 	SetCounters(*Counters)
+	// SetShared marks the matrix as applied concurrently from multiple
+	// goroutines: Apply must not write matrix storage (corrections are
+	// counted and used for detection but not committed), leaving repair
+	// to Scrub, which the owner serializes against Apply. Must be set
+	// before the matrix becomes visible to other goroutines.
+	SetShared(bool)
 	// CounterSnapshot returns a point-in-time copy of the attached
 	// counters (zeros when none are attached).
 	CounterSnapshot() CounterSnapshot

@@ -12,7 +12,10 @@
 // checksums, each embedded per structure as described in DESIGN.md.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Scheme selects the software ECC applied to a protected structure.
 type Scheme uint8
@@ -73,8 +76,18 @@ func ParseScheme(s string) (Scheme, error) {
 	case "crc32c", "crc":
 		return CRC32C, nil
 	default:
-		return None, fmt.Errorf("core: unknown scheme %q", s)
+		return None, fmt.Errorf("core: unknown scheme %q (choices: %s)", s, SchemeNames())
 	}
+}
+
+// SchemeNames returns the registered scheme names as a comma-separated
+// list, for error messages and command-line help.
+func SchemeNames() string {
+	names := make([]string, len(Schemes))
+	for i, sc := range Schemes {
+		names[i] = sc.String()
+	}
+	return strings.Join(names, ", ")
 }
 
 // VecGroup returns the number of float64 elements per vector codeword.

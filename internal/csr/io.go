@@ -5,118 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
-// WriteMatrixMarket serialises the matrix in MatrixMarket coordinate
-// format (real, general), the interchange format of SuiteSparse and most
-// sparse solver test collections.
-func (m *Matrix) WriteMatrixMarket(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.rows, m.cols, m.NNZ()); err != nil {
-		return err
-	}
-	for r := 0; r < m.rows; r++ {
-		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
-			// MatrixMarket indices are 1-based.
-			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", r+1, m.Cols[k]+1, m.Vals[k]); err != nil {
-				return err
-			}
-		}
-	}
-	return bw.Flush()
-}
-
-// ReadMatrixMarket parses a MatrixMarket coordinate file. Real and
-// integer fields are accepted; pattern entries get value 1. Symmetric
-// matrices are expanded to general storage.
-func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("csr: empty MatrixMarket input")
-	}
-	header := strings.Fields(strings.ToLower(sc.Text()))
-	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
-		return nil, fmt.Errorf("csr: not a MatrixMarket file: %q", sc.Text())
-	}
-	if header[2] != "coordinate" {
-		return nil, fmt.Errorf("csr: only coordinate format supported, got %q", header[2])
-	}
-	field := header[3]
-	symmetric := false
-	if len(header) > 4 {
-		switch header[4] {
-		case "general":
-		case "symmetric":
-			symmetric = true
-		default:
-			return nil, fmt.Errorf("csr: unsupported symmetry %q", header[4])
-		}
-	}
-	switch field {
-	case "real", "integer", "pattern":
-	default:
-		return nil, fmt.Errorf("csr: unsupported field type %q", field)
-	}
-
-	// Skip comments, read the size line.
-	var rows, cols, nnz int
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "%") {
-			continue
-		}
-		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("csr: bad size line %q: %w", line, err)
-		}
-		break
-	}
-	entries := make([]Entry, 0, nnz)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "%") {
-			continue
-		}
-		f := strings.Fields(line)
-		if len(f) < 2 {
-			return nil, fmt.Errorf("csr: bad entry line %q", line)
-		}
-		row, err := strconv.Atoi(f[0])
-		if err != nil {
-			return nil, fmt.Errorf("csr: bad row in %q: %w", line, err)
-		}
-		col, err := strconv.Atoi(f[1])
-		if err != nil {
-			return nil, fmt.Errorf("csr: bad col in %q: %w", line, err)
-		}
-		val := 1.0
-		if field != "pattern" {
-			if len(f) < 3 {
-				return nil, fmt.Errorf("csr: missing value in %q", line)
-			}
-			val, err = strconv.ParseFloat(f[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("csr: bad value in %q: %w", line, err)
-			}
-		}
-		entries = append(entries, Entry{Row: row - 1, Col: col - 1, Val: val})
-		if symmetric && row != col {
-			entries = append(entries, Entry{Row: col - 1, Col: row - 1, Val: val})
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(entries) < nnz {
-		return nil, fmt.Errorf("csr: expected %d entries, found %d", nnz, len(entries))
-	}
-	return New(rows, cols, entries)
-}
+// MatrixMarket text serialisation lives in internal/mm (which imports
+// this package); only the compact native binary layout is defined here.
 
 // binaryMagic identifies the native binary serialisation.
 const binaryMagic = 0x41424654 // "ABFT"

@@ -3,23 +3,8 @@ package csr
 import (
 	"bytes"
 	"math/rand"
-	"strings"
 	"testing"
 )
-
-func TestMatrixMarketRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	src := randomTestMatrix(t, rng, 13, 9, 40)
-	var buf bytes.Buffer
-	if err := src.WriteMatrixMarket(&buf); err != nil {
-		t.Fatal(err)
-	}
-	back, err := ReadMatrixMarket(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	assertSameMatrix(t, src, back)
-}
 
 func randomTestMatrix(t *testing.T, rng *rand.Rand, rows, cols, n int) *Matrix {
 	t.Helper()
@@ -61,65 +46,6 @@ func assertSameMatrix(t *testing.T, a, b *Matrix) {
 	}
 }
 
-func TestMatrixMarketSymmetricExpansion(t *testing.T) {
-	in := `%%MatrixMarket matrix coordinate real symmetric
-% a comment
-3 3 4
-1 1 2.0
-2 1 -1.0
-3 2 -1.0
-3 3 2.0
-`
-	m, err := ReadMatrixMarket(strings.NewReader(in))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m.NNZ() != 6 { // two off-diagonal entries mirrored
-		t.Fatalf("nnz %d want 6", m.NNZ())
-	}
-	if !m.IsSymmetric(0) {
-		t.Fatal("expanded matrix not symmetric")
-	}
-}
-
-func TestMatrixMarketPattern(t *testing.T) {
-	in := `%%MatrixMarket matrix coordinate pattern general
-2 2 2
-1 1
-2 2
-`
-	m, err := ReadMatrixMarket(strings.NewReader(in))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m.Vals[0] != 1 || m.Vals[1] != 1 {
-		t.Fatal("pattern entries should have value 1")
-	}
-}
-
-func TestMatrixMarketErrors(t *testing.T) {
-	cases := []string{
-		"",
-		"hello world",
-		"%%MatrixMarket matrix array real general\n2 2 4\n",
-		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
-		"%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
-		"%%MatrixMarket matrix coordinate real general\nnot a size line\n",
-		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", // short
-		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n",
-		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 y 1.0\n",
-		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 z\n",
-		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
-		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
-		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n", // out of range
-	}
-	for i, in := range cases {
-		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
-			t.Errorf("case %d accepted:\n%s", i, in)
-		}
-	}
-}
-
 func TestBinaryRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	src := randomTestMatrix(t, rng, 31, 17, 120)
@@ -151,17 +77,4 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("truncated input accepted")
 	}
-}
-
-func TestMatrixMarketLaplacianRoundTrip(t *testing.T) {
-	src := Laplacian2D(6, 5)
-	var buf bytes.Buffer
-	if err := src.WriteMatrixMarket(&buf); err != nil {
-		t.Fatal(err)
-	}
-	back, err := ReadMatrixMarket(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	assertSameMatrix(t, src, back)
 }

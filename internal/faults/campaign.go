@@ -44,6 +44,11 @@ type CampaignConfig struct {
 	Backend ecc.Backend
 	// Size scales the structure (vector length or grid side; default 32).
 	Size int
+	// Matrix, when non-nil, replaces the generated five-point stencil as
+	// the matrix campaigns' operator — the path for ingested Matrix
+	// Market operators (cmd/faultinject -matrix). Size is ignored for
+	// matrix structures when set.
+	Matrix *csr.Matrix
 }
 
 // CampaignResult aggregates trial outcomes.
@@ -181,11 +186,14 @@ type decodable interface {
 // matrixTrial corrupts a fresh protected matrix of the configured storage
 // format and classifies via a full scrub plus decoded comparison.
 func matrixTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
-	side := cfg.Size
-	if side < 4 {
-		side = 4
+	plain := cfg.Matrix
+	if plain == nil {
+		side := cfg.Size
+		if side < 4 {
+			side = 4
+		}
+		plain = csr.Laplacian2D(side, side)
 	}
-	plain := csr.Laplacian2D(side, side)
 	pm, err := op.New(cfg.Format, plain, op.Config{
 		Scheme:       cfg.Scheme,
 		RowPtrScheme: cfg.Scheme,

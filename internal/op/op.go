@@ -9,6 +9,7 @@ package op
 
 import (
 	"fmt"
+	"strings"
 
 	"abft/internal/coo"
 	"abft/internal/core"
@@ -56,8 +57,18 @@ func ParseFormat(s string) (Format, error) {
 	case "sellcs", "sell", "sell-c-sigma":
 		return SELLCS, nil
 	default:
-		return CSR, fmt.Errorf("op: unknown format %q", s)
+		return CSR, fmt.Errorf("op: unknown format %q (choices: %s)", s, FormatNames())
 	}
+}
+
+// FormatNames returns the registered format names as a comma-separated
+// list, for error messages and command-line help.
+func FormatNames() string {
+	names := make([]string, len(Formats))
+	for i, f := range Formats {
+		names[i] = f.String()
+	}
+	return strings.Join(names, ", ")
 }
 
 // Config carries the protection options shared across formats plus the

@@ -91,6 +91,8 @@ type Matrix struct {
 	vals   []float64
 
 	counters *core.Counters
+	// shared marks the matrix as applied concurrently; see SetShared.
+	shared bool
 }
 
 // padRow marks a dummy lane added to fill the last slice.
@@ -240,6 +242,13 @@ func (m *Matrix) SliceRange(sl int) (lo, hi int) {
 
 // SetCounters attaches a statistics accumulator.
 func (m *Matrix) SetCounters(c *core.Counters) { m.counters = c }
+
+// SetShared marks the matrix as applied concurrently from multiple
+// goroutines: Apply stops committing corrections to storage (they are
+// still counted and the checks still detect), leaving repair to Scrub,
+// which the owner must serialize against Apply. Set before the matrix
+// becomes visible to other goroutines.
+func (m *Matrix) SetShared(shared bool) { m.shared = shared }
 
 // CounterSnapshot returns a copy of the attached counters.
 func (m *Matrix) CounterSnapshot() core.CounterSnapshot { return m.counters.Snapshot() }
@@ -576,7 +585,7 @@ func (m *Matrix) applyWindow(dst *core.Vector, xbuf, acc []float64, buf []byte, 
 	defer func() { m.counters.AddChecks(checks) }()
 	for sl := slo; sl < shi; sl++ {
 		if m.scheme != core.None {
-			n, err := m.checkSlice(sl, buf, true)
+			n, err := m.checkSlice(sl, buf, !m.shared)
 			checks += n
 			if err != nil {
 				return err

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abft/internal/core"
+	"abft/internal/csr"
+)
+
+func testOperator(t *testing.T) core.ProtectedMatrix {
+	t.Helper()
+	m, err := core.NewMatrix(csr.Laplacian2D(4, 4), core.MatrixOptions{ElemScheme: core.SED})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetCounters(&core.Counters{})
+	return m
+}
+
+// TestCacheSingleFlight: N concurrent requests for one absent key pay
+// exactly one encode; everyone else blocks on the in-flight build and
+// counts as a hit.
+func TestCacheSingleFlight(t *testing.T) {
+	c := newOperatorCache(8)
+	var builds atomic.Int32
+	build := func() (core.ProtectedMatrix, []float64, error) {
+		builds.Add(1)
+		time.Sleep(20 * time.Millisecond) // widen the window for stragglers
+		return testOperator(t), nil, nil
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	var hits atomic.Int32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, hit, err := c.get("k", build)
+			if err != nil || e == nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			if hit {
+				hits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("builds = %d, want 1", builds.Load())
+	}
+	if hits.Load() != n-1 {
+		t.Fatalf("hits = %d, want %d", hits.Load(), n-1)
+	}
+	s := c.Stats()
+	if s.Builds != 1 || s.Hits != n-1 || s.Entries != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newOperatorCache(2)
+	build := func() (core.ProtectedMatrix, []float64, error) { return testOperator(t), nil, nil }
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.get(fmt.Sprintf("k%d", i), build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.EvictedLRU != 1 {
+		t.Fatalf("stats %+v, want 2 entries and 1 lru eviction", s)
+	}
+	if c.lookup("k0") != nil {
+		t.Fatal("oldest entry survived eviction")
+	}
+	// Touching k1 promotes it; inserting k3 must now evict k2.
+	if _, hit, err := c.get("k1", build); err != nil || !hit {
+		t.Fatalf("re-get k1: hit=%v err=%v", hit, err)
+	}
+	if _, _, err := c.get("k3", build); err != nil {
+		t.Fatal(err)
+	}
+	if c.lookup("k2") != nil {
+		t.Fatal("LRU order ignored recency")
+	}
+	if c.lookup("k1") == nil {
+		t.Fatal("recently used entry evicted")
+	}
+}
+
+func TestCacheBuildErrorNotCached(t *testing.T) {
+	c := newOperatorCache(2)
+	boom := fmt.Errorf("boom")
+	if _, _, err := c.get("k", func() (core.ProtectedMatrix, []float64, error) { return nil, nil, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	s := c.Stats()
+	if s.Entries != 0 || s.Builds != 0 || s.BuildErrors != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	// The failed key is retried, not poisoned.
+	if _, hit, err := c.get("k", func() (core.ProtectedMatrix, []float64, error) { return testOperator(t), nil, nil }); err != nil || hit {
+		t.Fatalf("retry: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestOperatorKeyDistinguishesConfigs: the same content under different
+// protection configurations must not share an operator, while a
+// re-assembled identical matrix must.
+func TestOperatorKeyDistinguishesConfigs(t *testing.T) {
+	plain := csr.Laplacian2D(6, 6)
+	base := SolveRequest{Scheme: "secded64"}
+	p0, err := base.resolve(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := operatorKey(plain, p0)
+
+	if k := operatorKey(csr.Laplacian2D(6, 6), p0); k != k0 {
+		t.Fatal("identical content and config produced different keys")
+	}
+	for _, alt := range []SolveRequest{
+		{Scheme: "sed"},
+		{Scheme: "secded64", RowPtrScheme: "sed"},
+		{Scheme: "secded64", Format: "coo"},
+		{Scheme: "secded64", Format: "sellcs", Sigma: 8},
+	} {
+		p, err := alt.resolve(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k := operatorKey(plain, p); k == k0 {
+			t.Fatalf("config %+v collided with base key", alt)
+		}
+	}
+	if k := operatorKey(csr.Laplacian2D(6, 7), p0); k == k0 {
+		t.Fatal("different content collided with base key")
+	}
+}
+
+// TestOperatorKeyIgnoresIrrelevantKnobs: knobs a format ignores
+// (rowptr scheme outside CSR, sigma outside SELL) must not split the
+// cache between semantically identical operators.
+func TestOperatorKeyIgnoresIrrelevantKnobs(t *testing.T) {
+	plain := csr.Laplacian2D(6, 6)
+	key := func(r SolveRequest) string {
+		p, err := r.resolve(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return operatorKey(plain, p)
+	}
+	if key(SolveRequest{Format: "coo", Scheme: "secded64"}) !=
+		key(SolveRequest{Format: "coo", Scheme: "secded64", RowPtrScheme: "sed"}) {
+		t.Fatal("rowptr scheme split the key for COO, which ignores it")
+	}
+	if key(SolveRequest{Format: "csr", Scheme: "secded64"}) !=
+		key(SolveRequest{Format: "csr", Scheme: "secded64", Sigma: 8}) {
+		t.Fatal("sigma split the key for CSR, which ignores it")
+	}
+	if key(SolveRequest{Format: "sellcs", Scheme: "secded64"}) ==
+		key(SolveRequest{Format: "sellcs", Scheme: "secded64", Sigma: 8}) {
+		t.Fatal("sigma must stay in the key for SELL-C-sigma")
+	}
+}

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleMetrics renders the service state in the Prometheus text
+// exposition format — hand-written, since the repository takes no
+// dependencies beyond the standard library.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	cs := s.cache.Stats()
+	ss := s.scrub.Stats()
+	oc := s.cache.OperatorCounters()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	gauge("abftd_uptime_seconds", "Seconds since the service started.",
+		time.Since(s.start).Seconds())
+	gauge("abftd_workers", "Solve worker-pool size.", float64(s.cfg.Workers))
+	gauge("abftd_queue_capacity", "Job queue capacity.", float64(s.cfg.QueueDepth))
+	gauge("abftd_jobs_inflight", "Jobs queued or running.", float64(s.inflight.Load()))
+
+	fmt.Fprintf(w, "# HELP abftd_jobs_total Finished jobs by final state.\n")
+	fmt.Fprintf(w, "# TYPE abftd_jobs_total counter\n")
+	fmt.Fprintf(w, "abftd_jobs_total{state=\"done\"} %d\n", s.jobsDone.Load())
+	fmt.Fprintf(w, "abftd_jobs_total{state=\"failed\"} %d\n", s.jobsFailed.Load())
+	counter("abftd_jobs_rejected_total", "Jobs rejected by a full queue.", s.jobsRejected.Load())
+
+	gauge("abftd_cache_operators", "Resident protected operators.", float64(cs.Entries))
+	counter("abftd_cache_builds_total", "Protected operators encoded (cache misses).", cs.Builds)
+	counter("abftd_cache_hits_total", "Solves served by a resident operator.", cs.Hits)
+	counter("abftd_cache_build_errors_total", "Failed operator builds.", cs.BuildErrors)
+	fmt.Fprintf(w, "# HELP abftd_cache_evictions_total Operators evicted, by reason.\n")
+	fmt.Fprintf(w, "# TYPE abftd_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "abftd_cache_evictions_total{reason=\"lru\"} %d\n", cs.EvictedLRU)
+	fmt.Fprintf(w, "abftd_cache_evictions_total{reason=\"fault\"} %d\n", cs.EvictedFault)
+
+	counter("abftd_scrub_passes_total", "Completed scrub-daemon patrol passes.", ss.Passes)
+	counter("abftd_scrub_operators_scrubbed_total", "Operator scrubs performed.", ss.Scrubbed)
+	counter("abftd_scrub_corrected_total", "Codewords repaired by the scrub daemon.", ss.Corrected)
+	counter("abftd_scrub_faults_total", "Uncorrectable faults found by scrubbing (each evicts).", ss.Faults)
+
+	counter("abftd_operator_checks_total", "Codeword integrity checks across all cached operators.", oc.Checks)
+	counter("abftd_operator_corrected_total", "Corrected errors across all cached operators.", oc.Corrected)
+	counter("abftd_operator_detected_total", "Detected uncorrectable errors across all cached operators.", oc.Detected)
+	counter("abftd_operator_bounds_total", "Range-check violations across all cached operators.", oc.Bounds)
+}

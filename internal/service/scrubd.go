@@ -1,0 +1,108 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// ScrubStats summarises scrub-daemon activity.
+type ScrubStats struct {
+	// Passes is the number of completed patrol sweeps over the cache.
+	Passes uint64
+	// Scrubbed is the number of operator scrubs performed.
+	Scrubbed uint64
+	// Corrected is the total number of codewords repaired in place.
+	Corrected uint64
+	// Faults is the number of detected-but-uncorrectable errors found;
+	// each evicts its operator from the cache.
+	Faults uint64
+}
+
+// scrubDaemon patrols the resident operators of the cache on a fixed
+// interval — the paper's end-of-timestep scrub turned into a background
+// service over a fleet of matrices. Each operator is scrubbed under its
+// entry's exclusive lock, so in-place repairs never race with a solve;
+// an operator whose scheme detects corruption it cannot correct is
+// evicted, and the next request for its content rebuilds it clean.
+type scrubDaemon struct {
+	cache    *operatorCache
+	interval time.Duration
+
+	mu    sync.Mutex
+	stats ScrubStats
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+func newScrubDaemon(cache *operatorCache, interval time.Duration) *scrubDaemon {
+	return &scrubDaemon{cache: cache, interval: interval}
+}
+
+// Start launches the patrol goroutine; a non-positive interval disables
+// background scrubbing (Pass still works for synchronous use).
+func (d *scrubDaemon) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.interval <= 0 || d.stop != nil {
+		return
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go d.loop(d.stop, d.done)
+}
+
+// Stop halts the patrol goroutine, waiting for a pass in progress.
+func (d *scrubDaemon) Stop() {
+	d.mu.Lock()
+	stop, done := d.stop, d.done
+	d.stop, d.done = nil, nil
+	d.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Pass scrubs every resident operator once, oldest first.
+func (d *scrubDaemon) Pass() {
+	var scrubbed, corrected, faults uint64
+	for _, e := range d.cache.resident() {
+		e.mu.Lock()
+		n, err := e.m.Scrub()
+		e.mu.Unlock()
+		scrubbed++
+		corrected += uint64(n)
+		if err != nil {
+			faults++
+			d.cache.evictFault(e)
+		}
+	}
+	d.mu.Lock()
+	d.stats.Passes++
+	d.stats.Scrubbed += scrubbed
+	d.stats.Corrected += corrected
+	d.stats.Faults += faults
+	d.mu.Unlock()
+}
+
+// Stats returns a snapshot of scrub activity.
+func (d *scrubDaemon) Stats() ScrubStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+func (d *scrubDaemon) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(d.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			d.Pass()
+		}
+	}
+}

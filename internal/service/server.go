@@ -1,0 +1,380 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abft/internal/csr"
+	"abft/internal/ecc"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the solve worker-pool size (default 4).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker
+	// (default 64); a full queue rejects new solves with 503.
+	QueueDepth int
+	// CacheOperators bounds the number of resident protected operators
+	// (default 16); least-recently-used operators are evicted beyond it.
+	CacheOperators int
+	// ScrubInterval is the patrol cadence of the background scrub
+	// daemon; non-positive disables background scrubbing.
+	ScrubInterval time.Duration
+	// MaxSolveWorkers clamps the per-job kernel goroutine count
+	// (default 8).
+	MaxSolveWorkers int
+	// JobHistory bounds how many finished jobs stay queryable
+	// (default 1024); the oldest finished jobs are forgotten beyond it.
+	JobHistory int
+	// CRCBackend selects the CRC32C implementation for every operator
+	// and vector the service builds (default hardware).
+	CRCBackend ecc.Backend
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheOperators <= 0 {
+		c.CacheOperators = 16
+	}
+	if c.MaxSolveWorkers <= 0 {
+		c.MaxSolveWorkers = 8
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 1024
+	}
+	return c
+}
+
+// job carries one solve through the queue.
+type job struct {
+	id     string
+	req    SolveRequest
+	params solveParams
+	plain  *csr.Matrix
+	key    string
+
+	mu     sync.Mutex
+	state  JobState
+	result *SolveResult
+	err    error
+	fault  bool
+	done   chan struct{}
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.id, State: j.state, Result: j.result}
+	if j.err != nil {
+		st.Error = j.err.Error()
+		st.Fault = j.fault
+	}
+	return st
+}
+
+// dropSolution releases the solution vector of a delivered result,
+// replacing the result with an X-less copy (concurrent status readers
+// may still hold — and safely read — the old one).
+func (j *job) dropSolution() {
+	j.mu.Lock()
+	if j.result != nil && j.result.X != nil {
+		trimmed := *j.result
+		trimmed.X = nil
+		j.result = &trimmed
+	}
+	j.mu.Unlock()
+}
+
+func (j *job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+func (j *job) finish(res *SolveResult, err error, fault bool) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+		j.fault = fault
+	} else {
+		j.state = StateDone
+		j.result = res
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Server is the abftd solve service: an http.Handler exposing
+// POST /v1/solve, GET /v1/jobs/{id}, GET /healthz and GET /metrics,
+// backed by a bounded worker pool, the protected-operator cache and the
+// background scrub daemon. Create with New, dispose with Close.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *operatorCache
+	scrub *scrubDaemon
+
+	queue chan *job
+	wg    sync.WaitGroup
+	// qmu arbitrates enqueue sends against Close's close(queue):
+	// senders hold it shared, Close exclusively, so a send can never
+	// hit a just-closed channel.
+	qmu    sync.RWMutex
+	closed atomic.Bool
+
+	jobMu    sync.RWMutex
+	jobs     map[string]*job
+	finished []string // FIFO of finished job ids, bounded by JobHistory
+
+	nextID       atomic.Uint64
+	start        time.Time
+	jobsDone     atomic.Uint64
+	jobsFailed   atomic.Uint64
+	jobsRejected atomic.Uint64
+	inflight     atomic.Int64
+}
+
+// New builds and starts a service: the worker pool begins draining the
+// queue and, with a positive ScrubInterval, the scrub daemon begins
+// patrolling.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newOperatorCache(cfg.CacheOperators),
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+		start: time.Now(),
+	}
+	s.scrub = newScrubDaemon(s.cache, cfg.ScrubInterval)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.scrub.Start()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops accepting work, drains the queue, waits for running
+// solves and halts the scrub daemon. The Server must not be used after.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	// The exclusive lock waits out any enqueue that passed the closed
+	// check before the swap; new ones see closed first.
+	s.qmu.Lock()
+	close(s.queue)
+	s.qmu.Unlock()
+	s.wg.Wait()
+	s.scrub.Stop()
+}
+
+// CacheStats exposes operator-cache activity (also on /metrics).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// ScrubStats exposes scrub-daemon activity (also on /metrics).
+func (s *Server) ScrubStats() ScrubStats { return s.scrub.Stats() }
+
+// ScrubNow runs one synchronous scrub pass over the resident operators,
+// regardless of the background interval.
+func (s *Server) ScrubNow() { s.scrub.Pass() }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// Submit enqueues a solve programmatically (the in-process equivalent
+// of POST /v1/solve) and returns the job id.
+func (s *Server) Submit(req SolveRequest) (string, error) {
+	j, err := s.admit(req)
+	if err != nil {
+		return "", err
+	}
+	if err := s.enqueue(j); err != nil {
+		return "", err
+	}
+	return j.id, nil
+}
+
+// Wait blocks until the job finishes and returns its final status.
+func (s *Server) Wait(id string) (JobStatus, error) {
+	s.jobMu.RLock()
+	j, ok := s.jobs[id]
+	s.jobMu.RUnlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	<-j.done
+	return j.status(), nil
+}
+
+// admit validates a request and prepares the job: symbolic names are
+// resolved against the registries and the source matrix is assembled
+// and content-hashed, so every usage error surfaces before queueing.
+func (s *Server) admit(req SolveRequest) (*job, error) {
+	params, err := req.resolve(s.cfg.MaxSolveWorkers)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := req.Matrix.Build()
+	if err != nil {
+		return nil, err
+	}
+	if plain.Rows() != plain.Cols32() {
+		return nil, fmt.Errorf("matrix is %dx%d; iterative solvers need a square operator",
+			plain.Rows(), plain.Cols32())
+	}
+	if len(req.B) > 0 && len(req.B) != plain.Rows() {
+		return nil, fmt.Errorf("rhs length %d does not match %d rows", len(req.B), plain.Rows())
+	}
+	return &job{
+		id:     fmt.Sprintf("j%08d", s.nextID.Add(1)),
+		req:    req,
+		params: params,
+		plain:  plain,
+		key:    operatorKey(plain, params),
+		state:  StateQueued,
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// errQueueFull reports a saturated job queue (HTTP 503).
+var errQueueFull = fmt.Errorf("service: job queue full")
+
+func (s *Server) enqueue(j *job) error {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed.Load() {
+		return fmt.Errorf("service: server closed")
+	}
+	s.jobMu.Lock()
+	s.jobs[j.id] = j
+	s.jobMu.Unlock()
+	select {
+	case s.queue <- j:
+		s.inflight.Add(1)
+		return nil
+	default:
+		s.jobMu.Lock()
+		delete(s.jobs, j.id)
+		s.jobMu.Unlock()
+		s.jobsRejected.Add(1)
+		return errQueueFull
+	}
+}
+
+// retire records a finished job and forgets the oldest ones beyond the
+// history bound.
+func (s *Server) retire(j *job) {
+	s.inflight.Add(-1)
+	s.jobMu.Lock()
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.JobHistory {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.jobMu.Unlock()
+}
+
+// --------------------------------------------------------------------------
+// HTTP handlers
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server shutting down"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req SolveRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	j, err := s.admit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.enqueue(j); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	wait := req.Wait
+	switch r.URL.Query().Get("wait") {
+	case "1", "true", "yes":
+		wait = true
+	}
+	if wait {
+		<-j.done
+		writeJSON(w, http.StatusOK, j.status())
+		// The caller has its answer; drop the retained solution vector
+		// so a high-rate waited workload cannot pin every X until
+		// history eviction. The status (and any later poll) keeps the
+		// scalar outcome.
+		j.dropSolution()
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.jobMu.RLock()
+	j, ok := s.jobs[id]
+	s.jobMu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"jobs_inflight":  s.inflight.Load(),
+		"cache_entries":  s.cache.Stats().Entries,
+	})
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"fmt"
+
+	"abft/internal/core"
+	"abft/internal/op"
+	"abft/internal/solvers"
+)
+
+func (s *Server) runJob(j *job) {
+	j.setState(StateRunning)
+	res, e, err := s.solve(j)
+	// The matrix payload (and RHS) exist to admit and build; release
+	// them so the finished-job history does not pin them.
+	j.plain = nil
+	j.req.B = nil
+	if solvers.IsFault(err) && e != nil {
+		// The solve tripped over corruption the operator's scheme
+		// cannot repair: drop the exact operator it ran against now
+		// rather than waiting for the next scrub pass (which may be
+		// disabled). The eviction is identity-checked, so if the scrub
+		// daemon already evicted it — or a clean rebuild took the key —
+		// this is a no-op and never drops a healthy operator.
+		s.cache.evictFault(e)
+	}
+	if err != nil {
+		s.jobsFailed.Add(1)
+	} else {
+		s.jobsDone.Add(1)
+	}
+	j.finish(res, err, solvers.IsFault(err))
+	s.retire(j)
+}
+
+// cachedOperator binds a cache entry to a worker count for the solver.
+// Diagonal serves the build-time verified copy: the formats' own
+// Diagonal routes through a committing CheckAll, which must not run
+// against shared storage under a read lock.
+type cachedOperator struct {
+	e       *cacheEntry
+	workers int
+}
+
+func (o cachedOperator) Rows() int { return o.e.m.Rows() }
+
+func (o cachedOperator) Apply(dst, x *core.Vector) error {
+	return o.e.m.Apply(dst, x, o.workers)
+}
+
+func (o cachedOperator) Diagonal(dst []float64) error {
+	if len(dst) < len(o.e.diag) {
+		return fmt.Errorf("service: Diagonal destination too short")
+	}
+	copy(dst, o.e.diag)
+	return nil
+}
+
+// solve executes one job against the shared operator cache. The
+// protected encode happens at most once per operator key (single-flight
+// inside the cache); the solve itself runs under the entry's shared
+// lock so the scrub daemon's in-place repairs never interleave with it.
+// The entry the solve ran against is returned for fault handling (nil
+// when the build itself failed).
+func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
+	p := j.params
+	e, hit, err := s.cache.get(j.key, func() (core.ProtectedMatrix, []float64, error) {
+		m, err := op.New(p.format, j.plain, op.Config{
+			Scheme:       p.scheme,
+			RowPtrScheme: p.rowptr,
+			Backend:      s.cfg.CRCBackend,
+			Sigma:        p.sigma,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Counters attach at build time, before the operator is shared;
+		// they are internally atomic, so concurrent jobs and the scrub
+		// daemon account into them safely.
+		m.SetCounters(&core.Counters{})
+		// Extract the verified diagonal while the operator is still
+		// private (Diagonal commits repairs, which is fine pre-share).
+		diag := make([]float64, m.Rows())
+		if err := m.Diagonal(diag); err != nil {
+			return nil, nil, err
+		}
+		// Shared mode: from here on Apply never writes the operator's
+		// storage (concurrent jobs hold only the read lock); the scrub
+		// daemon — under the exclusive lock — is the one writer.
+		m.SetShared(true)
+		return m, diag, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rows := e.m.Rows()
+	jc := &core.Counters{}
+	var b *core.Vector
+	if len(j.req.B) > 0 {
+		b = core.VectorFromSlice(j.req.B, p.vectors)
+	} else {
+		b = core.NewVector(rows, p.vectors)
+		b.Fill(1)
+	}
+	b.SetCRCBackend(s.cfg.CRCBackend)
+	b.SetCounters(jc)
+	x := core.NewVector(rows, p.vectors)
+	x.SetCRCBackend(s.cfg.CRCBackend)
+	x.SetCounters(jc)
+
+	a := cachedOperator{e: e, workers: p.opt.Workers}
+	e.mu.RLock()
+	sres, serr := solvers.Solve(p.kind, a, x, b, p.opt)
+	e.mu.RUnlock()
+	if serr != nil {
+		return nil, e, serr
+	}
+
+	out := make([]float64, rows)
+	if err := x.CopyTo(out); err != nil {
+		return nil, e, err
+	}
+	snap := jc.Snapshot()
+	return &SolveResult{
+		X:            out,
+		Iterations:   sres.Iterations,
+		ResidualNorm: sres.ResidualNorm,
+		Converged:    sres.Converged,
+		CacheHit:     hit,
+		Checks:       snap.Checks,
+		Corrected:    snap.Corrected,
+		Detected:     snap.Detected,
+		Bounds:       snap.Bounds,
+	}, e, nil
+}

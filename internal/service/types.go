@@ -1,0 +1,225 @@
+// Package service implements abftd, the resident fault-tolerant solve
+// service: an HTTP/JSON API over the repository's protected-operator
+// layer. Solve requests are queued onto a bounded worker pool; the
+// protected matrices they operate on live in a content-addressed LRU
+// cache shared across requests, so the ECC encode cost the paper
+// analyses per solver run is paid once per distinct operator and
+// amortised over all traffic against it. A background scrub daemon
+// patrols the cached operators on a configurable interval — the paper's
+// check-interval knob applied to a fleet of resident matrices — and
+// evicts any operator whose corruption its scheme can detect but not
+// correct.
+package service
+
+import (
+	"fmt"
+
+	"abft/internal/core"
+	"abft/internal/csr"
+	"abft/internal/mm"
+	"abft/internal/op"
+	"abft/internal/solvers"
+)
+
+// Triplet is one explicit (row, col, value) entry of a raw CSR matrix
+// specification.
+type Triplet struct {
+	Row int     `json:"row"`
+	Col int     `json:"col"`
+	Val float64 `json:"val"`
+}
+
+// GridSpec names a generated five-point Laplacian operator (the TeaLeaf
+// stencil family): the canonical SPD test problem, specified by its
+// grid dimensions alone.
+type GridSpec struct {
+	NX int `json:"nx"`
+	NY int `json:"ny"`
+}
+
+// MatrixSpec describes the operator of a solve request. Exactly one
+// source must be set.
+type MatrixSpec struct {
+	// Grid generates a five-point Laplacian.
+	Grid *GridSpec `json:"grid,omitempty"`
+	// Rows/Cols/Entries assemble a matrix from raw triplets.
+	Rows    int       `json:"rows,omitempty"`
+	Cols    int       `json:"cols,omitempty"`
+	Entries []Triplet `json:"entries,omitempty"`
+	// MatrixMarket holds an inline MatrixMarket coordinate document
+	// (general or symmetric), the interchange path for real collections.
+	MatrixMarket string `json:"matrix_market,omitempty"`
+}
+
+// Build assembles the unprotected CSR matrix the spec describes.
+func (s *MatrixSpec) Build() (*csr.Matrix, error) {
+	sources := 0
+	if s.Grid != nil {
+		sources++
+	}
+	if len(s.Entries) > 0 {
+		sources++
+	}
+	if s.MatrixMarket != "" {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("matrix spec needs exactly one of grid, entries, matrix_market (got %d)", sources)
+	}
+	switch {
+	case s.Grid != nil:
+		if s.Grid.NX < 2 || s.Grid.NY < 2 {
+			return nil, fmt.Errorf("grid %dx%d too small (need >= 2x2)", s.Grid.NX, s.Grid.NY)
+		}
+		return csr.Laplacian2D(s.Grid.NX, s.Grid.NY), nil
+	case s.MatrixMarket != "":
+		return mm.ReadString(s.MatrixMarket)
+	default:
+		entries := make([]csr.Entry, len(s.Entries))
+		for i, t := range s.Entries {
+			entries[i] = csr.Entry{Row: t.Row, Col: t.Col, Val: t.Val}
+		}
+		return csr.New(s.Rows, s.Cols, entries)
+	}
+}
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Matrix describes the operator.
+	Matrix MatrixSpec `json:"matrix"`
+	// Format selects the protected storage format ("csr", "coo",
+	// "sellcs"; default csr).
+	Format string `json:"format,omitempty"`
+	// Scheme protects the matrix element stream (default none).
+	Scheme string `json:"scheme,omitempty"`
+	// RowPtrScheme protects the CSR row-pointer vector (CSR only;
+	// default none).
+	RowPtrScheme string `json:"rowptr_scheme,omitempty"`
+	// VectorScheme protects the solve's dense vectors (default none).
+	VectorScheme string `json:"vector_scheme,omitempty"`
+	// Sigma is the SELL-C-sigma sorting window (sellcs only).
+	Sigma int `json:"sigma,omitempty"`
+	// Solver picks the algorithm ("cg", "jacobi", "chebyshev", "ppcg";
+	// default cg).
+	Solver string `json:"solver,omitempty"`
+	// B is the right-hand side; omitted means all ones.
+	B []float64 `json:"b,omitempty"`
+	// Tol is the convergence tolerance (default 1e-10).
+	Tol float64 `json:"tol,omitempty"`
+	// RelativeTol measures Tol against the initial residual norm.
+	RelativeTol bool `json:"relative_tol,omitempty"`
+	// MaxIter bounds the iteration count (default 10000).
+	MaxIter int `json:"max_iter,omitempty"`
+	// Workers is the per-job kernel goroutine count (clamped by the
+	// server's MaxSolveWorkers).
+	Workers int `json:"workers,omitempty"`
+	// Wait blocks the POST until the job finishes (equivalent to the
+	// ?wait=1 query parameter).
+	Wait bool `json:"wait,omitempty"`
+}
+
+// solveParams is a SolveRequest with every name resolved through the
+// registries, computed once at admission so bad requests fail with 400
+// before touching the queue.
+type solveParams struct {
+	format  op.Format
+	scheme  core.Scheme
+	rowptr  core.Scheme
+	vectors core.Scheme
+	sigma   int
+	kind    solvers.Kind
+	opt     solvers.Options
+}
+
+// resolve validates the symbolic fields of a request against the format,
+// scheme and solver registries.
+func (r *SolveRequest) resolve(maxWorkers int) (solveParams, error) {
+	var p solveParams
+	var err error
+	if p.format, err = op.ParseFormat(r.Format); err != nil {
+		return p, err
+	}
+	if p.scheme, err = core.ParseScheme(r.Scheme); err != nil {
+		return p, err
+	}
+	if p.rowptr, err = core.ParseScheme(r.RowPtrScheme); err != nil {
+		return p, err
+	}
+	if p.vectors, err = core.ParseScheme(r.VectorScheme); err != nil {
+		return p, err
+	}
+	if p.kind, err = solvers.ParseKind(r.Solver); err != nil {
+		return p, err
+	}
+	if r.Sigma < 0 {
+		return p, fmt.Errorf("sigma %d must be >= 0", r.Sigma)
+	}
+	p.sigma = r.Sigma
+	// Drop knobs the chosen format ignores so they cannot split the
+	// operator-cache key between semantically identical operators.
+	if p.format != op.CSR {
+		p.rowptr = core.None
+	}
+	if p.format != op.SELLCS {
+		p.sigma = 0
+	}
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
+	p.opt = solvers.Options{
+		Tol:         r.Tol,
+		RelativeTol: r.RelativeTol,
+		MaxIter:     r.MaxIter,
+		Workers:     workers,
+	}
+	return p, nil
+}
+
+// SolveResult reports a finished solve.
+type SolveResult struct {
+	// X is the solution vector.
+	X []float64 `json:"x"`
+	// Iterations is the solver iteration count.
+	Iterations int `json:"iterations"`
+	// ResidualNorm is the final residual L2 norm.
+	ResidualNorm float64 `json:"residual_norm"`
+	// Converged reports whether the tolerance was met.
+	Converged bool `json:"converged"`
+	// CacheHit reports whether the protected operator was already
+	// resident (the encode cost was amortised away).
+	CacheHit bool `json:"cache_hit"`
+	// Checks/Corrected/Detected/Bounds are the ABFT counter deltas this
+	// job contributed.
+	Checks    uint64 `json:"checks"`
+	Corrected uint64 `json:"corrected"`
+	Detected  uint64 `json:"detected"`
+	Bounds    uint64 `json:"bounds"`
+}
+
+// JobState names a job's position in its lifecycle.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// JobStatus is the body of GET /v1/jobs/{id} and of a waited solve.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Result is set once State is done.
+	Result *SolveResult `json:"result,omitempty"`
+	// Error is set once State is failed. Fault is true when the failure
+	// was a detected ABFT fault rather than a usage or numerical
+	// problem.
+	Error string `json:"error,omitempty"`
+	Fault bool   `json:"fault,omitempty"`
+}

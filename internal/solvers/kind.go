@@ -2,6 +2,7 @@ package solvers
 
 import (
 	"fmt"
+	"strings"
 
 	"abft/internal/core"
 )
@@ -47,8 +48,21 @@ func ParseKind(s string) (Kind, error) {
 	case "ppcg":
 		return KindPPCG, nil
 	default:
-		return KindCG, fmt.Errorf("solvers: unknown solver %q", s)
+		return KindCG, fmt.Errorf("solvers: unknown solver %q (choices: %s)", s, KindNames())
 	}
+}
+
+// Kinds lists every solver algorithm in display order.
+var Kinds = []Kind{KindCG, KindJacobi, KindChebyshev, KindPPCG}
+
+// KindNames returns the registered solver names as a comma-separated
+// list, for error messages and command-line help.
+func KindNames() string {
+	names := make([]string, len(Kinds))
+	for i, k := range Kinds {
+		names[i] = k.String()
+	}
+	return strings.Join(names, ", ")
 }
 
 // Solve dispatches to the named solver.

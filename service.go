@@ -1,0 +1,55 @@
+package abft
+
+import (
+	"io"
+
+	"abft/internal/mm"
+	"abft/internal/service"
+)
+
+// The abftd solve service: a resident HTTP/JSON server that queues
+// solve requests onto a bounded worker pool, shares protected operators
+// across requests through a content-addressed LRU cache (the ECC encode
+// cost is paid once per distinct matrix, not once per request), and
+// patrols the cached operators with a background scrub daemon. See
+// cmd/abftd for the daemon and internal/service for the mechanism.
+
+// Service is the solve service: an http.Handler exposing POST
+// /v1/solve, GET /v1/jobs/{id}, GET /healthz and GET /metrics.
+type Service = service.Server
+
+// ServiceConfig sizes a Service: worker pool, queue depth, operator
+// cache capacity and scrub cadence.
+type ServiceConfig = service.Config
+
+// NewService builds and starts a solve service; Close it when done.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest = service.SolveRequest
+
+// SolveMatrixSpec describes the operator of a SolveRequest: a generated
+// grid, raw triplets, or an inline MatrixMarket document.
+type SolveMatrixSpec = service.MatrixSpec
+
+// SolveGridSpec names a generated five-point Laplacian operator.
+type SolveGridSpec = service.GridSpec
+
+// SolveJobResult reports a finished service solve.
+type SolveJobResult = service.SolveResult
+
+// SolveJobStatus is the body of GET /v1/jobs/{id}.
+type SolveJobStatus = service.JobStatus
+
+// ReadMatrixMarket parses a MatrixMarket coordinate document into an
+// unprotected CSR matrix (symmetric inputs are expanded); see
+// internal/mm for the format subset.
+func ReadMatrixMarket(r io.Reader) (*CSRMatrix, error) { return mm.Read(r) }
+
+// ReadMatrixMarketFile reads a MatrixMarket file, transparently
+// decompressing a ".gz" suffix.
+func ReadMatrixMarketFile(path string) (*CSRMatrix, error) { return mm.ReadFile(path) }
+
+// WriteMatrixMarket serialises a CSR matrix as MatrixMarket coordinate
+// real general.
+func WriteMatrixMarket(w io.Writer, m *CSRMatrix) error { return mm.Write(w, m) }
