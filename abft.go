@@ -7,6 +7,7 @@ import (
 	"abft/internal/ecc"
 	"abft/internal/op"
 	"abft/internal/sell"
+	"abft/internal/shard"
 	"abft/internal/solvers"
 )
 
@@ -123,6 +124,24 @@ func NewSELLMatrix(src *CSRMatrix, opt SELLOptions) (*SELLMatrix, error) {
 	return sell.NewMatrix(src, opt)
 }
 
+// ShardedOperator is a row-partitioned protected operator: any
+// assembled matrix split into bands, each holding a protected local
+// matrix in any storage format, with integrity-checked halo exchanges
+// between bands and tree-reduced inner products — the in-process
+// analogue of the paper's MPI deployment. It satisfies ProtectedMatrix,
+// so every solver and the abftd service run over it unchanged.
+type ShardedOperator = shard.Operator
+
+// ShardOptions configures a sharded operator: band count, per-shard
+// storage format and protection, and the halo-buffer vector scheme.
+type ShardOptions = shard.Options
+
+// NewShardedOperator row-partitions src into a sharded protected
+// operator.
+func NewShardedOperator(src *CSRMatrix, opt ShardOptions) (*ShardedOperator, error) {
+	return shard.New(src, opt)
+}
+
 // CSRMatrix is the unprotected compressed-sparse-row substrate.
 type CSRMatrix = csr.Matrix
 
@@ -141,6 +160,12 @@ func FivePoint(nx, ny int, kx, ky []float64, rx, ry float64) *CSRMatrix {
 
 // Laplacian2D builds the standard five-point Poisson operator.
 func Laplacian2D(nx, ny int) *CSRMatrix { return csr.Laplacian2D(nx, ny) }
+
+// IrregularSPD builds a deterministic irregular symmetric positive
+// definite operator with no geometric structure — the general-matrix
+// counterpart of the stencil generators, useful for exercising sharded
+// and format-agnostic paths.
+func IrregularSPD(n int) *CSRMatrix { return csr.IrregularSPD(n) }
 
 // Counters accumulates integrity-check statistics across structures.
 type Counters = core.Counters

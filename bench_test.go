@@ -19,7 +19,8 @@ import (
 	"abft/internal/core"
 	"abft/internal/csr"
 	"abft/internal/ecc"
-	"abft/internal/halo"
+	"abft/internal/op"
+	"abft/internal/shard"
 	"abft/internal/solvers"
 	"abft/internal/tealeaf"
 )
@@ -409,45 +410,72 @@ func BenchmarkAblationWorkers(b *testing.B) {
 	}
 }
 
-// BenchmarkDistributedCG measures the domain-decomposed solve (protected
-// halo exchange per iteration) across chunk counts.
-func BenchmarkDistributedCG(b *testing.B) {
-	const nx, ny = 64, 64
-	kx := make([]float64, (nx+1)*ny)
-	ky := make([]float64, nx*(ny+1))
-	for j := 0; j < ny; j++ {
-		for i := 1; i < nx; i++ {
-			kx[j*(nx+1)+i] = 1
+// shardedOperator builds the sharded benchmark operator: the 64x64
+// five-point system row-partitioned with full SECDED64 protection.
+func shardedOperator(b *testing.B, shards int, format op.Format) *shard.Operator {
+	b.Helper()
+	o, err := shard.New(csr.Laplacian2D(64, 64), shard.Options{
+		Shards: shards,
+		Format: format,
+		Config: op.Config{
+			Scheme:       core.SECDED64,
+			RowPtrScheme: core.SECDED64,
+		},
+		VectorScheme: core.SECDED64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+// BenchmarkShardedSpMV measures the distributed matrix-vector product —
+// scatter, protected halo exchange, per-shard products, gather — across
+// shard counts and storage formats.
+func BenchmarkShardedSpMV(b *testing.B) {
+	for _, format := range op.Formats {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%v/shards-%d", format, shards), func(b *testing.B) {
+				o := shardedOperator(b, shards, format)
+				xs := make([]float64, o.Cols())
+				for i := range xs {
+					xs[i] = float64(i%17) - 8
+				}
+				x := core.VectorFromSlice(xs, core.SECDED64)
+				dst := core.NewVector(o.Rows(), core.SECDED64)
+				b.SetBytes(int64(o.NNZ() * 12))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := o.Apply(dst, x, shards); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
-	for j := 1; j < ny; j++ {
-		for i := 0; i < nx; i++ {
-			ky[j*nx+i] = 1
-		}
-	}
-	bs := make([]float64, nx*ny)
+}
+
+// BenchmarkShardedCG measures the full distributed solve (protected
+// halo exchange plus tree-reduced inner products every iteration)
+// against the unsharded operator, across shard counts.
+func BenchmarkShardedCG(b *testing.B) {
+	bs := make([]float64, 64*64)
 	for i := range bs {
 		bs[i] = float64(i%13) - 6
 	}
-	for _, chunks := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("chunks-%d", chunks), func(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				d, err := halo.NewDecomposition(nx, ny, kx, ky, 1, 1, halo.Options{
-					Chunks:       chunks,
-					ElemScheme:   core.SECDED64,
-					RowPtrScheme: core.SECDED64,
-					VectorScheme: core.SECDED64,
-				})
+				o := shardedOperator(b, shards, op.CSR)
+				x := core.NewVector(o.Rows(), core.SECDED64)
+				rhs := core.VectorFromSlice(bs, core.SECDED64)
+				res, err := solvers.CG(solvers.MatrixOperator{M: o, Workers: shards}, x, rhs,
+					solvers.Options{Tol: 1e-8, MaxIter: 10000})
 				if err != nil {
 					b.Fatal(err)
 				}
-				rhs := d.NewField()
-				if err := rhs.Scatter(bs); err != nil {
-					b.Fatal(err)
-				}
-				x := d.NewField()
-				if _, _, err := d.CG(x, rhs, 1e-8, 10000); err != nil {
-					b.Fatal(err)
+				if !res.Converged {
+					b.Fatal("sharded CG did not converge")
 				}
 			}
 		})

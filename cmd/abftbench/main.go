@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"abft/internal/bench"
@@ -33,13 +34,14 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("abftbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,all")
+		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,all")
 		nx      = fs.Int("nx", 128, "grid cells per side (paper: 2048)")
 		steps   = fs.Int("steps", 2, "timesteps per run (paper: 5)")
 		runs    = fs.Int("runs", 3, "repetitions averaged (paper: 5)")
 		eps     = fs.Float64("eps", 1e-8, "solver tolerance (relative)")
 		workers = fs.Int("workers", 1, "kernel goroutines")
 		maxExp  = fs.Int("maxexp", 7, "largest interval exponent for figures 6-8 (2^n)")
+		shards  = fs.String("shards", "2,4,8", "shard counts for the shard-scaling experiment")
 		quiet   = fs.Bool("quiet", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -126,6 +128,17 @@ func run(args []string, stdout io.Writer) error {
 		}
 		bench.PrintRows(out, "Storage formats: element protection overhead per format", rows)
 	}
+	if all || want["shards"] {
+		counts, err := parseShardCounts(*shards)
+		if err != nil {
+			return err
+		}
+		rows, err := bench.ShardScaling(opt, counts)
+		if err != nil {
+			return err
+		}
+		bench.PrintRows(out, "Sharded solve: overhead vs the unsharded operator (negative = speedup)", rows)
+	}
 	if all || want["conv"] {
 		rows, err := bench.Convergence(opt)
 		if err != nil {
@@ -137,4 +150,17 @@ func run(args []string, stdout io.Writer) error {
 		bench.PrintCRC(out, bench.CRCThroughput())
 	}
 	return nil
+}
+
+// parseShardCounts parses the -shards comma list.
+func parseShardCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

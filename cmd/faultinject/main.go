@@ -12,6 +12,8 @@
 //	faultinject -format all                 # sweep csr, coo and sellcs
 //	faultinject -scheme crc32c -bits 5 -trials 1000
 //	faultinject -structure vector -scatter
+//	faultinject -shards 4                   # strike one shard of a sharded operator
+//	faultinject -shards 4 -structure halo   # corrupt resident halo buffers mid-product
 package main
 
 import (
@@ -68,9 +70,13 @@ func run(args []string, stdout io.Writer) error {
 		scatter   = fs.Bool("scatter", false, "scatter flips across the structure instead of one codeword")
 		size      = fs.Int("size", 64, "structure size (vector length or grid side)")
 		matrix    = fs.String("matrix", "", "MatrixMarket file to inject into (matrix structures; default: generated stencil)")
+		shards    = fs.Int("shards", 0, "row-partition matrix campaigns across this many shards (>= 2 also enables the halo structure)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 0 {
+		return fmt.Errorf("shards %d must be >= 0", *shards)
 	}
 
 	formats, err := parseFormats(*format)
@@ -93,14 +99,22 @@ func run(args []string, stdout io.Writer) error {
 		schemes = []core.Scheme{s}
 	}
 	structures := []core.Structure{core.StructVector, core.StructElements, core.StructRowPtr}
+	if *shards > 1 {
+		structures = append(structures, core.StructHalo)
+	}
 	if *structure != "" {
 		switch *structure {
 		case "vector":
-			structures = structures[:1]
+			structures = []core.Structure{core.StructVector}
 		case "elements":
 			structures = []core.Structure{core.StructElements}
 		case "rowptr":
 			structures = []core.Structure{core.StructRowPtr}
+		case "halo":
+			if *shards < 2 {
+				return fmt.Errorf("the halo structure needs -shards >= 2 (got %d)", *shards)
+			}
+			structures = []core.Structure{core.StructHalo}
 		default:
 			return fmt.Errorf("unknown structure %q", *structure)
 		}
@@ -113,6 +127,9 @@ func run(args []string, stdout io.Writer) error {
 	mode := "same-codeword"
 	if *scatter {
 		mode = "scattered"
+	}
+	if *shards > 1 {
+		mode = fmt.Sprintf("%s, matrix campaigns over %d shards", mode, *shards)
 	}
 	if plain != nil {
 		fmt.Fprintf(stdout, "fault injection: %d trials per configuration, %s flips, matrix %s (%dx%d, %d entries)\n\n",
@@ -153,6 +170,7 @@ func run(args []string, stdout io.Writer) error {
 						SameCodeword: !*scatter,
 						Size:         *size,
 						Matrix:       plain,
+						Shards:       *shards,
 					})
 					if err != nil {
 						return err

@@ -51,6 +51,7 @@ func run(args []string, stdout io.Writer) error {
 		interval = fs.Int("interval", 0, "full matrix checks every n-th sweep")
 		crc      = fs.String("crc", "", "crc32c backend: hardware, software")
 		workers  = fs.Int("workers", 0, "kernel goroutines")
+		shards   = fs.Int("shards", 0, "row-partition the operator into this many bands with protected halo exchanges")
 		retry    = fs.Bool("retry", false, "reprotect and retry a step after an uncorrectable fault")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -117,14 +118,17 @@ func run(args []string, stdout io.Writer) error {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	if *shards > 0 {
+		cfg.Shards = *shards
+	}
 	cfg.RetryOnFault = cfg.RetryOnFault || *retry
 
 	fmt.Fprintf(stdout, "TeaLeaf (ABFT reproduction)\n")
 	fmt.Fprintf(stdout, "  grid %dx%d, %d steps, dt %g, solver %v\n",
 		cfg.NX, cfg.NY, cfg.EndStep, cfg.DtInit, cfg.Solver)
-	fmt.Fprintf(stdout, "  protection: format=%v elements=%v rowptr=%v vectors=%v interval=%d crc=%v workers=%d\n",
+	fmt.Fprintf(stdout, "  protection: format=%v elements=%v rowptr=%v vectors=%v interval=%d crc=%v workers=%d shards=%d\n",
 		cfg.Format, cfg.ElemScheme, cfg.RowPtrScheme, cfg.VectorScheme, cfg.CheckInterval,
-		cfg.CRCBackend, cfg.Workers)
+		cfg.CRCBackend, cfg.Workers, cfg.Shards)
 
 	sim, err := tealeaf.New(cfg)
 	if err != nil {

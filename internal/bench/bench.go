@@ -79,6 +79,7 @@ type protection struct {
 	elem, rowptr, vec core.Scheme
 	interval          int
 	backend           ecc.Backend
+	shards            int
 }
 
 // workloadConfig builds the TeaLeaf configuration for one measurement.
@@ -96,6 +97,7 @@ func (o Options) workloadConfig(p protection) tealeaf.Config {
 	cfg.VectorScheme = p.vec
 	cfg.CheckInterval = p.interval
 	cfg.CRCBackend = p.backend
+	cfg.Shards = p.shards
 	return cfg
 }
 
@@ -282,6 +284,42 @@ func FullProtection(opt Options) (Row, error) {
 // HardwareECCTargetPct is the paper's measured hardware-ECC overhead for
 // TeaLeaf on the NVIDIA K40 (the comparison target for FullProtection).
 const HardwareECCTargetPct = 8.1
+
+// ShardScaling measures the sharded solve — row bands with protected
+// halo exchanges and tree-reduced inner products — against the
+// single-operator baseline at the same full-SECDED64 protection, across
+// shard counts and storage formats. Negative overheads are shard-
+// parallel speedups; the gap to ideal is the exchange and reduction
+// cost the paper's distributed deployment pays.
+func ShardScaling(opt Options, shardCounts []int) ([]Row, error) {
+	o := opt.withDefaults()
+	if len(shardCounts) == 0 {
+		shardCounts = []int{2, 4, 8}
+	}
+	full := protection{elem: core.SECDED64, rowptr: core.SECDED64, vec: core.SECDED64}
+	var rows []Row
+	for _, f := range op.Formats {
+		p := full
+		p.format = f
+		base, err := o.measure(p)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %v unsharded: %w", f, err)
+		}
+		o.logf("%v unsharded: %v", f, base)
+		for _, n := range shardCounts {
+			p.shards = n
+			d, err := o.measure(p)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %v shards=%d: %w", f, n, err)
+			}
+			label := fmt.Sprintf("%v/shards-%d", f, n)
+			o.logf("%-18s %v", label, d)
+			rows = append(rows, Row{Label: label, Base: base, Protected: d,
+				OverheadPct: overhead(base, d)})
+		}
+	}
+	return rows, nil
+}
 
 // FormatComparison extends the scheme-overhead experiment along the
 // storage-format axis of the protected-operator layer: the TeaLeaf CG

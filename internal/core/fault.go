@@ -15,6 +15,9 @@ const (
 	StructElements
 	// StructRowPtr is the CSR row-pointer vector.
 	StructRowPtr
+	// StructHalo is a sharded operator's resident halo-extended local
+	// vector — the buffer the protected exchange packs from and into.
+	StructHalo
 )
 
 func (s Structure) String() string {
@@ -25,6 +28,8 @@ func (s Structure) String() string {
 		return "elements"
 	case StructRowPtr:
 		return "rowptr"
+	case StructHalo:
+		return "halo"
 	default:
 		return fmt.Sprintf("Structure(%d)", uint8(s))
 	}

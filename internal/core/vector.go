@@ -269,6 +269,17 @@ func correctCRCVecBlock(w *[vecBlock]uint64, msg []byte, stored, computed uint32
 	return true
 }
 
+// ReadBlockShared is ReadBlock for vectors read concurrently by several
+// goroutines: the block is fully verified and corrections are used for
+// the returned values (and counted), but never written back to storage,
+// so concurrent readers of one block never race. The stored fault is
+// left for the owning goroutine's next serial check or re-encode to
+// clear. The sharded operator's halo exchange packs neighbour data
+// through this path.
+func (v *Vector) ReadBlockShared(b int, dst *[vecBlock]float64) error {
+	return v.readBlock(b, dst, false)
+}
+
 // ReadBlockNoCheck returns the masked values of block b without integrity
 // checking; the less-frequent-checking mode uses it for vectors that are
 // known-clean within the interval. Exposed for kernels and tests.

@@ -105,3 +105,40 @@ func Laplacian2D(nx, ny int) *Matrix {
 	}
 	return FivePoint(nx, ny, kx, ky, 1, 1)
 }
+
+// IrregularSPD assembles a deterministic symmetric positive definite
+// operator of order n over a pseudo-random sparse graph: every row
+// couples with weight -1 to a scattered neighbour set and carries a
+// diagonally dominant diagonal (degree + 2). Unlike the stencils above
+// it has no geometric structure, which makes it the reference "general
+// matrix" for exercising format- and partition-agnostic paths (the
+// sharded operator, MatrixMarket ingestion, conformance tests).
+func IrregularSPD(n int) *Matrix {
+	if n <= 0 {
+		panic("csr: IrregularSPD needs a positive order")
+	}
+	type key struct{ r, c int }
+	off := make(map[key]bool)
+	for i := 0; i < n; i++ {
+		for _, j := range []int{(i*7 + 3) % n, (i*i + 5) % n, (i + n/3) % n} {
+			if i != j {
+				off[key{i, j}] = true
+				off[key{j, i}] = true
+			}
+		}
+	}
+	deg := make([]int, n)
+	entries := make([]Entry, 0, len(off)+n)
+	for k := range off {
+		entries = append(entries, Entry{Row: k.r, Col: k.c, Val: -1})
+		deg[k.r]++
+	}
+	for i := 0; i < n; i++ {
+		entries = append(entries, Entry{Row: i, Col: i, Val: float64(deg[i]) + 2})
+	}
+	m, err := New(n, n, entries)
+	if err != nil {
+		panic("csr: IrregularSPD: " + err.Error())
+	}
+	return m
+}

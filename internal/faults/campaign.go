@@ -9,6 +9,7 @@ import (
 	"abft/internal/csr"
 	"abft/internal/ecc"
 	"abft/internal/op"
+	"abft/internal/shard"
 )
 
 func flipFloatBits(x float64, mask uint64) float64 {
@@ -49,6 +50,12 @@ type CampaignConfig struct {
 	// Market operators (cmd/faultinject -matrix). Size is ignored for
 	// matrix structures when set.
 	Matrix *csr.Matrix
+	// Shards, when above 1, row-partitions the operator: matrix
+	// campaigns flip bits inside one randomly chosen shard's local
+	// matrix, and the StructHalo structure becomes available, striking
+	// a random shard's resident halo-extended vector between the
+	// scatter and exchange phases of a product.
+	Shards int
 }
 
 // CampaignResult aggregates trial outcomes.
@@ -119,9 +126,14 @@ func Run(cfg CampaignConfig) (CampaignResult, error) {
 			o   Outcome
 			err error
 		)
-		if cfg.Structure == core.StructVector {
+		switch {
+		case cfg.Structure == core.StructVector:
 			o, err = vectorTrial(cfg, in)
-		} else {
+		case cfg.Structure == core.StructHalo:
+			o, err = haloTrial(cfg, in)
+		case cfg.Shards > 1:
+			o, err = shardedMatrixTrial(cfg, in)
+		default:
 			o, err = matrixTrial(cfg, in)
 		}
 		if err != nil {
@@ -183,17 +195,155 @@ type decodable interface {
 	ToCSR() (*csr.Matrix, error)
 }
 
+// campaignMatrix returns the matrix campaigns' source operator: the
+// ingested matrix when configured, a generated stencil otherwise.
+func campaignMatrix(cfg CampaignConfig) *csr.Matrix {
+	if cfg.Matrix != nil {
+		return cfg.Matrix
+	}
+	side := cfg.Size
+	if side < 4 {
+		side = 4
+	}
+	return csr.Laplacian2D(side, side)
+}
+
+// pickTarget selects which stored structure of a matrix receives the
+// trial's flips.
+func pickTarget(cfg CampaignConfig, in *Injector) MatrixTarget {
+	if cfg.Structure == core.StructRowPtr {
+		return TargetRowPtr
+	}
+	if in.rng.Intn(3) == 0 {
+		return TargetCols
+	}
+	return TargetValues
+}
+
+// shardedMatrixTrial corrupts one randomly chosen shard's local matrix
+// of a fresh sharded operator and classifies via a full per-shard scrub
+// plus global decoded comparison.
+func shardedMatrixTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
+	plain := campaignMatrix(cfg)
+	o, err := shard.New(plain, shard.Options{
+		Shards: cfg.Shards,
+		Format: cfg.Format,
+		Config: op.Config{
+			Scheme:       cfg.Scheme,
+			RowPtrScheme: cfg.Scheme,
+			Backend:      cfg.Backend,
+		},
+		VectorScheme: cfg.Scheme,
+	})
+	if err != nil {
+		return 0, err
+	}
+	want, err := o.ToCSR()
+	if err != nil {
+		return 0, err
+	}
+	var c core.Counters
+	o.SetCounters(&c)
+
+	target := pickTarget(cfg, in)
+	m := o.Shard(in.rng.Intn(o.Shards()))
+	flips := in.RandomMatrixFlips(m, target, cfg.Bits, cfg.SameCodeword)
+	if flips == nil {
+		return 0, fmt.Errorf("faults: format %v has no %v structure", cfg.Format, target)
+	}
+	for _, f := range flips {
+		FlipMatrixBit(m, target, f)
+	}
+	if _, err := o.Scrub(); err != nil {
+		return Detected, nil
+	}
+	got, err := o.ToCSR()
+	if err != nil {
+		return Detected, nil
+	}
+	if !csrEqual(want, got) {
+		return SDC, nil
+	}
+	if c.Corrected() > 0 {
+		return Corrected, nil
+	}
+	return Benign, nil
+}
+
+// haloTrial corrupts a random shard's resident halo-extended local
+// vector between the scatter and exchange phases of a sharded product —
+// the moment corruption in one shard's memory is about to cross a shard
+// boundary — and classifies the product's outcome. The scheme under
+// test protects the halo buffers; the shard matrices run unprotected so
+// every detection and correction is attributable to the exchange and
+// kernel vector paths.
+func haloTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
+	if cfg.Shards < 2 {
+		return 0, fmt.Errorf("faults: halo campaigns need Shards >= 2 (got %d)", cfg.Shards)
+	}
+	plain := campaignMatrix(cfg)
+	o, err := shard.New(plain, shard.Options{
+		Shards:       cfg.Shards,
+		Format:       cfg.Format,
+		Config:       op.Config{Backend: cfg.Backend},
+		VectorScheme: cfg.Scheme,
+	})
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(in.rng.Int63()))
+	xs := make([]float64, o.Cols())
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	x := core.VectorFromSlice(xs, core.None)
+	want := core.NewVector(o.Rows(), core.None)
+	if err := o.Apply(want, x, 1); err != nil {
+		return 0, err
+	}
+	ref := make([]float64, o.Rows())
+	if err := want.CopyTo(ref); err != nil {
+		return 0, err
+	}
+
+	var c core.Counters
+	o.SetCounters(&c)
+	o.SetPhaseHook(func(p shard.Phase) {
+		if p != shard.PhaseScatter {
+			return
+		}
+		v := o.Local(in.rng.Intn(o.Shards()))
+		flips := in.RandomVectorFlips(v, cfg.Bits, cfg.SameCodeword)
+		if cfg.BurstWindow > 0 {
+			flips = in.BurstVectorFlips(v, cfg.BurstWindow)
+		}
+		for _, f := range flips {
+			FlipVectorBit(v, f)
+		}
+	})
+	dst := core.NewVector(o.Rows(), core.None)
+	if err := o.Apply(dst, x, 1); err != nil {
+		return Detected, nil
+	}
+	got := make([]float64, o.Rows())
+	if err := dst.CopyTo(got); err != nil {
+		return Detected, nil
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			return SDC, nil
+		}
+	}
+	if c.Corrected() > 0 {
+		return Corrected, nil
+	}
+	return Benign, nil
+}
+
 // matrixTrial corrupts a fresh protected matrix of the configured storage
 // format and classifies via a full scrub plus decoded comparison.
 func matrixTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
-	plain := cfg.Matrix
-	if plain == nil {
-		side := cfg.Size
-		if side < 4 {
-			side = 4
-		}
-		plain = csr.Laplacian2D(side, side)
-	}
+	plain := campaignMatrix(cfg)
 	pm, err := op.New(cfg.Format, plain, op.Config{
 		Scheme:       cfg.Scheme,
 		RowPtrScheme: cfg.Scheme,
@@ -213,14 +363,7 @@ func matrixTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
 	var c core.Counters
 	m.SetCounters(&c)
 
-	var target MatrixTarget
-	if cfg.Structure == core.StructRowPtr {
-		target = TargetRowPtr
-	} else if in.rng.Intn(3) == 0 {
-		target = TargetCols
-	} else {
-		target = TargetValues
-	}
+	target := pickTarget(cfg, in)
 	flips := in.RandomMatrixFlips(m, target, cfg.Bits, cfg.SameCodeword)
 	if flips == nil {
 		return 0, fmt.Errorf("faults: format %v has no %v structure", cfg.Format, target)

@@ -308,3 +308,69 @@ func TestCampaignResultRates(t *testing.T) {
 		t.Fatal("result should format")
 	}
 }
+
+// TestShardedMatrixCampaigns asserts the single-flip capability floor
+// through a randomly chosen shard of a sharded operator: no format and
+// no shard may leak an SDC.
+func TestShardedMatrixCampaigns(t *testing.T) {
+	res := runCampaign(t, CampaignConfig{
+		Scheme:       core.SECDED64,
+		Structure:    core.StructElements,
+		Bits:         1,
+		SameCodeword: true,
+		Shards:       3,
+		Size:         12,
+		Trials:       60,
+	})
+	if res.SDC != 0 {
+		t.Fatalf("sharded secded64: %d SDCs on single flips: %v", res.SDC, res)
+	}
+	if res.Corrected == 0 {
+		t.Fatalf("sharded secded64 corrected nothing: %v", res)
+	}
+}
+
+// TestHaloCampaigns corrupts resident halo buffers between the scatter
+// and exchange phases: SED must detect every observable single flip
+// while SECDED64 corrects them; neither may produce silent corruption.
+func TestHaloCampaigns(t *testing.T) {
+	sed := runCampaign(t, CampaignConfig{
+		Scheme:       core.SED,
+		Structure:    core.StructHalo,
+		Bits:         1,
+		SameCodeword: true,
+		Shards:       3,
+		Size:         12,
+		Trials:       80,
+	})
+	if sed.SDC != 0 {
+		t.Fatalf("sed halo: %d SDCs on single flips: %v", sed.SDC, sed)
+	}
+	if sed.Detected == 0 {
+		t.Fatalf("sed halo detected nothing: %v", sed)
+	}
+	if sed.Corrected != 0 {
+		t.Fatalf("sed halo cannot correct: %v", sed)
+	}
+
+	secded := runCampaign(t, CampaignConfig{
+		Scheme:       core.SECDED64,
+		Structure:    core.StructHalo,
+		Bits:         1,
+		SameCodeword: true,
+		Shards:       3,
+		Size:         12,
+		Trials:       80,
+	})
+	if secded.SDC != 0 || secded.Detected != 0 {
+		t.Fatalf("secded64 halo: sdc=%d detected=%d on single flips: %v",
+			secded.SDC, secded.Detected, secded)
+	}
+	if secded.Corrected == 0 {
+		t.Fatalf("secded64 halo corrected nothing: %v", secded)
+	}
+
+	if _, err := Run(CampaignConfig{Scheme: core.SED, Structure: core.StructHalo}); err == nil {
+		t.Fatal("halo campaign without shards accepted")
+	}
+}

@@ -34,7 +34,13 @@ func operatorKey(m *csr.Matrix, p solveParams) string {
 		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
 		h.Write(w[:])
 	}
-	return fmt.Sprintf("%x|%v|%v|%v|%d", h.Sum(nil), p.format, p.scheme, p.rowptr, p.sigma)
+	key := fmt.Sprintf("%x|%v|%v|%v|%d", h.Sum(nil), p.format, p.scheme, p.rowptr, p.sigma)
+	if p.shards > 1 {
+		// A sharded operator is a different resident structure: the band
+		// count and the halo-buffer protection both shape its image.
+		key += fmt.Sprintf("|shards=%d|%v", p.shards, p.vectors)
+	}
+	return key
 }
 
 // cacheEntry is one resident protected operator. The mutex arbitrates
@@ -57,6 +63,9 @@ type cacheEntry struct {
 	// Diagonal routes through CheckAll and would commit repairs to
 	// shared storage under only a read lock.
 	diag []float64
+	// shards is the operator's band count (1 for unsharded operators),
+	// recorded for the /metrics shard gauge and per-shard scrub stats.
+	shards int
 
 	mu sync.RWMutex
 
@@ -79,6 +88,9 @@ type CacheStats struct {
 	// EvictedFault counts operators dropped because scrubbing found a
 	// detected-but-uncorrectable fault.
 	EvictedFault uint64
+	// Shards is the current resident shard count summed over every
+	// operator (an unsharded operator counts one).
+	Shards int
 }
 
 // operatorCache is the content-addressed LRU of protected operators.
@@ -136,6 +148,10 @@ func (c *operatorCache) get(key string, build func() (core.ProtectedMatrix, []fl
 	} else {
 		e.m = m
 		e.diag = diag
+		e.shards = 1
+		if sh, ok := m.(interface{ Shards() int }); ok {
+			e.shards = sh.Shards()
+		}
 		e.built = true
 		c.stats.Builds++
 		c.evictOverCapacityLocked()
@@ -234,5 +250,10 @@ func (c *operatorCache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Entries = len(c.entries)
+	for _, e := range c.entries {
+		if e.built {
+			s.Shards += e.shards
+		}
+	}
 	return s
 }

@@ -115,10 +115,11 @@ func TestCacheBuildErrorNotCached(t *testing.T) {
 func TestOperatorKeyDistinguishesConfigs(t *testing.T) {
 	plain := csr.Laplacian2D(6, 6)
 	base := SolveRequest{Scheme: "secded64"}
-	p0, err := base.resolve(8)
+	p0, err := base.resolve(Config{}.withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
+	p0.finalizeShards(plain.Rows())
 	k0 := operatorKey(plain, p0)
 
 	if k := operatorKey(csr.Laplacian2D(6, 6), p0); k != k0 {
@@ -130,10 +131,11 @@ func TestOperatorKeyDistinguishesConfigs(t *testing.T) {
 		{Scheme: "secded64", Format: "coo"},
 		{Scheme: "secded64", Format: "sellcs", Sigma: 8},
 	} {
-		p, err := alt.resolve(8)
+		p, err := alt.resolve(Config{}.withDefaults())
 		if err != nil {
 			t.Fatal(err)
 		}
+		p.finalizeShards(plain.Rows())
 		if k := operatorKey(plain, p); k == k0 {
 			t.Fatalf("config %+v collided with base key", alt)
 		}
@@ -149,10 +151,11 @@ func TestOperatorKeyDistinguishesConfigs(t *testing.T) {
 func TestOperatorKeyIgnoresIrrelevantKnobs(t *testing.T) {
 	plain := csr.Laplacian2D(6, 6)
 	key := func(r SolveRequest) string {
-		p, err := r.resolve(8)
+		p, err := r.resolve(Config{}.withDefaults())
 		if err != nil {
 			t.Fatal(err)
 		}
+		p.finalizeShards(plain.Rows())
 		return operatorKey(plain, p)
 	}
 	if key(SolveRequest{Format: "coo", Scheme: "secded64"}) !=

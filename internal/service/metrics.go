@@ -33,8 +33,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "abftd_jobs_total{state=\"done\"} %d\n", s.jobsDone.Load())
 	fmt.Fprintf(w, "abftd_jobs_total{state=\"failed\"} %d\n", s.jobsFailed.Load())
 	counter("abftd_jobs_rejected_total", "Jobs rejected by a full queue.", s.jobsRejected.Load())
+	counter("abftd_jobs_sharded_total", "Jobs enqueued to solve over a sharded operator.", s.jobsSharded.Load())
 
 	gauge("abftd_cache_operators", "Resident protected operators.", float64(cs.Entries))
+	gauge("abftd_cache_shards", "Resident shards summed over all operators (unsharded operators count one).", float64(cs.Shards))
 	counter("abftd_cache_builds_total", "Protected operators encoded (cache misses).", cs.Builds)
 	counter("abftd_cache_hits_total", "Solves served by a resident operator.", cs.Hits)
 	counter("abftd_cache_build_errors_total", "Failed operator builds.", cs.BuildErrors)
@@ -45,6 +47,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	counter("abftd_scrub_passes_total", "Completed scrub-daemon patrol passes.", ss.Passes)
 	counter("abftd_scrub_operators_scrubbed_total", "Operator scrubs performed.", ss.Scrubbed)
+	counter("abftd_scrub_shards_scrubbed_total", "Shard-level scrubs performed (unsharded operators count one).", ss.Shards)
 	counter("abftd_scrub_corrected_total", "Codewords repaired by the scrub daemon.", ss.Corrected)
 	counter("abftd_scrub_faults_total", "Uncorrectable faults found by scrubbing (each evicts).", ss.Faults)
 

@@ -11,6 +11,9 @@ type ScrubStats struct {
 	Passes uint64
 	// Scrubbed is the number of operator scrubs performed.
 	Scrubbed uint64
+	// Shards is the number of shard-level scrubs performed: a sharded
+	// operator's patrol sweeps every band, an unsharded one counts one.
+	Shards uint64
 	// Corrected is the total number of codewords repaired in place.
 	Corrected uint64
 	// Faults is the number of detected-but-uncorrectable errors found;
@@ -64,14 +67,17 @@ func (d *scrubDaemon) Stop() {
 	<-done
 }
 
-// Pass scrubs every resident operator once, oldest first.
+// Pass scrubs every resident operator once, oldest first. A sharded
+// operator's Scrub patrols each band in turn, continuing past faulty
+// shards so the whole fleet's damage is counted before eviction.
 func (d *scrubDaemon) Pass() {
-	var scrubbed, corrected, faults uint64
+	var scrubbed, shards, corrected, faults uint64
 	for _, e := range d.cache.resident() {
 		e.mu.Lock()
 		n, err := e.m.Scrub()
 		e.mu.Unlock()
 		scrubbed++
+		shards += uint64(e.shards)
 		corrected += uint64(n)
 		if err != nil {
 			faults++
@@ -81,6 +87,7 @@ func (d *scrubDaemon) Pass() {
 	d.mu.Lock()
 	d.stats.Passes++
 	d.stats.Scrubbed += scrubbed
+	d.stats.Shards += shards
 	d.stats.Corrected += corrected
 	d.stats.Faults += faults
 	d.mu.Unlock()

@@ -28,6 +28,9 @@ type Config struct {
 	// MaxSolveWorkers clamps the per-job kernel goroutine count
 	// (default 8).
 	MaxSolveWorkers int
+	// MaxShards clamps the per-request shard count of sharded solves
+	// (default 16).
+	MaxShards int
 	// JobHistory bounds how many finished jobs stay queryable
 	// (default 1024); the oldest finished jobs are forgotten beyond it.
 	JobHistory int
@@ -48,6 +51,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSolveWorkers <= 0 {
 		c.MaxSolveWorkers = 8
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 16
 	}
 	if c.JobHistory <= 0 {
 		c.JobHistory = 1024
@@ -142,6 +148,7 @@ type Server struct {
 	jobsDone     atomic.Uint64
 	jobsFailed   atomic.Uint64
 	jobsRejected atomic.Uint64
+	jobsSharded  atomic.Uint64
 	inflight     atomic.Int64
 }
 
@@ -235,7 +242,7 @@ func (s *Server) Wait(id string) (JobStatus, error) {
 // resolved against the registries and the source matrix is assembled
 // and content-hashed, so every usage error surfaces before queueing.
 func (s *Server) admit(req SolveRequest) (*job, error) {
-	params, err := req.resolve(s.cfg.MaxSolveWorkers)
+	params, err := req.resolve(s.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +257,7 @@ func (s *Server) admit(req SolveRequest) (*job, error) {
 	if len(req.B) > 0 && len(req.B) != plain.Rows() {
 		return nil, fmt.Errorf("rhs length %d does not match %d rows", len(req.B), plain.Rows())
 	}
+	params.finalizeShards(plain.Rows())
 	return &job{
 		id:     fmt.Sprintf("j%08d", s.nextID.Add(1)),
 		req:    req,
@@ -276,6 +284,9 @@ func (s *Server) enqueue(j *job) error {
 	select {
 	case s.queue <- j:
 		s.inflight.Add(1)
+		if j.params.shards > 1 {
+			s.jobsSharded.Add(1)
+		}
 		return nil
 	default:
 		s.jobMu.Lock()

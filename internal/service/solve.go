@@ -5,6 +5,7 @@ import (
 
 	"abft/internal/core"
 	"abft/internal/op"
+	"abft/internal/shard"
 	"abft/internal/solvers"
 )
 
@@ -56,6 +57,16 @@ func (o cachedOperator) Diagonal(dst []float64) error {
 	return nil
 }
 
+// Dot forwards to the operator's own reduction when it has one (a
+// sharded operator tree-reduces per-band partials), so solver inner
+// products follow the cached operator's decomposition.
+func (o cachedOperator) Dot(a, b *core.Vector) (float64, error) {
+	if d, ok := o.e.m.(solvers.DotOperator); ok {
+		return d.Dot(a, b)
+	}
+	return core.Dot(a, b, o.workers)
+}
+
 // solve executes one job against the shared operator cache. The
 // protected encode happens at most once per operator key (single-flight
 // inside the cache); the solve itself runs under the entry's shared
@@ -65,12 +76,28 @@ func (o cachedOperator) Diagonal(dst []float64) error {
 func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
 	p := j.params
 	e, hit, err := s.cache.get(j.key, func() (core.ProtectedMatrix, []float64, error) {
-		m, err := op.New(p.format, j.plain, op.Config{
+		cfg := op.Config{
 			Scheme:       p.scheme,
 			RowPtrScheme: p.rowptr,
 			Backend:      s.cfg.CRCBackend,
 			Sigma:        p.sigma,
-		})
+		}
+		var m core.ProtectedMatrix
+		var err error
+		if p.shards > 1 {
+			// Row-partition the operator: each band holds its own
+			// protected local matrix in the effective format, and the
+			// request's vector scheme protects the halo buffers the
+			// bands exchange through.
+			m, err = shard.New(j.plain, shard.Options{
+				Shards:       p.shards,
+				Format:       p.format,
+				Config:       cfg,
+				VectorScheme: p.vectors,
+			})
+		} else {
+			m, err = op.New(p.format, j.plain, cfg)
+		}
 		if err != nil {
 			return nil, nil, err
 		}

@@ -18,6 +18,7 @@ import (
 	"abft/internal/csr"
 	"abft/internal/mm"
 	"abft/internal/op"
+	"abft/internal/shard"
 	"abft/internal/solvers"
 )
 
@@ -99,6 +100,14 @@ type SolveRequest struct {
 	VectorScheme string `json:"vector_scheme,omitempty"`
 	// Sigma is the SELL-C-sigma sorting window (sellcs only).
 	Sigma int `json:"sigma,omitempty"`
+	// Shards row-partitions the operator into this many bands, each
+	// holding its own protected local matrix, with integrity-checked
+	// halo exchanges between them (0 or 1 solves unsharded). The count
+	// is clamped to the server's MaxShards and to the operator size.
+	Shards int `json:"shards,omitempty"`
+	// ShardFormat selects the storage format of the shard-local
+	// matrices when Shards > 1 (default: Format).
+	ShardFormat string `json:"shard_format,omitempty"`
 	// Solver picks the algorithm ("cg", "jacobi", "chebyshev", "ppcg";
 	// default cg).
 	Solver string `json:"solver,omitempty"`
@@ -127,17 +136,68 @@ type solveParams struct {
 	rowptr  core.Scheme
 	vectors core.Scheme
 	sigma   int
-	kind    solvers.Kind
-	opt     solvers.Options
+	// shards is the canonical band count: 0 for an unsharded solve
+	// (requests for 1 shard resolve to 0, since a single band is the
+	// unsharded operator), clamped against the matrix size at admission.
+	shards int
+	// shardFormat is the requested shard-local storage format; it
+	// becomes the effective format in finalizeShards if the solve is
+	// still sharded after clamping against the matrix size.
+	shardFormat op.Format
+	kind        solvers.Kind
+	opt         solvers.Options
+}
+
+// finalizeShards completes shard resolution once the matrix dimensions
+// are known: the band count clamps to what the operator can actually be
+// cut into, the shard format becomes the effective format only if the
+// solve is still sharded, and knobs the effective format ignores are
+// dropped so they cannot split the operator-cache key between
+// semantically identical operators.
+func (p *solveParams) finalizeShards(rows int) {
+	if p.shards > 1 {
+		if p.shards = shard.Clamp(rows, p.shards); p.shards == 1 {
+			p.shards = 0
+		}
+	}
+	if p.shards > 1 {
+		p.format = p.shardFormat
+	} else {
+		p.shardFormat = p.format
+	}
+	if p.format != op.CSR {
+		p.rowptr = core.None
+	}
+	if p.format != op.SELLCS {
+		p.sigma = 0
+	}
 }
 
 // resolve validates the symbolic fields of a request against the format,
 // scheme and solver registries.
-func (r *SolveRequest) resolve(maxWorkers int) (solveParams, error) {
+func (r *SolveRequest) resolve(cfg Config) (solveParams, error) {
 	var p solveParams
 	var err error
 	if p.format, err = op.ParseFormat(r.Format); err != nil {
 		return p, err
+	}
+	if r.Shards < 0 {
+		return p, fmt.Errorf("shards %d must be >= 0", r.Shards)
+	}
+	if p.shards = r.Shards; p.shards > cfg.MaxShards {
+		p.shards = cfg.MaxShards
+	}
+	if p.shards == 1 {
+		p.shards = 0 // one band is the unsharded operator
+	}
+	// The shard-local matrices are the operator, so their format is the
+	// effective format of a sharded request — but only once the count
+	// has been clamped against the matrix size (finalizeShards).
+	p.shardFormat = p.format
+	if p.shards > 1 && r.ShardFormat != "" {
+		if p.shardFormat, err = op.ParseFormat(r.ShardFormat); err != nil {
+			return p, err
+		}
 	}
 	if p.scheme, err = core.ParseScheme(r.Scheme); err != nil {
 		return p, err
@@ -155,20 +215,12 @@ func (r *SolveRequest) resolve(maxWorkers int) (solveParams, error) {
 		return p, fmt.Errorf("sigma %d must be >= 0", r.Sigma)
 	}
 	p.sigma = r.Sigma
-	// Drop knobs the chosen format ignores so they cannot split the
-	// operator-cache key between semantically identical operators.
-	if p.format != op.CSR {
-		p.rowptr = core.None
-	}
-	if p.format != op.SELLCS {
-		p.sigma = 0
-	}
 	workers := r.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > maxWorkers {
-		workers = maxWorkers
+	if workers > cfg.MaxSolveWorkers {
+		workers = cfg.MaxSolveWorkers
 	}
 	p.opt = solvers.Options{
 		Tol:         r.Tol,

@@ -1,0 +1,609 @@
+// Package shard generalises the TeaLeaf halo exchange into a
+// format-agnostic row-partitioned sharded operator: any assembled sparse
+// matrix — a stencil, a Matrix Market download, raw triplets — splits
+// into horizontal row bands, each owning an ABFT-protected local matrix
+// in any registered storage format (internal/op) plus a protected
+// halo-extended local vector. Before every matrix-vector product the
+// shards exchange boundary entries, the in-process analogue of an MPI
+// halo exchange, and global inner products tree-reduce per-shard
+// partial sums as an MPI allreduce would.
+//
+// The exchange goes through the protected read/verify -> re-encode
+// path: a value is integrity-checked as it is packed from the owning
+// shard's memory and re-encoded as it lands in the neighbour's halo, so
+// a bit flip on either side is caught at the boundary exactly as it
+// would be inside a kernel. Shards execute in parallel goroutines in
+// bulk-synchronous phases.
+//
+// The composite implements core.ProtectedMatrix, so the iterative
+// solvers, the abftd operator cache, the scrub daemon and the fault
+// campaigns all run over it unchanged.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"abft/internal/core"
+	"abft/internal/csr"
+	"abft/internal/op"
+	"abft/internal/par"
+)
+
+// blockLen is the protected-vector codeword block (core's vecBlock).
+// Band boundaries are aligned to it so no two shards ever share a
+// codeword block of a global vector.
+const blockLen = 4
+
+// Phase names one bulk-synchronous step of a sharded Apply; the phase
+// hook receives it after the step's barrier.
+type Phase int
+
+const (
+	// PhaseScatter: global x verified and re-encoded into every shard's
+	// local interior.
+	PhaseScatter Phase = iota
+	// PhaseExchange: boundary entries packed from neighbour shards into
+	// the local halos.
+	PhaseExchange
+	// PhaseLocal: per-shard protected products computed and gathered
+	// into the global destination.
+	PhaseLocal
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseScatter:
+		return "scatter"
+	case PhaseExchange:
+		return "exchange"
+	case PhaseLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Options configures a sharded operator.
+type Options struct {
+	// Shards is the number of row bands (default 2). The count is
+	// clamped so every band holds at least one codeword-aligned block of
+	// rows; Operator.Shards reports the effective value.
+	Shards int
+	// Format selects the storage format of every shard's local protected
+	// matrix.
+	Format op.Format
+	// Config carries the local matrices' protection configuration
+	// (element and row-pointer schemes, CRC backend, check interval,
+	// sigma), exactly as for a single operator of the same format.
+	Config op.Config
+	// VectorScheme protects the halo-extended local vectors the exchange
+	// packs into (default none).
+	VectorScheme core.Scheme
+}
+
+// Clamp returns the effective shard count for a matrix with rows rows:
+// the largest band count <= shards whose boundaries stay aligned to the
+// protection codeword block.
+func Clamp(rows, shards int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	return len(par.Ranges(rows, shards, blockLen))
+}
+
+// band is one row shard: global rows [r0, r1), a local protected matrix
+// over the halo-extended column space, and persistent local vectors.
+type band struct {
+	r0, r1 int
+	m      core.ProtectedMatrix
+	// haloCols are the out-of-band global columns this band's rows
+	// couple to, ascending; local column interiorPad+k holds haloCols[k].
+	haloCols []uint32
+	// interiorPad is the block-padded interior width: the local column
+	// index where the halo section starts.
+	interiorPad int
+	// localCols is the local column space width (interiorPad + halo).
+	localCols int
+}
+
+func (b *band) rows() int { return b.r1 - b.r0 }
+
+// workspace is one in-flight Apply's set of per-band local vectors:
+// x[i] is band i's halo-extended input ([interior | pad | halo]), y[i]
+// its local product. Workspaces are pooled so concurrent Apply callers
+// (many solve jobs sharing one cached operator) never contend on
+// buffers; the primary workspace persists for the operator's lifetime
+// and is the resident memory halo fault campaigns corrupt.
+type workspace struct {
+	x, y []*core.Vector
+}
+
+// Operator is a row-sharded protected operator. It satisfies
+// core.ProtectedMatrix; Apply runs the bulk-synchronous
+// scatter/exchange/local-product pipeline across per-shard goroutines.
+// Concurrent Apply callers each draw a workspace from an internal pool,
+// so solves sharing one cached operator proceed without contention;
+// Scrub and Diagonal follow the same owner-serialised contract as every
+// other ProtectedMatrix implementation.
+type Operator struct {
+	rows, cols int
+	nnz        int
+	opt        Options
+	bands      []*band
+
+	counters *core.Counters
+	// hook, when set, observes phase barriers (fault campaigns corrupt
+	// shard-local state between phases through it). Set before sharing.
+	hook func(Phase)
+
+	// primary is the operator's resident workspace (Local exposes its
+	// vectors for fault injection); free is the LIFO pool, primary at
+	// the bottom, so a single-threaded caller always reuses it.
+	primary *workspace
+	wsMu    sync.Mutex
+	free    []*workspace
+}
+
+// New partitions src into row bands and builds each band's protected
+// local matrix in the configured format. Band boundaries are aligned to
+// the vector codeword block, so the shard count is clamped to at most
+// one band per block of rows.
+func New(src *csr.Matrix, opt Options) (*Operator, error) {
+	if opt.Shards <= 0 {
+		opt.Shards = 2
+	}
+	if err := src.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	if src.Rows() != src.Cols32() {
+		// Row bands partition the column space too: every halo column
+		// must have an owning band to pack from.
+		return nil, fmt.Errorf("shard: matrix is %dx%d; row sharding needs a square operator",
+			src.Rows(), src.Cols32())
+	}
+	o := &Operator{
+		rows: src.Rows(),
+		cols: src.Cols32(),
+		opt:  opt,
+	}
+	for _, r := range par.Ranges(src.Rows(), opt.Shards, blockLen) {
+		b, err := newBand(src, r[0], r[1], opt)
+		if err != nil {
+			return nil, err
+		}
+		o.bands = append(o.bands, b)
+		o.nnz += b.m.NNZ()
+	}
+	o.primary = o.newWorkspace()
+	o.free = []*workspace{o.primary}
+	return o, nil
+}
+
+// newWorkspace allocates per-band local vectors wired to the current
+// counters and CRC backend.
+func (o *Operator) newWorkspace() *workspace {
+	ws := &workspace{}
+	for _, b := range o.bands {
+		x := core.NewVector(b.localCols, o.opt.VectorScheme)
+		y := core.NewVector(b.rows(), o.opt.VectorScheme)
+		for _, v := range []*core.Vector{x, y} {
+			v.SetCRCBackend(o.opt.Config.Backend)
+			v.SetCounters(o.counters)
+		}
+		ws.x = append(ws.x, x)
+		ws.y = append(ws.y, y)
+	}
+	return ws
+}
+
+// getWorkspace pops the most recently released workspace (the primary
+// for single-threaded callers) or allocates a fresh one when every
+// pooled workspace is held by an in-flight Apply.
+func (o *Operator) getWorkspace() *workspace {
+	o.wsMu.Lock()
+	defer o.wsMu.Unlock()
+	if n := len(o.free); n > 0 {
+		ws := o.free[n-1]
+		o.free = o.free[:n-1]
+		return ws
+	}
+	return o.newWorkspace()
+}
+
+func (o *Operator) putWorkspace(ws *workspace) {
+	o.wsMu.Lock()
+	o.free = append(o.free, ws)
+	o.wsMu.Unlock()
+}
+
+// newBand slices global rows [r0, r1) out of src, remaps out-of-band
+// columns into the halo section of the local column space and protects
+// the result in the configured format.
+func newBand(src *csr.Matrix, r0, r1 int, opt Options) (*band, error) {
+	b := &band{r0: r0, r1: r1}
+	b.interiorPad = (b.rows() + blockLen - 1) / blockLen * blockLen
+
+	// First pass: collect the distinct out-of-band columns.
+	seen := make(map[uint32]bool)
+	for r := r0; r < r1; r++ {
+		for k := src.RowPtr[r]; k < src.RowPtr[r+1]; k++ {
+			if c := src.Cols[k]; int(c) < r0 || int(c) >= r1 {
+				seen[c] = true
+			}
+		}
+	}
+	b.haloCols = make([]uint32, 0, len(seen))
+	for c := range seen {
+		b.haloCols = append(b.haloCols, c)
+	}
+	sort.Slice(b.haloCols, func(i, j int) bool { return b.haloCols[i] < b.haloCols[j] })
+	halo := make(map[uint32]int, len(b.haloCols))
+	for i, c := range b.haloCols {
+		halo[c] = b.interiorPad + i
+	}
+
+	// Second pass: remap entries into the local column space.
+	entries := make([]csr.Entry, 0, int(src.RowPtr[r1]-src.RowPtr[r0]))
+	for r := r0; r < r1; r++ {
+		for k := src.RowPtr[r]; k < src.RowPtr[r+1]; k++ {
+			c := src.Cols[k]
+			lc := int(c) - r0
+			if int(c) < r0 || int(c) >= r1 {
+				lc = halo[c]
+			}
+			entries = append(entries, csr.Entry{Row: r - r0, Col: lc, Val: src.Vals[k]})
+		}
+	}
+	b.localCols = b.interiorPad + len(b.haloCols)
+	plain, err := csr.New(b.rows(), b.localCols, entries)
+	if err != nil {
+		return nil, fmt.Errorf("shard: rows [%d,%d): %w", r0, r1, err)
+	}
+	if b.m, err = op.New(opt.Format, plain, opt.Config); err != nil {
+		return nil, fmt.Errorf("shard: rows [%d,%d): %w", r0, r1, err)
+	}
+	return b, nil
+}
+
+// vecChecks accounts blocks verified reads against v's counters,
+// mirroring the kernels' per-call batching.
+func vecChecks(v *core.Vector, blocks int) {
+	if s := v.Scheme(); s != core.None {
+		v.Counters().AddChecks(uint64(blocks) * uint64(blockLen/s.VecGroup()))
+	}
+}
+
+// Rows returns the global row count, satisfying core.ProtectedMatrix.
+func (o *Operator) Rows() int { return o.rows }
+
+// Cols returns the global column count.
+func (o *Operator) Cols() int { return o.cols }
+
+// NNZ returns the stored entry count summed over all shards (including
+// any padding the schemes' structural constraints required).
+func (o *Operator) NNZ() int { return o.nnz }
+
+// Scheme returns the element protection scheme of the shard matrices.
+func (o *Operator) Scheme() core.Scheme { return o.opt.Config.Scheme }
+
+// Shards returns the effective band count.
+func (o *Operator) Shards() int { return len(o.bands) }
+
+// ShardRange returns the global row range [r0, r1) of shard i.
+func (o *Operator) ShardRange(i int) (r0, r1 int) { return o.bands[i].r0, o.bands[i].r1 }
+
+// Shard exposes shard i's protected local matrix (fault injection and
+// inspection).
+func (o *Operator) Shard(i int) core.ProtectedMatrix { return o.bands[i].m }
+
+// Local exposes shard i's halo-extended local vector in the operator's
+// resident primary workspace — the buffer the exchange packs from and
+// into (single-threaded callers always draw the primary). Fault
+// campaigns flip bits in its raw storage to model corruption striking a
+// shard's memory between phases.
+func (o *Operator) Local(i int) *core.Vector { return o.primary.x[i] }
+
+// HaloRange returns the element range [lo, hi) of shard i's halo
+// section within its local vector.
+func (o *Operator) HaloRange(i int) (lo, hi int) {
+	b := o.bands[i]
+	return b.interiorPad, b.interiorPad + len(b.haloCols)
+}
+
+// SetPhaseHook installs a function observing Apply's phase barriers
+// (fault campaigns corrupt shard state mid-product through it). It must
+// be set before the operator is shared. Each Apply fires the hook at
+// its own barriers with no lock held — a barrier joins only that call's
+// band goroutines — so a hook mutating shard state assumes a single
+// in-flight Apply, the shape every campaign has.
+func (o *Operator) SetPhaseHook(fn func(Phase)) { o.hook = fn }
+
+// SetCounters attaches a statistics accumulator to every shard's matrix
+// and workspace vector, satisfying core.ProtectedMatrix. Must be called
+// before the operator is shared (workspaces allocated for later
+// concurrent Apply calls inherit the accumulator).
+func (o *Operator) SetCounters(c *core.Counters) {
+	o.counters = c
+	for _, b := range o.bands {
+		b.m.SetCounters(c)
+	}
+	o.wsMu.Lock()
+	defer o.wsMu.Unlock()
+	for _, ws := range o.free {
+		for i := range o.bands {
+			ws.x[i].SetCounters(c)
+			ws.y[i].SetCounters(c)
+		}
+	}
+}
+
+// SetShared propagates the shared (no-commit Apply) mode to every shard
+// matrix; workspace vectors need no mode because each in-flight Apply
+// owns its workspace exclusively.
+func (o *Operator) SetShared(shared bool) {
+	for _, b := range o.bands {
+		b.m.SetShared(shared)
+	}
+}
+
+// CounterSnapshot returns a copy of the attached counters.
+func (o *Operator) CounterSnapshot() core.CounterSnapshot { return o.counters.Snapshot() }
+
+// RawVals exposes shard 0's stored values for generic fault injection;
+// use Shard to target a specific shard.
+func (o *Operator) RawVals() []float64 { return o.bands[0].m.RawVals() }
+
+// RawCols exposes shard 0's stored column indices for generic fault
+// injection; use Shard to target a specific shard.
+func (o *Operator) RawCols() []uint32 { return o.bands[0].m.RawCols() }
+
+// ElemCodewordSpan delegates to shard 0's format geometry, satisfying
+// core.ElemSpanner for same-codeword fault campaigns.
+func (o *Operator) ElemCodewordSpan(pick func(n int) int) (base, span, stride int) {
+	if sp, ok := o.bands[0].m.(core.ElemSpanner); ok {
+		return sp.ElemCodewordSpan(pick)
+	}
+	return pick(len(o.RawVals())), 1, 1
+}
+
+// owner returns the index of the band owning global column c.
+func (o *Operator) owner(c int) int {
+	return sort.Search(len(o.bands), func(i int) bool { return o.bands[i].r1 > c })
+}
+
+func (o *Operator) fire(p Phase) {
+	if o.hook != nil {
+		o.hook(p)
+	}
+}
+
+// Apply computes dst = A x across all shards, satisfying
+// core.ProtectedMatrix: scatter the verified global x into the shard
+// interiors, exchange boundary entries through the protected pack path,
+// then run the per-shard protected products and gather the results.
+// workers is the total kernel goroutine budget, divided across shards
+// (each shard always gets its own goroutine).
+func (o *Operator) Apply(dst, x *core.Vector, workers int) error {
+	if dst.Len() != o.rows || x.Len() != o.cols {
+		return fmt.Errorf("shard: Apply dimension mismatch: dst %d, A %dx%d, x %d",
+			dst.Len(), o.rows, o.cols, x.Len())
+	}
+	ws := o.getWorkspace()
+	defer o.putWorkspace(ws)
+	localWorkers := workers / len(o.bands)
+	if localWorkers < 1 {
+		localWorkers = 1
+	}
+
+	// Scatter: each shard verifies its own blocks of the global x and
+	// re-encodes them into its local interior. Band boundaries are
+	// block-aligned, so shards never touch a shared codeword of x.
+	err := o.forEachBand(func(bi int, b *band) error {
+		var buf [blockLen]float64
+		b0 := b.r0 / blockLen
+		nb := (b.rows() + blockLen - 1) / blockLen
+		vecChecks(x, nb)
+		for k := 0; k < nb; k++ {
+			if err := x.ReadBlock(b0+k, &buf); err != nil {
+				return fmt.Errorf("shard: scatter into shard %d: %w", bi, err)
+			}
+			ws.x[bi].WriteBlock(k, &buf)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	o.fire(PhaseScatter)
+
+	if err := o.exchange(ws); err != nil {
+		return err
+	}
+	o.fire(PhaseExchange)
+
+	// Local products, gathered straight into the block-aligned global
+	// destination.
+	err = o.forEachBand(func(bi int, b *band) error {
+		if err := b.m.Apply(ws.y[bi], ws.x[bi], localWorkers); err != nil {
+			return fmt.Errorf("shard: shard %d: %w", bi, err)
+		}
+		var buf [blockLen]float64
+		b0 := b.r0 / blockLen
+		nb := (b.rows() + blockLen - 1) / blockLen
+		vecChecks(ws.y[bi], nb)
+		for k := 0; k < nb; k++ {
+			if err := ws.y[bi].ReadBlock(k, &buf); err != nil {
+				return fmt.Errorf("shard: gather from shard %d: %w", bi, err)
+			}
+			dst.WriteBlock(b0+k, &buf)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	o.fire(PhaseLocal)
+	return nil
+}
+
+// exchange fills every shard's halo section from the owning shards'
+// local vectors: each boundary entry is integrity-checked as it is
+// packed from the owner (without committing repairs — several shards
+// may read one source block concurrently) and re-encoded as it lands in
+// the destination halo, so corruption in either shard's memory is
+// caught at the boundary.
+func (o *Operator) exchange(ws *workspace) error {
+	return o.forEachBand(func(bi int, b *band) error {
+		if len(b.haloCols) == 0 {
+			return nil
+		}
+		var src, out [blockLen]float64
+		curOwner, curBlk := -1, -1
+		for k, c := range b.haloCols {
+			ow := o.owner(int(c))
+			r0 := o.bands[ow].r0
+			blk := (int(c) - r0) / blockLen
+			if ow != curOwner || blk != curBlk {
+				if err := ws.x[ow].ReadBlockShared(blk, &src); err != nil {
+					return fmt.Errorf("shard: pack shard %d for shard %d: %w", ow, bi, err)
+				}
+				vecChecks(ws.x[ow], 1)
+				curOwner, curBlk = ow, blk
+			}
+			out[k%blockLen] = src[(int(c)-r0)%blockLen]
+			if k%blockLen == blockLen-1 {
+				ws.x[bi].WriteBlock(b.interiorPad/blockLen+k/blockLen, &out)
+				out = [blockLen]float64{}
+			}
+		}
+		if n := len(b.haloCols); n%blockLen != 0 {
+			ws.x[bi].WriteBlock(b.interiorPad/blockLen+(n-1)/blockLen, &out)
+		}
+		return nil
+	})
+}
+
+// forEachBand runs fn on every band in its own goroutine and waits.
+func (o *Operator) forEachBand(fn func(bi int, b *band) error) error {
+	return par.ForEach(len(o.bands), len(o.bands), 1, func(lo, hi int) error {
+		for bi := lo; bi < hi; bi++ {
+			if err := fn(bi, o.bands[bi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Dot computes the global inner product a . b with per-shard partial
+// sums reduced pairwise in a binary tree — the deterministic in-process
+// analogue of an MPI allreduce. Solvers pick it up through the
+// solvers.DotOperator capability, so every CG inner product over a
+// sharded operator reduces this way.
+func (o *Operator) Dot(a, b *core.Vector) (float64, error) {
+	if a.Len() != o.rows || b.Len() != o.rows {
+		return 0, fmt.Errorf("shard: Dot length mismatch: %d and %d over %d rows",
+			a.Len(), b.Len(), o.rows)
+	}
+	partials := make([]float64, len(o.bands))
+	err := o.forEachBand(func(bi int, bd *band) error {
+		var av, bv [blockLen]float64
+		var s float64
+		b0 := bd.r0 / blockLen
+		nb := (bd.rows() + blockLen - 1) / blockLen
+		vecChecks(a, nb)
+		vecChecks(b, nb)
+		for k := 0; k < nb; k++ {
+			if err := a.ReadBlock(b0+k, &av); err != nil {
+				return fmt.Errorf("shard: dot shard %d: %w", bi, err)
+			}
+			if err := b.ReadBlock(b0+k, &bv); err != nil {
+				return fmt.Errorf("shard: dot shard %d: %w", bi, err)
+			}
+			// Strict element order keeps every partial bit-identical to
+			// a sequential sweep of the same rows.
+			s += av[0] * bv[0]
+			s += av[1] * bv[1]
+			s += av[2] * bv[2]
+			s += av[3] * bv[3]
+		}
+		partials[bi] = s
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for step := 1; step < len(partials); step *= 2 {
+		for i := 0; i+step < len(partials); i += 2 * step {
+			partials[i] += partials[i+step]
+		}
+	}
+	return partials[0], nil
+}
+
+// Diagonal extracts the fully verified global main diagonal, satisfying
+// core.ProtectedMatrix. Interior columns map to global columns at a
+// fixed offset, so every shard's local diagonal is a slice of the
+// global one.
+func (o *Operator) Diagonal(dst []float64) error {
+	if len(dst) < o.rows {
+		return fmt.Errorf("shard: Diagonal destination too short: %d < %d", len(dst), o.rows)
+	}
+	for bi, b := range o.bands {
+		if err := b.m.Diagonal(dst[b.r0:b.r1]); err != nil {
+			return fmt.Errorf("shard: shard %d: %w", bi, err)
+		}
+	}
+	return nil
+}
+
+// Scrub patrols every shard's matrix in turn, continuing past faulty
+// shards so the full damage is counted; it returns the total number of
+// corrections and the first uncorrectable error. The workspace vectors
+// need no patrol: their contents are re-verified and re-encoded from
+// checked data on every Apply, so resident corruption there is either
+// caught at the next exchange or overwritten.
+func (o *Operator) Scrub() (corrected int, err error) {
+	for bi, b := range o.bands {
+		n, e := b.m.Scrub()
+		corrected += n
+		if e != nil && err == nil {
+			err = fmt.Errorf("shard: shard %d: %w", bi, e)
+		}
+	}
+	return corrected, err
+}
+
+// ToCSR decodes and verifies every shard back into one global CSR
+// matrix, remapping halo columns to their global positions — the exact
+// decode fault campaigns classify against.
+func (o *Operator) ToCSR() (*csr.Matrix, error) {
+	type decodable interface {
+		ToCSR() (*csr.Matrix, error)
+	}
+	var entries []csr.Entry
+	for bi, b := range o.bands {
+		d, ok := b.m.(decodable)
+		if !ok {
+			return nil, fmt.Errorf("shard: shard %d format does not decode to CSR", bi)
+		}
+		local, err := d.ToCSR()
+		if err != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", bi, err)
+		}
+		for r := 0; r < local.Rows(); r++ {
+			for k := local.RowPtr[r]; k < local.RowPtr[r+1]; k++ {
+				c := int(local.Cols[k])
+				if c >= b.interiorPad {
+					c = int(b.haloCols[c-b.interiorPad])
+				} else {
+					c += b.r0
+				}
+				entries = append(entries, csr.Entry{Row: b.r0 + r, Col: c, Val: local.Vals[k]})
+			}
+		}
+	}
+	return csr.New(o.rows, o.cols, entries)
+}

@@ -1,0 +1,424 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"abft/internal/core"
+	"abft/internal/csr"
+	"abft/internal/mm"
+	"abft/internal/op"
+	"abft/internal/solvers"
+)
+
+// generalMatrix returns an irregular SPD operator — a general sparse
+// matrix, not a stencil — routed through a MatrixMarket document, so
+// every test here also covers the ingestion path solve requests use.
+func generalMatrix(t *testing.T, n int) *csr.Matrix {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mm.Write(&buf, csr.IrregularSPD(n)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mm.ReadString(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsSymmetric(0) {
+		t.Fatal("test matrix not symmetric")
+	}
+	return m
+}
+
+func refVector(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64((i*13)%29) - 14 + float64(i%7)/8
+	}
+	return out
+}
+
+func TestClamp(t *testing.T) {
+	for _, tc := range []struct{ rows, shards, want int }{
+		{100, 1, 1},
+		{100, 4, 4},
+		{8, 64, 2},
+		{4, 3, 1},
+		{10, 3, 3},
+	} {
+		if got := Clamp(tc.rows, tc.shards); got != tc.want {
+			t.Errorf("Clamp(%d,%d) = %d, want %d", tc.rows, tc.shards, got, tc.want)
+		}
+	}
+}
+
+// TestShardedApplyMatchesReference checks exact SpMV parity of the
+// sharded composite against the unprotected reference for every format
+// and several shard counts, including counts that clamp.
+func TestShardedApplyMatchesReference(t *testing.T) {
+	plain := generalMatrix(t, 30)
+	xs := refVector(plain.Cols32())
+	want := make([]float64, plain.Rows())
+	plain.SpMV(want, xs)
+
+	for _, f := range op.Formats {
+		for _, shards := range []int{1, 2, 3, 5, 64} {
+			t.Run(fmt.Sprintf("%v_shards%d", f, shards), func(t *testing.T) {
+				o, err := New(plain, Options{
+					Shards: shards,
+					Format: f,
+					Config: op.Config{Scheme: core.SECDED64, RowPtrScheme: core.SECDED64},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if o.Shards() != Clamp(plain.Rows(), shards) {
+					t.Fatalf("Shards() = %d, want %d", o.Shards(), Clamp(plain.Rows(), shards))
+				}
+				x := core.VectorFromSlice(xs, core.None)
+				dst := core.NewVector(o.Rows(), core.None)
+				for _, workers := range []int{1, 4} {
+					if err := o.Apply(dst, x, workers); err != nil {
+						t.Fatal(err)
+					}
+					got := make([]float64, o.Rows())
+					if err := dst.CopyTo(got); err != nil {
+						t.Fatal(err)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("workers=%d row %d: got %v want %v", workers, i, got[i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedCGMatchesUnsharded is the acceptance scenario: a sharded
+// solve over a general MatrixMarket operator converges to the same
+// solution and residual as the unsharded solve in all three formats.
+func TestShardedCGMatchesUnsharded(t *testing.T) {
+	plain := generalMatrix(t, 36)
+	n := plain.Rows()
+	bs := refVector(n)
+
+	for _, f := range op.Formats {
+		t.Run(f.String(), func(t *testing.T) {
+			cfg := op.Config{Scheme: core.SECDED64, RowPtrScheme: core.SECDED64}
+			single, err := op.New(f, plain, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			solve := func(m core.ProtectedMatrix) ([]float64, solvers.Result) {
+				x := core.NewVector(n, core.SECDED64)
+				b := core.VectorFromSlice(bs, core.SECDED64)
+				res, err := solvers.CG(solvers.MatrixOperator{M: m, Workers: 2}, x, b, solvers.Options{Tol: 1e-10})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Converged {
+					t.Fatalf("no convergence in %d iterations (residual %g)", res.Iterations, res.ResidualNorm)
+				}
+				out := make([]float64, n)
+				if err := x.CopyTo(out); err != nil {
+					t.Fatal(err)
+				}
+				return out, res
+			}
+			ref, refRes := solve(single)
+
+			sh, err := New(plain, Options{Shards: 3, Format: f, Config: cfg, VectorScheme: core.SECDED64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotRes := solve(sh)
+			for i := range ref {
+				if math.Abs(got[i]-ref[i]) > 1e-7 {
+					t.Fatalf("solution %d differs: %g vs %g", i, got[i], ref[i])
+				}
+			}
+			if gotRes.ResidualNorm > 1e-10 || refRes.ResidualNorm > 1e-10 {
+				t.Fatalf("residuals above tolerance: sharded %g, unsharded %g",
+					gotRes.ResidualNorm, refRes.ResidualNorm)
+			}
+		})
+	}
+}
+
+// TestShardedDiagonalMatchesReference checks Diagonal parity per format.
+func TestShardedDiagonalMatchesReference(t *testing.T) {
+	plain := generalMatrix(t, 25)
+	want := make([]float64, plain.Rows())
+	plain.Diagonal(want)
+	for _, f := range op.Formats {
+		o, err := New(plain, Options{Shards: 4, Format: f,
+			Config: op.Config{Scheme: core.SECDED64, RowPtrScheme: core.SECDED64}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, o.Rows())
+		if err := o.Diagonal(got); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: diagonal %d: got %v want %v", f, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDotMatchesFlatKernel compares the tree-reduced inner product with
+// the flat kernel.
+func TestDotMatchesFlatKernel(t *testing.T) {
+	plain := generalMatrix(t, 40)
+	o, err := New(plain, Options{Shards: 5, Config: op.Config{Scheme: core.SECDED64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	as := make([]float64, plain.Rows())
+	bs := make([]float64, plain.Rows())
+	for i := range as {
+		as[i] = rng.NormFloat64()
+		bs[i] = rng.NormFloat64()
+	}
+	a := core.VectorFromSlice(as, core.SECDED64)
+	b := core.VectorFromSlice(bs, core.SECDED64)
+	got, err := o.Dot(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Dot(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12*math.Abs(want) {
+		t.Fatalf("dot %g want %g", got, want)
+	}
+}
+
+// TestExchangeDetectsHaloFlip corrupts a shard's resident local vector
+// in a boundary entry after the scatter phase: the pack side of the
+// halo exchange must detect it (SED) or transparently correct it
+// (SECDED64) before the value crosses the shard boundary.
+func TestExchangeDetectsHaloFlip(t *testing.T) {
+	plain := generalMatrix(t, 32)
+	xs := refVector(plain.Cols32())
+	want := make([]float64, plain.Rows())
+	plain.SpMV(want, xs)
+
+	// Pick a boundary entry shard 0 packs: its first halo column, in
+	// the owning shard's resident local vector.
+	corrupt := func(o *Operator) (victim *core.Vector, elem int) {
+		c := int(o.bands[0].haloCols[0])
+		ow := o.owner(c)
+		return o.Local(ow), c - o.bands[ow].r0
+	}
+
+	t.Run("sed-detects", func(t *testing.T) {
+		o, err := New(plain, Options{Shards: 4, VectorScheme: core.SED,
+			Config: op.Config{Scheme: core.SECDED64, RowPtrScheme: core.SECDED64}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c core.Counters
+		o.SetCounters(&c)
+		o.SetPhaseHook(func(p Phase) {
+			if p == PhaseScatter {
+				v, elem := corrupt(o)
+				v.Raw()[elem] ^= 1 << 33
+			}
+		})
+		x := core.VectorFromSlice(xs, core.None)
+		dst := core.NewVector(o.Rows(), core.None)
+		err = o.Apply(dst, x, 1)
+		var fe *core.FaultError
+		if err == nil || !errors.As(err, &fe) {
+			t.Fatalf("halo flip crossed the boundary silently: %v", err)
+		}
+		if !strings.Contains(err.Error(), "pack") {
+			t.Fatalf("fault not attributed to the exchange pack: %v", err)
+		}
+		if c.Detected() == 0 {
+			t.Fatal("detection not counted")
+		}
+	})
+
+	t.Run("secded64-corrects", func(t *testing.T) {
+		o, err := New(plain, Options{Shards: 4, VectorScheme: core.SECDED64,
+			Config: op.Config{Scheme: core.SECDED64, RowPtrScheme: core.SECDED64}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c core.Counters
+		o.SetCounters(&c)
+		o.SetPhaseHook(func(p Phase) {
+			if p == PhaseScatter {
+				v, elem := corrupt(o)
+				v.Raw()[elem] ^= 1 << 33
+			}
+		})
+		x := core.VectorFromSlice(xs, core.None)
+		dst := core.NewVector(o.Rows(), core.None)
+		if err := o.Apply(dst, x, 1); err != nil {
+			t.Fatalf("single flip should be corrected in flight: %v", err)
+		}
+		if c.Corrected() == 0 {
+			t.Fatal("correction not counted")
+		}
+		got := make([]float64, o.Rows())
+		if err := dst.CopyTo(got); err != nil {
+			t.Fatal(err)
+		}
+		mask := core.NewVector(4, core.SECDED64).Mask
+		for i := range want {
+			if diff := math.Abs(got[i] - want[i]); diff > 1e-9*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("row %d: %g want %g (mask %g)", i, got[i], want[i], mask(want[i]))
+			}
+		}
+	})
+}
+
+// TestShardedScrubRepairsFlip flips a bit inside one shard's matrix:
+// Scrub must repair it and count it, leaving the operator clean.
+func TestShardedScrubRepairsFlip(t *testing.T) {
+	plain := generalMatrix(t, 28)
+	for _, f := range op.Formats {
+		o, err := New(plain, Options{Shards: 3, Format: f,
+			Config: op.Config{Scheme: core.SECDED64, RowPtrScheme: core.SECDED64}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c core.Counters
+		o.SetCounters(&c)
+		v := o.Shard(1).RawVals()
+		v[0] = math.Float64frombits(math.Float64bits(v[0]) ^ 1<<40)
+		corrected, err := o.Scrub()
+		if err != nil || corrected != 1 {
+			t.Fatalf("%v: scrub corrected=%d err=%v", f, corrected, err)
+		}
+		if again, err := o.Scrub(); err != nil || again != 0 {
+			t.Fatalf("%v: repair not committed: corrected=%d err=%v", f, again, err)
+		}
+	}
+}
+
+// TestShardedToCSRRoundTrip checks the global decode against the source
+// for every format (SECDED64 adds no structural padding, so the decode
+// is exact).
+func TestShardedToCSRRoundTrip(t *testing.T) {
+	plain := generalMatrix(t, 26)
+	for _, f := range op.Formats {
+		o, err := New(plain, Options{Shards: 3, Format: f,
+			Config: op.Config{Scheme: core.SECDED64, RowPtrScheme: core.SECDED64}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := o.ToCSR()
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if got.Rows() != plain.Rows() || got.NNZ() != plain.NNZ() {
+			t.Fatalf("%v: decode %dx? nnz %d, want %d nnz %d", f, got.Rows(), got.NNZ(), plain.Rows(), plain.NNZ())
+		}
+		for i := range plain.Vals {
+			if got.Cols[i] != plain.Cols[i] || got.Vals[i] != plain.Vals[i] {
+				t.Fatalf("%v: entry %d differs", f, i)
+			}
+		}
+	}
+}
+
+// TestApplyValidation covers dimension checking and halo bookkeeping.
+func TestApplyValidation(t *testing.T) {
+	plain := generalMatrix(t, 20)
+	o, err := New(plain, Options{Shards: 2, Config: op.Config{Scheme: core.SECDED64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, err := csr.New(8, 12, []csr.Entry{{Row: 0, Col: 11, Val: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(rect, Options{Shards: 2}); err == nil {
+		t.Fatal("rectangular matrix accepted: halo columns beyond the row bands have no owner")
+	}
+	bad := core.NewVector(3, core.None)
+	good := core.NewVector(o.Rows(), core.None)
+	if err := o.Apply(good, bad, 1); err == nil {
+		t.Fatal("short x accepted")
+	}
+	if err := o.Apply(bad, good, 1); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	if lo, hi := o.HaloRange(0); hi <= lo {
+		t.Fatal("shard 0 has no halo on a coupled matrix")
+	}
+	if r0, r1 := o.ShardRange(1); r0%4 != 0 || r1 != o.Rows() {
+		t.Fatalf("unexpected shard range [%d,%d)", r0, r1)
+	}
+}
+
+// TestConcurrentApplySharedOperator exercises the service's pattern:
+// many jobs solving over one cached sharded operator in shared mode,
+// concurrently. Workspaces come from the pool, so the products proceed
+// in parallel and every caller gets the exact reference result.
+func TestConcurrentApplySharedOperator(t *testing.T) {
+	plain := generalMatrix(t, 40)
+	o, err := New(plain, Options{Shards: 3,
+		Config:       op.Config{Scheme: core.SECDED64, RowPtrScheme: core.SECDED64},
+		VectorScheme: core.SECDED64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c core.Counters
+	o.SetCounters(&c)
+	o.SetShared(true)
+
+	xs := refVector(plain.Cols32())
+	want := make([]float64, plain.Rows())
+	plain.SpMV(want, xs)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := range errs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := core.VectorFromSlice(xs, core.None)
+			dst := core.NewVector(o.Rows(), core.None)
+			got := make([]float64, o.Rows())
+			for iter := 0; iter < 5; iter++ {
+				if err := o.Apply(dst, x, 2); err != nil {
+					errs[g] = err
+					return
+				}
+				if err := dst.CopyTo(got); err != nil {
+					errs[g] = err
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						errs[g] = fmt.Errorf("row %d: got %v want %v", i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}

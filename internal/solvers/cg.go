@@ -37,11 +37,11 @@ func CG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 	if err := core.Copy(p, zed, w); err != nil {
 		return res, iterErr("cg", 0, err)
 	}
-	rro, err := core.Dot(r, zed, w)
+	rro, err := operatorDot(a, r, zed, w)
 	if err != nil {
 		return res, iterErr("cg", 0, err)
 	}
-	rr, err := core.Dot(r, r, w)
+	rr, err := operatorDot(a, r, r, w)
 	if err != nil {
 		return res, iterErr("cg", 0, err)
 	}
@@ -58,7 +58,7 @@ func CG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 		if err := a.Apply(wv, p); err != nil {
 			return res, iterErr("cg", it, err)
 		}
-		pw, err := core.Dot(p, wv, w)
+		pw, err := operatorDot(a, p, wv, w)
 		if err != nil {
 			return res, iterErr("cg", it, err)
 		}
@@ -80,7 +80,7 @@ func CG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 			}
 			zed = z
 		}
-		rrn, err := core.Dot(r, zed, w)
+		rrn, err := operatorDot(a, r, zed, w)
 		if err != nil {
 			return res, iterErr("cg", it, err)
 		}
@@ -95,7 +95,7 @@ func CG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 		rr = rrn
 		if z != nil {
 			// Preconditioned: rrn is r.z; the stopping rule needs r.r.
-			if rr, err = core.Dot(r, r, w); err != nil {
+			if rr, err = operatorDot(a, r, r, w); err != nil {
 				return res, iterErr("cg", it, err)
 			}
 		}

@@ -32,7 +32,7 @@ func Chebyshev(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 	if err := core.Waxpby(r, 1, b, -1, t, w); err != nil {
 		return res, iterErr("chebyshev", 0, err)
 	}
-	rr0, err := core.Dot(r, r, w)
+	rr0, err := operatorDot(a, r, r, w)
 	if err != nil {
 		return res, iterErr("chebyshev", 0, err)
 	}
@@ -64,7 +64,7 @@ func Chebyshev(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 		}
 		rho = rhoNew
 
-		rr, err := core.Dot(r, r, w)
+		rr, err := operatorDot(a, r, r, w)
 		if err != nil {
 			return res, iterErr("chebyshev", it, err)
 		}

@@ -3,17 +3,19 @@ package solvers
 import (
 	"fmt"
 
-	"abft/internal/csr"
+	"abft/internal/core"
 )
 
-// DenseSolve solves A x = b by Gaussian elimination with partial pivoting
-// on a densified copy of the sparse matrix. It is the exact reference the
-// iterative solvers are validated against in tests; do not use it beyond
-// small systems.
-func DenseSolve(a *csr.Matrix, b []float64) ([]float64, error) {
+// DenseSolve solves A x = b by Gaussian elimination with partial
+// pivoting on a densified copy of the operator, obtained by applying it
+// to the canonical basis vectors — so it works for any Operator (any
+// protected format, sharded or not) without seeing a storage layout. It
+// is the exact reference the iterative solvers are validated against in
+// tests; do not use it beyond small systems.
+func DenseSolve(a Operator, b []float64) ([]float64, error) {
 	n := a.Rows()
-	if a.Cols32() != n {
-		return nil, fmt.Errorf("solvers: dense solve needs a square matrix, got %dx%d", n, a.Cols32())
+	if c, ok := a.(interface{ Cols() int }); ok && c.Cols() != n {
+		return nil, fmt.Errorf("solvers: dense solve needs a square operator, got %dx%d", n, c.Cols())
 	}
 	if len(b) != n {
 		return nil, fmt.Errorf("solvers: rhs length %d, want %d", len(b), n)
@@ -21,10 +23,28 @@ func DenseSolve(a *csr.Matrix, b []float64) ([]float64, error) {
 	m := make([][]float64, n)
 	for r := 0; r < n; r++ {
 		m[r] = make([]float64, n+1)
-		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-			m[r][a.Cols[k]] += a.Vals[k]
-		}
 		m[r][n] = b[r]
+	}
+	// Densify column by column: A e_j is column j.
+	e := core.NewVector(n, core.None)
+	y := core.NewVector(n, core.None)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if err := e.Set(j, 1); err != nil {
+			return nil, err
+		}
+		if err := a.Apply(y, e); err != nil {
+			return nil, fmt.Errorf("solvers: densify column %d: %w", j, err)
+		}
+		if err := y.CopyTo(col); err != nil {
+			return nil, err
+		}
+		for r := 0; r < n; r++ {
+			m[r][j] = col[r]
+		}
+		if err := e.Set(j, 0); err != nil {
+			return nil, err
+		}
 	}
 	for col := 0; col < n; col++ {
 		pivot := col

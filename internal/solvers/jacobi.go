@@ -36,7 +36,7 @@ func Jacobi(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 		if err := core.Waxpby(r, 1, b, -1, t, w); err != nil {
 			return res, iterErr("jacobi", it, err)
 		}
-		rr, err := core.Dot(r, r, w)
+		rr, err := operatorDot(a, r, r, w)
 		if err != nil {
 			return res, iterErr("jacobi", it, err)
 		}

@@ -26,6 +26,35 @@ type Operator interface {
 	Diagonal(dst []float64) error
 }
 
+// DotOperator is an optional Operator capability: a distributed
+// operator (the sharded composite of internal/shard) supplies its own
+// global inner product — per-shard partial sums reduced in a tree, the
+// in-process analogue of an MPI allreduce. Solvers route every inner
+// product through it when present, so reductions follow the operator's
+// decomposition instead of the flat kernel.
+type DotOperator interface {
+	Dot(a, b *core.Vector) (float64, error)
+}
+
+// operatorDot computes a . b the way the operator prefers: through the
+// DotOperator capability when the operator (or the matrix behind a
+// MatrixOperator) provides one, otherwise through the flat protected
+// kernel. MatrixOperator is unwrapped rather than given a Dot method so
+// the fallback keeps honouring the solve Options' worker count — the
+// knob that controlled these reductions before the capability existed.
+func operatorDot(op Operator, a, b *core.Vector, workers int) (float64, error) {
+	if mo, ok := op.(MatrixOperator); ok {
+		if d, ok := mo.M.(DotOperator); ok {
+			return d.Dot(a, b)
+		}
+		return core.Dot(a, b, workers)
+	}
+	if d, ok := op.(DotOperator); ok {
+		return d.Dot(a, b)
+	}
+	return core.Dot(a, b, workers)
+}
+
 // MatrixOperator adapts any format's protected matrix (CSR, COO,
 // SELL-C-sigma) to the Operator interface, binding it to a worker count.
 type MatrixOperator struct {
@@ -39,6 +68,10 @@ type MatrixOperator struct {
 
 // Rows returns the matrix dimension.
 func (o MatrixOperator) Rows() int { return o.M.Rows() }
+
+// Cols returns the matrix column count (DenseSolve uses it to reject
+// rectangular operators before densifying).
+func (o MatrixOperator) Cols() int { return o.M.Cols() }
 
 // Apply computes dst = M x with the configured kernel options.
 func (o MatrixOperator) Apply(dst, x *core.Vector) error {

@@ -60,7 +60,7 @@ func TestCGMatchesDenseSolve(t *testing.T) {
 	if !res.Converged {
 		t.Fatalf("CG did not converge: %+v", res)
 	}
-	dense, err := DenseSolve(a, b)
+	dense, err := DenseSolve(MatrixOperator{M: m}, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,22 +367,22 @@ func TestDenseSolveValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DenseSolve(rect, []float64{1, 2}); err == nil {
-		t.Fatal("rectangular matrix accepted")
+	if _, err := DenseSolve(MatrixOperator{M: protect(t, rect, core.None, core.None)}, []float64{1, 2}); err == nil {
+		t.Fatal("rectangular operator accepted")
 	}
 	sq, err := csr.New(2, 2, []csr.Entry{{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DenseSolve(sq, []float64{1}); err == nil {
+	if _, err := DenseSolve(MatrixOperator{M: protect(t, sq, core.None, core.None)}, []float64{1}); err == nil {
 		t.Fatal("short rhs accepted")
 	}
 	sing, err := csr.New(2, 2, []csr.Entry{{Row: 0, Col: 0, Val: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DenseSolve(sing, []float64{1, 2}); err == nil {
-		t.Fatal("singular matrix accepted")
+	if _, err := DenseSolve(MatrixOperator{M: protect(t, sing, core.None, core.None)}, []float64{1, 2}); err == nil {
+		t.Fatal("singular operator accepted")
 	}
 }
 

@@ -89,6 +89,11 @@ type Config struct {
 	VectorScheme core.Scheme
 	// CheckInterval performs full matrix checks every n-th sweep only.
 	CheckInterval int
+	// Shards row-partitions the system matrix into this many bands with
+	// protected halo exchanges between them (internal/shard) — the
+	// in-process analogue of TeaLeaf's MPI chunk decomposition. Zero or
+	// one solves over a single operator.
+	Shards int
 	// CRCBackend selects hardware or software CRC32C.
 	CRCBackend ecc.Backend
 	// Workers is the kernel goroutine count.
@@ -151,6 +156,9 @@ func (c Config) Validate() error {
 	}
 	if c.Eps <= 0 {
 		return fmt.Errorf("tealeaf: tolerance %g invalid", c.Eps)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("tealeaf: shards %d invalid", c.Shards)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"abft/internal/core"
 	"abft/internal/csr"
 	"abft/internal/op"
+	"abft/internal/shard"
 	"abft/internal/solvers"
 )
 
@@ -136,16 +137,31 @@ func (s *Simulation) initCoefficients() {
 // buildMatrix assembles and protects the implicit operator
 // A = I + rx Lx + ry Ly in the configured storage format. The matrix is
 // constant over the run (density does not change), the property the
-// paper's less-frequent checking exploits.
+// paper's less-frequent checking exploits. With Shards > 1 the
+// assembled operator is row-partitioned into bands with protected halo
+// exchanges — TeaLeaf's chunk decomposition over the general sharded
+// layer — and the solvers run over the composite unchanged.
 func (s *Simulation) buildMatrix() error {
 	cfg := s.cfg
 	plain := csr.FivePoint(cfg.NX, cfg.NY, s.kx, s.ky, s.rx, s.ry)
-	m, err := op.New(cfg.Format, plain, op.Config{
+	opCfg := op.Config{
 		Scheme:        cfg.ElemScheme,
 		RowPtrScheme:  cfg.RowPtrScheme,
 		Backend:       cfg.CRCBackend,
 		CheckInterval: cfg.CheckInterval,
-	})
+	}
+	var m core.ProtectedMatrix
+	var err error
+	if cfg.Shards > 1 {
+		m, err = shard.New(plain, shard.Options{
+			Shards:       cfg.Shards,
+			Format:       cfg.Format,
+			Config:       opCfg,
+			VectorScheme: cfg.VectorScheme,
+		})
+	} else {
+		m, err = op.New(cfg.Format, plain, opCfg)
+	}
 	if err != nil {
 		return err
 	}

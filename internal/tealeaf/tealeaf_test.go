@@ -419,3 +419,45 @@ func TestFormatFaultRecovery(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedRunMatchesUnsharded routes the simulation through the
+// sharded operator layer: the banded solve with protected halo
+// exchanges must reproduce the single-operator run.
+func TestShardedRunMatchesUnsharded(t *testing.T) {
+	base := smallConfig()
+	base.ElemScheme, base.RowPtrScheme, base.VectorScheme = core.SECDED64, core.SECDED64, core.SECDED64
+	ref, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Shards = 3
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Energy() {
+		if d := math.Abs(sim.Energy()[i] - ref.Energy()[i]); d > 1e-9 {
+			t.Fatalf("energy cell %d differs by %g between sharded and unsharded runs", i, d)
+		}
+	}
+	if res.Counters.Checks == 0 {
+		t.Fatal("sharded run performed no integrity checks")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	bad := smallConfig()
+	bad.Shards = -1
+	if _, err := New(bad); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
