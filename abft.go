@@ -6,6 +6,7 @@ import (
 	"abft/internal/csr"
 	"abft/internal/ecc"
 	"abft/internal/op"
+	"abft/internal/precond"
 	"abft/internal/sell"
 	"abft/internal/shard"
 	"abft/internal/solvers"
@@ -142,6 +143,46 @@ func NewShardedOperator(src *CSRMatrix, opt ShardOptions) (*ShardedOperator, err
 	return shard.New(src, opt)
 }
 
+// Preconditioner is an ECC-protected preconditioner: its setup product
+// lives in codeword-protected storage, is verified on every Apply and
+// patrolled by Scrub like a cached matrix. It satisfies
+// SolveOptions.Preconditioner.
+type Preconditioner = precond.Preconditioner
+
+// PrecondKind names a preconditioner algorithm.
+type PrecondKind = precond.Kind
+
+// Preconditioner kinds.
+const (
+	// PrecondNone disables preconditioning.
+	PrecondNone = precond.None
+	// PrecondJacobi scales by the protected inverse diagonal.
+	PrecondJacobi = precond.Jacobi
+	// PrecondBlockJacobi solves codeword-block diagonal systems with
+	// protected precomputed inverses.
+	PrecondBlockJacobi = precond.BlockJacobi
+	// PrecondSGS runs protected symmetric Gauss-Seidel sweeps.
+	PrecondSGS = precond.SGS
+)
+
+// PrecondKinds lists every preconditioner kind.
+var PrecondKinds = precond.Kinds
+
+// ParsePrecond converts a preconditioner name ("jacobi", "bjacobi",
+// "sgs") to its kind.
+func ParsePrecond(s string) (PrecondKind, error) { return precond.ParseKind(s) }
+
+// PrecondOptions configures a preconditioner build: the protection
+// scheme of its setup product, the CRC backend, the Apply worker count
+// and an optional band decomposition.
+type PrecondOptions = precond.Options
+
+// NewPreconditioner builds an ECC-protected preconditioner of the given
+// kind for the operator src describes.
+func NewPreconditioner(kind PrecondKind, src *CSRMatrix, opt PrecondOptions) (Preconditioner, error) {
+	return precond.New(kind, src, opt)
+}
+
 // CSRMatrix is the unprotected compressed-sparse-row substrate.
 type CSRMatrix = csr.Matrix
 
@@ -234,6 +275,14 @@ func SolveChebyshev(m ProtectedMatrix, x, b *Vector, opt SolveOptions) (SolveRes
 // protected matrix of any storage format.
 func SolvePPCG(m ProtectedMatrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
 	return solvers.PPCG(solvers.MatrixOperator{M: m, Workers: opt.Workers}, x, b, opt)
+}
+
+// SolvePCG solves m x = b with explicitly preconditioned CG: the
+// preconditioner from opt.Preconditioner (for example one built with
+// NewPreconditioner), or a Jacobi preconditioner derived from the
+// operator's verified diagonal when none is set.
+func SolvePCG(m ProtectedMatrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
+	return solvers.PCG(solvers.MatrixOperator{M: m, Workers: opt.Workers}, x, b, opt)
 }
 
 // IsFault reports whether err stems from a detected ABFT fault rather than

@@ -191,3 +191,46 @@ func TestFacadeFormatRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadePreconditionedSolve exercises the protected-preconditioner
+// exports: build, apply through SolvePCG, corrupt, scrub.
+func TestFacadePreconditionedSolve(t *testing.T) {
+	src := abft.Laplacian2D(12, 12)
+	m, err := abft.NewProtectedMatrix(abft.FormatCSR, src, abft.FormatOptions{Scheme: abft.SECDED64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := abft.NewVector(m.Rows(), abft.SECDED64)
+	for i := 0; i < b.Len(); i++ {
+		if err := b.Set(i, float64(i%11)-5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x0 := abft.NewVector(m.Rows(), abft.SECDED64)
+	base, err := abft.SolveCG(m, x0, b, abft.SolveOptions{Tol: 1e-10})
+	if err != nil || !base.Converged {
+		t.Fatalf("cg: %v %+v", err, base)
+	}
+
+	kind, err := abft.ParsePrecond("sgs")
+	if err != nil || kind != abft.PrecondSGS {
+		t.Fatalf("ParsePrecond: %v %v", kind, err)
+	}
+	pre, err := abft.NewPreconditioner(kind, src, abft.PrecondOptions{Scheme: abft.SECDED64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := abft.NewVector(m.Rows(), abft.SECDED64)
+	res, err := abft.SolvePCG(m, x, b, abft.SolveOptions{Tol: 1e-10, Preconditioner: pre})
+	if err != nil || !res.Converged {
+		t.Fatalf("pcg: %v %+v", err, res)
+	}
+	if res.Iterations >= base.Iterations {
+		t.Fatalf("pcg took %d iterations, cg %d", res.Iterations, base.Iterations)
+	}
+	// A flip in the protected setup product is repaired by the patrol.
+	pre.RawState()[0].Raw()[0] ^= 1 << 40
+	if corrected, err := pre.Scrub(); err != nil || corrected != 1 {
+		t.Fatalf("scrub: corrected=%d err=%v", corrected, err)
+	}
+}

@@ -3,13 +3,15 @@
 // and dense vector protection (Figures 4, 5, 9), check-interval sweeps
 // (Figures 6-8), the combined full-protection overhead compared with the
 // paper's 8.1 percent hardware-ECC reference, the convergence perturbation
-// study, and the hardware-vs-software CRC32C comparison.
+// study, the hardware-vs-software CRC32C comparison, and the PCG-vs-CG
+// experiment over the protected preconditioners.
 //
 // Usage:
 //
 //	abftbench -fig all
 //	abftbench -fig 4 -nx 512 -steps 5 -runs 5
 //	abftbench -fig 8 -maxexp 7
+//	abftbench -fig pcg -precond jacobi,sgs
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strings"
 
 	"abft/internal/bench"
+	"abft/internal/precond"
 )
 
 func main() {
@@ -34,7 +37,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("abftbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,all")
+		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,pcg,all")
 		nx      = fs.Int("nx", 128, "grid cells per side (paper: 2048)")
 		steps   = fs.Int("steps", 2, "timesteps per run (paper: 5)")
 		runs    = fs.Int("runs", 3, "repetitions averaged (paper: 5)")
@@ -42,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 		workers = fs.Int("workers", 1, "kernel goroutines")
 		maxExp  = fs.Int("maxexp", 7, "largest interval exponent for figures 6-8 (2^n)")
 		shards  = fs.String("shards", "2,4,8", "shard counts for the shard-scaling experiment")
+		pre     = fs.String("precond", "", "preconditioners for the pcg experiment (comma list of jacobi, bjacobi, sgs; default all)")
 		quiet   = fs.Bool("quiet", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -139,6 +143,17 @@ func run(args []string, stdout io.Writer) error {
 		}
 		bench.PrintRows(out, "Sharded solve: overhead vs the unsharded operator (negative = speedup)", rows)
 	}
+	if all || want["pcg"] {
+		kinds, err := parsePrecondKinds(*pre)
+		if err != nil {
+			return err
+		}
+		rows, err := bench.PCGComparison(opt, kinds)
+		if err != nil {
+			return err
+		}
+		bench.PrintPCG(out, rows)
+	}
 	if all || want["conv"] {
 		rows, err := bench.Convergence(opt)
 		if err != nil {
@@ -150,6 +165,25 @@ func run(args []string, stdout io.Writer) error {
 		bench.PrintCRC(out, bench.CRCThroughput())
 	}
 	return nil
+}
+
+// parsePrecondKinds parses the -precond comma list (empty sweeps all).
+func parsePrecondKinds(s string) ([]precond.Kind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []precond.Kind
+	for _, part := range strings.Split(s, ",") {
+		k, err := precond.ParseKind(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if k == precond.None {
+			return nil, fmt.Errorf("the pcg experiment needs a preconditioner (choices: %s)", precond.KindNames())
+		}
+		out = append(out, k)
+	}
+	return out, nil
 }
 
 // parseShardCounts parses the -shards comma list.

@@ -29,3 +29,34 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+// TestRunPCGExperiment runs the PCG-vs-CG experiment restricted to one
+// preconditioner at a tiny size.
+func TestRunPCGExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness in -short mode")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-fig", "pcg", "-precond", "sgs", "-nx", "16", "-steps", "1", "-runs", "1", "-quiet"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"Preconditioned CG", "sgs", "iter saving"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunRejectsUnknownPrecond: the -precond error must list the
+// registered choices, matching the ParseFormat convention.
+func TestRunRejectsUnknownPrecond(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "pcg", "-precond", "ilu"}, &out)
+	if err == nil {
+		t.Fatal("unknown preconditioner accepted")
+	}
+	if want := "choices: none, jacobi, bjacobi, sgs"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not list %q", err, want)
+	}
+}

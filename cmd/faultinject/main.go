@@ -14,6 +14,7 @@
 //	faultinject -structure vector -scatter
 //	faultinject -shards 4                   # strike one shard of a sharded operator
 //	faultinject -shards 4 -structure halo   # corrupt resident halo buffers mid-product
+//	faultinject -structure precond -precond sgs  # corrupt resident preconditioner state
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"abft/internal/faults"
 	"abft/internal/mm"
 	"abft/internal/op"
+	"abft/internal/precond"
 )
 
 func main() {
@@ -71,6 +73,7 @@ func run(args []string, stdout io.Writer) error {
 		size      = fs.Int("size", 64, "structure size (vector length or grid side)")
 		matrix    = fs.String("matrix", "", "MatrixMarket file to inject into (matrix structures; default: generated stencil)")
 		shards    = fs.Int("shards", 0, "row-partition matrix campaigns across this many shards (>= 2 also enables the halo structure)")
+		pre       = fs.String("precond", "", "preconditioner whose protected state the precond structure corrupts: jacobi, bjacobi, sgs (setting it also enables the precond structure)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,9 +101,19 @@ func run(args []string, stdout io.Writer) error {
 		}
 		schemes = []core.Scheme{s}
 	}
+	preKind := precond.None
+	if *pre != "" {
+		var err error
+		if preKind, err = precond.ParseKind(*pre); err != nil {
+			return err
+		}
+	}
 	structures := []core.Structure{core.StructVector, core.StructElements, core.StructRowPtr}
 	if *shards > 1 {
 		structures = append(structures, core.StructHalo)
+	}
+	if preKind != precond.None {
+		structures = append(structures, core.StructPrecond)
 	}
 	if *structure != "" {
 		switch *structure {
@@ -115,6 +128,11 @@ func run(args []string, stdout io.Writer) error {
 				return fmt.Errorf("the halo structure needs -shards >= 2 (got %d)", *shards)
 			}
 			structures = []core.Structure{core.StructHalo}
+		case "precond":
+			if preKind == precond.None {
+				preKind = precond.Jacobi
+			}
+			structures = []core.Structure{core.StructPrecond}
 		default:
 			return fmt.Errorf("unknown structure %q", *structure)
 		}
@@ -146,8 +164,8 @@ func run(args []string, stdout io.Writer) error {
 	tallies := map[op.Format]*tally{}
 	for _, st := range structures {
 		for _, f := range formats {
-			if st == core.StructVector && f != formats[0] {
-				continue // vectors have no storage format; run once
+			if (st == core.StructVector || st == core.StructPrecond) && f != formats[0] {
+				continue // vectors and preconditioner state have no storage format; run once
 			}
 			if st == core.StructRowPtr && f == op.SELLCS {
 				fmt.Fprintf(stdout, "%-7s %-11s %-10s        (skipped: sell-c-sigma has no protected auxiliary structure)\n",
@@ -157,6 +175,9 @@ func run(args []string, stdout io.Writer) error {
 			fname := f.String()
 			if st == core.StructVector {
 				fname = "-"
+			}
+			if st == core.StructPrecond {
+				fname = preKind.String()
 			}
 			for _, s := range schemes {
 				for _, b := range bitCounts {
@@ -171,11 +192,12 @@ func run(args []string, stdout io.Writer) error {
 						Size:         *size,
 						Matrix:       plain,
 						Shards:       *shards,
+						Precond:      preKind,
 					})
 					if err != nil {
 						return err
 					}
-					if st != core.StructVector {
+					if st != core.StructVector && st != core.StructPrecond {
 						tl := tallies[f]
 						if tl == nil {
 							tl = &tally{}

@@ -53,6 +53,26 @@ func TestRunMatrixMarketIngestion(t *testing.T) {
 	}
 }
 
+// TestRunPrecondCampaign runs the preconditioner-state structure: the
+// protected setup product must correct the single flips and detect the
+// doubles (SECDED64), with no SDC.
+func TestRunPrecondCampaign(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-structure", "precond", "-precond", "sgs",
+		"-scheme", "secded64", "-trials", "20", "-size", "8",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"sgs", "precond", "secded64"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunRejectsUnknownNames(t *testing.T) {
 	cases := []struct {
 		args []string
@@ -61,6 +81,7 @@ func TestRunRejectsUnknownNames(t *testing.T) {
 		{[]string{"-scheme", "tmr"}, "choices: none, sed, secded64, secded128, crc32c"},
 		{[]string{"-format", "ellpack"}, "choices: csr, coo, sellcs"},
 		{[]string{"-structure", "diagonal"}, "unknown structure"},
+		{[]string{"-precond", "ilu"}, "choices: none, jacobi, bjacobi, sgs"},
 	}
 	for _, c := range cases {
 		var out bytes.Buffer

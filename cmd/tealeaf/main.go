@@ -23,6 +23,7 @@ import (
 	"abft/internal/core"
 	"abft/internal/ecc"
 	"abft/internal/op"
+	"abft/internal/precond"
 	"abft/internal/solvers"
 	"abft/internal/tealeaf"
 )
@@ -41,7 +42,8 @@ func run(args []string, stdout io.Writer) error {
 		inFile   = fs.String("in", "", "TeaLeaf input deck (tea.in format); flags override")
 		nx       = fs.Int("nx", 0, "grid cells per side (overrides deck)")
 		steps    = fs.Int("steps", 0, "timesteps (overrides deck)")
-		solver   = fs.String("solver", "", "solver: cg, jacobi, chebyshev, ppcg")
+		solver   = fs.String("solver", "", "solver: cg, jacobi, chebyshev, ppcg, pcg")
+		pre      = fs.String("precond", "", "preconditioner: none, jacobi, bjacobi, sgs (protected like the matrix)")
 		eps      = fs.Float64("eps", 0, "solver tolerance")
 		relative = fs.Bool("relative", false, "measure tolerance against the initial residual")
 		format   = fs.String("format", "", "matrix storage format: csr, coo, sellcs")
@@ -83,6 +85,13 @@ func run(args []string, stdout io.Writer) error {
 		}
 		cfg.Solver = kind
 	}
+	if *pre != "" {
+		kind, err := precond.ParseKind(*pre)
+		if err != nil {
+			return err
+		}
+		cfg.Precond = kind
+	}
 	if *eps > 0 {
 		cfg.Eps = *eps
 	}
@@ -122,10 +131,13 @@ func run(args []string, stdout io.Writer) error {
 		cfg.Shards = *shards
 	}
 	cfg.RetryOnFault = cfg.RetryOnFault || *retry
+	// Report the effective configuration (pcg's implicit Jacobi
+	// preconditioner included), exactly what the simulation will run.
+	cfg = cfg.Normalized()
 
 	fmt.Fprintf(stdout, "TeaLeaf (ABFT reproduction)\n")
-	fmt.Fprintf(stdout, "  grid %dx%d, %d steps, dt %g, solver %v\n",
-		cfg.NX, cfg.NY, cfg.EndStep, cfg.DtInit, cfg.Solver)
+	fmt.Fprintf(stdout, "  grid %dx%d, %d steps, dt %g, solver %v, precond %v\n",
+		cfg.NX, cfg.NY, cfg.EndStep, cfg.DtInit, cfg.Solver, cfg.Precond)
 	fmt.Fprintf(stdout, "  protection: format=%v elements=%v rowptr=%v vectors=%v interval=%d crc=%v workers=%d shards=%d\n",
 		cfg.Format, cfg.ElemScheme, cfg.RowPtrScheme, cfg.VectorScheme, cfg.CheckInterval,
 		cfg.CRCBackend, cfg.Workers, cfg.Shards)

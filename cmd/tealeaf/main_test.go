@@ -23,6 +23,40 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+// TestRunPreconditioned drives a protected preconditioned solve through
+// the -solver/-precond flags and checks the configuration is reported.
+func TestRunPreconditioned(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-nx", "16", "-steps", "1",
+		"-solver", "pcg", "-precond", "sgs",
+		"-elements", "secded64", "-vectors", "secded64",
+		"-eps", "1e-8",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"solver pcg", "precond sgs", "field summary"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunPrecondUsage: the -precond flag must appear in the usage text
+// with its registered choices.
+func TestRunPrecondUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err == nil {
+		t.Fatal("-h did not stop the run")
+	}
+	for _, want := range []string{"-precond", "jacobi, bjacobi, sgs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("usage missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 // TestRunRejectsUnknownNames: unknown -scheme/-format values must list
 // the registered choices instead of failing opaquely.
 func TestRunRejectsUnknownNames(t *testing.T) {
@@ -33,7 +67,8 @@ func TestRunRejectsUnknownNames(t *testing.T) {
 		{[]string{"-elements", "tmr"}, "choices: none, sed, secded64, secded128, crc32c"},
 		{[]string{"-vectors", "hamming"}, "choices: none, sed, secded64, secded128, crc32c"},
 		{[]string{"-format", "ellpack"}, "choices: csr, coo, sellcs"},
-		{[]string{"-solver", "gmres"}, "choices: cg, jacobi, chebyshev, ppcg"},
+		{[]string{"-solver", "gmres"}, "choices: cg, jacobi, chebyshev, ppcg, pcg"},
+		{[]string{"-precond", "ilu"}, "choices: none, jacobi, bjacobi, sgs"},
 	}
 	for _, c := range cases {
 		var out bytes.Buffer

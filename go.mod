@@ -1,3 +1,5 @@
 module abft
 
-go 1.24
+// 1.23 is the floor of the CI Go version matrix; nothing here needs a
+// newer toolchain.
+go 1.23

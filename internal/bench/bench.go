@@ -18,6 +18,8 @@ import (
 	"abft/internal/core"
 	"abft/internal/ecc"
 	"abft/internal/op"
+	"abft/internal/precond"
+	"abft/internal/solvers"
 	"abft/internal/tealeaf"
 )
 
@@ -80,6 +82,10 @@ type protection struct {
 	interval          int
 	backend           ecc.Backend
 	shards            int
+	// solver overrides the deck's solver (zero keeps CG) and pre adds a
+	// protected preconditioner — the PCG experiment's knobs.
+	solver solvers.Kind
+	pre    precond.Kind
 }
 
 // workloadConfig builds the TeaLeaf configuration for one measurement.
@@ -98,6 +104,10 @@ func (o Options) workloadConfig(p protection) tealeaf.Config {
 	cfg.CheckInterval = p.interval
 	cfg.CRCBackend = p.backend
 	cfg.Shards = p.shards
+	if p.solver != solvers.KindCG {
+		cfg.Solver = p.solver
+	}
+	cfg.Precond = p.pre
 	return cfg
 }
 

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"abft/internal/core"
+	"abft/internal/precond"
+	"abft/internal/solvers"
+	"abft/internal/tealeaf"
+)
+
+// PCGRow is one preconditioner's measurement of the PCG-vs-CG
+// experiment: iteration counts and wall time of the fully protected
+// TeaLeaf deck solved by preconditioned CG, against the same deck
+// solved by plain CG.
+type PCGRow struct {
+	// Label names the preconditioner.
+	Label string
+	// Iterations is the total solver iteration count over the run;
+	// BaseIterations is plain CG's count on the identical deck.
+	Iterations, BaseIterations int
+	// IterReductionPct is the iteration saving over plain CG
+	// (positive = fewer iterations).
+	IterReductionPct float64
+	// Base and Time are mean wall times of the CG baseline and the
+	// preconditioned run.
+	Base, Time time.Duration
+	// OverheadPct is the wall-time change against plain CG (negative =
+	// the iteration saving outweighs the per-iteration preconditioner
+	// cost).
+	OverheadPct float64
+}
+
+// measureIters runs the workload Runs times and returns the mean wall
+// time plus the (deterministic) total iteration count.
+func (o Options) measureIters(p protection) (time.Duration, int, error) {
+	var total time.Duration
+	iters := 0
+	for r := 0; r < o.Runs; r++ {
+		sim, err := tealeaf.New(o.workloadConfig(p))
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		res, err := sim.Run()
+		if err != nil {
+			return 0, 0, err
+		}
+		total += time.Since(start)
+		iters = res.TotalIterations
+	}
+	return total / time.Duration(o.Runs), iters, nil
+}
+
+// PCGComparison measures protected preconditioners against plain CG on
+// the fully protected (SECDED64) TeaLeaf deck: the variable conduction
+// coefficients give the operator the diagonal and spectral variation
+// real decks have, so a working preconditioner must cut the iteration
+// count — the acceptance signal for the protected preconditioning
+// subsystem. An empty kinds list sweeps every protecting kind.
+func PCGComparison(opt Options, kinds []precond.Kind) ([]PCGRow, error) {
+	o := opt.withDefaults()
+	if len(kinds) == 0 {
+		kinds = precond.ProtectingKinds
+	}
+	full := protection{elem: core.SECDED64, rowptr: core.SECDED64, vec: core.SECDED64}
+	base, baseIters, err := o.measureIters(full)
+	if err != nil {
+		return nil, fmt.Errorf("bench: cg baseline: %w", err)
+	}
+	o.logf("cg baseline: %v, %d iterations", base, baseIters)
+	rows := make([]PCGRow, 0, len(kinds))
+	for _, k := range kinds {
+		p := full
+		p.solver = solvers.KindPCG
+		p.pre = k
+		d, iters, err := o.measureIters(p)
+		if err != nil {
+			return rows, fmt.Errorf("bench: pcg/%v: %w", k, err)
+		}
+		o.logf("pcg/%-8v %v, %d iterations", k, d, iters)
+		rows = append(rows, PCGRow{
+			Label:            k.String(),
+			Iterations:       iters,
+			BaseIterations:   baseIters,
+			IterReductionPct: 100 * float64(baseIters-iters) / float64(baseIters),
+			Base:             base,
+			Time:             d,
+			OverheadPct:      overhead(base, d),
+		})
+	}
+	return rows, nil
+}
+
+// PrintPCG renders the PCG-vs-CG experiment.
+func PrintPCG(w io.Writer, rows []PCGRow) {
+	title := "Preconditioned CG vs CG (protected preconditioners, full SECDED64 deck)"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintf(w, "%-10s %10s %10s %12s %12s %10s\n",
+		"precond", "cg iters", "pcg iters", "iter saving", "time", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10d %10d %11.1f%% %12s %9.1f%%\n",
+			r.Label, r.BaseIterations, r.Iterations, r.IterReductionPct,
+			r.Time.Round(time.Millisecond), r.OverheadPct)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"abft/internal/precond"
+)
+
+// TestPCGComparison pins the subsystem's acceptance signal: on the
+// TeaLeaf deck (variable conduction coefficients, so the operator has
+// real diagonal variation) every protected preconditioner must converge
+// in fewer iterations than plain CG.
+func TestPCGComparison(t *testing.T) {
+	// nx=24 is the smallest deck where every preconditioner (including
+	// Jacobi, which ties CG on near-identity operators) strictly saves
+	// iterations; counts are deterministic.
+	opts := tinyOpts()
+	opts.NX = 24
+	rows, err := PCGComparison(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(precond.ProtectingKinds) {
+		t.Fatalf("rows %d want %d", len(rows), len(precond.ProtectingKinds))
+	}
+	for _, r := range rows {
+		if r.Iterations >= r.BaseIterations {
+			t.Errorf("%s: %d iterations, plain CG %d — no saving", r.Label, r.Iterations, r.BaseIterations)
+		}
+		if r.IterReductionPct <= 0 {
+			t.Errorf("%s: non-positive iteration reduction %.1f%%", r.Label, r.IterReductionPct)
+		}
+	}
+	var buf bytes.Buffer
+	PrintPCG(&buf, rows)
+	for _, want := range []string{"Preconditioned CG", "jacobi", "bjacobi", "sgs", "iter saving"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestPCGComparisonRestricted honours an explicit kind list.
+func TestPCGComparisonRestricted(t *testing.T) {
+	rows, err := PCGComparison(tinyOpts(), []precond.Kind{precond.SGS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Label != "sgs" {
+		t.Fatalf("rows %+v", rows)
+	}
+}

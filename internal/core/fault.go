@@ -18,6 +18,10 @@ const (
 	// StructHalo is a sharded operator's resident halo-extended local
 	// vector — the buffer the protected exchange packs from and into.
 	StructHalo
+	// StructPrecond is a preconditioner's resident setup product — the
+	// protected inverse-diagonal or inverse-block state of
+	// internal/precond, corrupted between preconditioner applications.
+	StructPrecond
 )
 
 func (s Structure) String() string {
@@ -30,6 +34,8 @@ func (s Structure) String() string {
 		return "rowptr"
 	case StructHalo:
 		return "halo"
+	case StructPrecond:
+		return "precond"
 	default:
 		return fmt.Sprintf("Structure(%d)", uint8(s))
 	}

@@ -9,6 +9,7 @@ import (
 	"abft/internal/csr"
 	"abft/internal/ecc"
 	"abft/internal/op"
+	"abft/internal/precond"
 	"abft/internal/shard"
 )
 
@@ -56,6 +57,10 @@ type CampaignConfig struct {
 	// a random shard's resident halo-extended vector between the
 	// scatter and exchange phases of a product.
 	Shards int
+	// Precond selects the preconditioner whose resident setup product
+	// StructPrecond campaigns corrupt (the protected inverse-diagonal
+	// or inverse-block state of internal/precond). Jacobi when unset.
+	Precond precond.Kind
 }
 
 // CampaignResult aggregates trial outcomes.
@@ -131,6 +136,8 @@ func Run(cfg CampaignConfig) (CampaignResult, error) {
 			o, err = vectorTrial(cfg, in)
 		case cfg.Structure == core.StructHalo:
 			o, err = haloTrial(cfg, in)
+		case cfg.Structure == core.StructPrecond:
+			o, err = precondTrial(cfg, in)
 		case cfg.Shards > 1:
 			o, err = shardedMatrixTrial(cfg, in)
 		default:
@@ -331,6 +338,94 @@ func haloTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
 	}
 	for i := range ref {
 		if got[i] != ref[i] {
+			return SDC, nil
+		}
+	}
+	if c.Corrected() > 0 {
+		return Corrected, nil
+	}
+	return Benign, nil
+}
+
+// precondTrial corrupts the resident setup product of a fresh protected
+// preconditioner — the state Elliott/Hoemmen/Mueller identify as the
+// hiding place for silent corruption in opaque preconditioners — and
+// classifies a subsequent application: the flips land between solver
+// iterations, exactly when resident preconditioner memory is exposed.
+func precondTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
+	kind := cfg.Precond
+	if kind == precond.None {
+		kind = precond.Jacobi
+	}
+	plain := campaignMatrix(cfg)
+	build := func() (precond.Preconditioner, error) {
+		return precond.New(kind, plain, precond.Options{
+			Scheme:  cfg.Scheme,
+			Backend: cfg.Backend,
+		})
+	}
+	ref, err := build()
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(in.rng.Int63()))
+	rs := make([]float64, plain.Rows())
+	for i := range rs {
+		rs[i] = rng.NormFloat64()
+	}
+	r := core.VectorFromSlice(rs, core.None)
+	wantV := core.NewVector(plain.Rows(), core.None)
+	if err := ref.Apply(wantV, r); err != nil {
+		return 0, err
+	}
+	want := make([]float64, plain.Rows())
+	if err := wantV.CopyTo(want); err != nil {
+		return 0, err
+	}
+
+	p, err := build()
+	if err != nil {
+		return 0, err
+	}
+	var c core.Counters
+	p.SetCounters(&c)
+	// The injection surface is the whole setup product: the protected
+	// state vectors plus, for Gauss-Seidel, the protected matrix copy
+	// its sweeps stream (by far its dominant resident state).
+	surfaces := len(p.RawState())
+	var pm core.ProtectedMatrix
+	if mp, ok := p.(interface{ Matrix() *core.Matrix }); ok {
+		pm = mp.Matrix()
+		surfaces++
+	}
+	if pick := in.rng.Intn(surfaces); pick < len(p.RawState()) {
+		state := p.RawState()[pick]
+		flips := in.RandomVectorFlips(state, cfg.Bits, cfg.SameCodeword)
+		if cfg.BurstWindow > 0 {
+			flips = in.BurstVectorFlips(state, cfg.BurstWindow)
+		}
+		for _, f := range flips {
+			FlipVectorBit(state, f)
+		}
+	} else {
+		target := TargetValues
+		if in.rng.Intn(3) == 0 {
+			target = TargetCols
+		}
+		for _, f := range in.RandomMatrixFlips(pm, target, cfg.Bits, cfg.SameCodeword) {
+			FlipMatrixBit(pm, target, f)
+		}
+	}
+	dst := core.NewVector(plain.Rows(), core.None)
+	if err := p.Apply(dst, r); err != nil {
+		return Detected, nil
+	}
+	got := make([]float64, plain.Rows())
+	if err := dst.CopyTo(got); err != nil {
+		return Detected, nil
+	}
+	for i := range want {
+		if got[i] != want[i] {
 			return SDC, nil
 		}
 	}

@@ -10,6 +10,7 @@ import (
 
 	"abft/internal/core"
 	"abft/internal/csr"
+	"abft/internal/precond"
 )
 
 // operatorKey identifies a protected operator by content and protection
@@ -40,6 +41,12 @@ func operatorKey(m *csr.Matrix, p solveParams) string {
 		// count and the halo-buffer protection both shape its image.
 		key += fmt.Sprintf("|shards=%d|%v", p.shards, p.vectors)
 	}
+	if p.precond != precond.None {
+		// The cached preconditioner's setup product is resident state of
+		// its own; requests with different preconditioners must not share
+		// an entry.
+		key += fmt.Sprintf("|pre=%v", p.precond)
+	}
 	return key
 }
 
@@ -63,6 +70,12 @@ type cacheEntry struct {
 	// Diagonal routes through CheckAll and would commit repairs to
 	// shared storage under only a read lock.
 	diag []float64
+	// pre is the cached protected preconditioner built with the
+	// operator (nil for unpreconditioned entries). Its state shares the
+	// operator's counters and lock discipline: solves apply it under
+	// the shared lock in no-commit mode, the scrub daemon repairs it
+	// under the exclusive lock.
+	pre precond.Preconditioner
 	// shards is the operator's band count (1 for unsharded operators),
 	// recorded for the /metrics shard gauge and per-shard scrub stats.
 	shards int
@@ -91,6 +104,10 @@ type CacheStats struct {
 	// Shards is the current resident shard count summed over every
 	// operator (an unsharded operator counts one).
 	Shards int
+	// Preconditioners is the current count of resident cached
+	// preconditioners (entries whose setup product is also cached and
+	// scrubbed).
+	Preconditioners int
 }
 
 // operatorCache is the content-addressed LRU of protected operators.
@@ -119,10 +136,11 @@ func newOperatorCache(max int) *operatorCache {
 }
 
 // get returns the entry for key, building it with build on a miss (the
-// builder returns the operator plus its verified diagonal). The second
-// return reports whether the encode cost was amortised (a hit on a
-// resident or concurrently-building operator).
-func (c *operatorCache) get(key string, build func() (core.ProtectedMatrix, []float64, error)) (*cacheEntry, bool, error) {
+// builder returns the operator, its verified diagonal and the cached
+// preconditioner, which may be nil). The second return reports whether
+// the encode cost was amortised (a hit on a resident or
+// concurrently-building operator).
+func (c *operatorCache) get(key string, build func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error)) (*cacheEntry, bool, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(e.elem)
@@ -139,7 +157,7 @@ func (c *operatorCache) get(key string, build func() (core.ProtectedMatrix, []fl
 	c.entries[key] = e
 	c.mu.Unlock()
 
-	m, diag, err := build()
+	m, diag, pre, err := build()
 
 	c.mu.Lock()
 	if err != nil {
@@ -148,6 +166,7 @@ func (c *operatorCache) get(key string, build func() (core.ProtectedMatrix, []fl
 	} else {
 		e.m = m
 		e.diag = diag
+		e.pre = pre
 		e.shards = 1
 		if sh, ok := m.(interface{ Shards() int }); ok {
 			e.shards = sh.Shards()
@@ -253,6 +272,9 @@ func (c *operatorCache) Stats() CacheStats {
 	for _, e := range c.entries {
 		if e.built {
 			s.Shards += e.shards
+			if e.pre != nil {
+				s.Preconditioners++
+			}
 		}
 	}
 	return s

@@ -9,6 +9,7 @@ import (
 
 	"abft/internal/core"
 	"abft/internal/csr"
+	"abft/internal/precond"
 )
 
 func testOperator(t *testing.T) core.ProtectedMatrix {
@@ -27,10 +28,10 @@ func testOperator(t *testing.T) core.ProtectedMatrix {
 func TestCacheSingleFlight(t *testing.T) {
 	c := newOperatorCache(8)
 	var builds atomic.Int32
-	build := func() (core.ProtectedMatrix, []float64, error) {
+	build := func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error) {
 		builds.Add(1)
 		time.Sleep(20 * time.Millisecond) // widen the window for stragglers
-		return testOperator(t), nil, nil
+		return testOperator(t), nil, nil, nil
 	}
 
 	const n = 16
@@ -65,7 +66,9 @@ func TestCacheSingleFlight(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := newOperatorCache(2)
-	build := func() (core.ProtectedMatrix, []float64, error) { return testOperator(t), nil, nil }
+	build := func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error) {
+		return testOperator(t), nil, nil, nil
+	}
 	for i := 0; i < 3; i++ {
 		if _, _, err := c.get(fmt.Sprintf("k%d", i), build); err != nil {
 			t.Fatal(err)
@@ -96,7 +99,7 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheBuildErrorNotCached(t *testing.T) {
 	c := newOperatorCache(2)
 	boom := fmt.Errorf("boom")
-	if _, _, err := c.get("k", func() (core.ProtectedMatrix, []float64, error) { return nil, nil, boom }); err != boom {
+	if _, _, err := c.get("k", func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error) { return nil, nil, nil, boom }); err != boom {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	s := c.Stats()
@@ -104,7 +107,9 @@ func TestCacheBuildErrorNotCached(t *testing.T) {
 		t.Fatalf("stats %+v", s)
 	}
 	// The failed key is retried, not poisoned.
-	if _, hit, err := c.get("k", func() (core.ProtectedMatrix, []float64, error) { return testOperator(t), nil, nil }); err != nil || hit {
+	if _, hit, err := c.get("k", func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error) {
+		return testOperator(t), nil, nil, nil
+	}); err != nil || hit {
 		t.Fatalf("retry: hit=%v err=%v", hit, err)
 	}
 }

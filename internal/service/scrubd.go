@@ -14,7 +14,12 @@ type ScrubStats struct {
 	// Shards is the number of shard-level scrubs performed: a sharded
 	// operator's patrol sweeps every band, an unsharded one counts one.
 	Shards uint64
-	// Corrected is the total number of codewords repaired in place.
+	// Preconditioners is the number of cached-preconditioner scrubs
+	// performed: an entry with a resident preconditioner patrols its
+	// setup product right after the operator, under the same lock.
+	Preconditioners uint64
+	// Corrected is the total number of codewords repaired in place
+	// (operators and preconditioner state together).
 	Corrected uint64
 	// Faults is the number of detected-but-uncorrectable errors found;
 	// each evicts its operator from the cache.
@@ -69,12 +74,23 @@ func (d *scrubDaemon) Stop() {
 
 // Pass scrubs every resident operator once, oldest first. A sharded
 // operator's Scrub patrols each band in turn, continuing past faulty
-// shards so the whole fleet's damage is counted before eviction.
+// shards so the whole fleet's damage is counted before eviction; an
+// entry's cached preconditioner is patrolled under the same exclusive
+// lock, and an uncorrectable fault in either structure evicts the whole
+// entry — the next request rebuilds operator and preconditioner clean.
 func (d *scrubDaemon) Pass() {
-	var scrubbed, shards, corrected, faults uint64
+	var scrubbed, shards, preconds, corrected, faults uint64
 	for _, e := range d.cache.resident() {
 		e.mu.Lock()
 		n, err := e.m.Scrub()
+		if e.pre != nil {
+			np, perr := e.pre.Scrub()
+			n += np
+			if err == nil {
+				err = perr
+			}
+			preconds++
+		}
 		e.mu.Unlock()
 		scrubbed++
 		shards += uint64(e.shards)
@@ -88,6 +104,7 @@ func (d *scrubDaemon) Pass() {
 	d.stats.Passes++
 	d.stats.Scrubbed += scrubbed
 	d.stats.Shards += shards
+	d.stats.Preconditioners += preconds
 	d.stats.Corrected += corrected
 	d.stats.Faults += faults
 	d.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 
 	"abft/internal/core"
 	"abft/internal/op"
+	"abft/internal/precond"
 	"abft/internal/shard"
 	"abft/internal/solvers"
 )
@@ -75,7 +76,7 @@ func (o cachedOperator) Dot(a, b *core.Vector) (float64, error) {
 // when the build itself failed).
 func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
 	p := j.params
-	e, hit, err := s.cache.get(j.key, func() (core.ProtectedMatrix, []float64, error) {
+	e, hit, err := s.cache.get(j.key, func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error) {
 		cfg := op.Config{
 			Scheme:       p.scheme,
 			RowPtrScheme: p.rowptr,
@@ -99,23 +100,45 @@ func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
 			m, err = op.New(p.format, j.plain, cfg)
 		}
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		// Counters attach at build time, before the operator is shared;
 		// they are internally atomic, so concurrent jobs and the scrub
 		// daemon account into them safely.
-		m.SetCounters(&core.Counters{})
+		counters := &core.Counters{}
+		m.SetCounters(counters)
 		// Extract the verified diagonal while the operator is still
 		// private (Diagonal commits repairs, which is fine pre-share).
 		diag := make([]float64, m.Rows())
 		if err := m.Diagonal(diag); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
+		}
+		// The cached preconditioner builds with the operator: its setup
+		// product is protected by the same scheme, accounts into the
+		// same counters, and — over a sharded operator — adopts the
+		// shard decomposition for its band-parallel applications.
+		var pre precond.Preconditioner
+		if p.precond != precond.None {
+			pre, err = precond.For(p.precond, m, j.plain, precond.Options{
+				Scheme:  p.scheme,
+				Backend: s.cfg.CRCBackend,
+				// The entry outlives this job and Workers is per-request
+				// (and outside the cache key), so the resident
+				// preconditioner's parallel layout follows the server's
+				// fixed cap, never the first requester's worker count.
+				Workers: s.cfg.MaxSolveWorkers,
+			})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			pre.SetCounters(counters)
+			pre.SetShared(true)
 		}
 		// Shared mode: from here on Apply never writes the operator's
 		// storage (concurrent jobs hold only the read lock); the scrub
 		// daemon — under the exclusive lock — is the one writer.
 		m.SetShared(true)
-		return m, diag, nil
+		return m, diag, pre, nil
 	})
 	if err != nil {
 		return nil, nil, err
@@ -137,8 +160,16 @@ func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
 	x.SetCounters(jc)
 
 	a := cachedOperator{e: e, workers: p.opt.Workers}
+	opt := p.opt
+	if e.pre != nil {
+		// The cached preconditioner applies under the same shared lock
+		// as the operator; its in-place repairs are deferred to the
+		// scrub daemon (no-commit mode), so concurrent solves never
+		// write its storage.
+		opt.Preconditioner = e.pre
+	}
 	e.mu.RLock()
-	sres, serr := solvers.Solve(p.kind, a, x, b, p.opt)
+	sres, serr := solvers.Solve(p.kind, a, x, b, opt)
 	e.mu.RUnlock()
 	if serr != nil {
 		return nil, e, serr

@@ -18,6 +18,7 @@ import (
 	"abft/internal/csr"
 	"abft/internal/mm"
 	"abft/internal/op"
+	"abft/internal/precond"
 	"abft/internal/shard"
 	"abft/internal/solvers"
 )
@@ -108,9 +109,15 @@ type SolveRequest struct {
 	// ShardFormat selects the storage format of the shard-local
 	// matrices when Shards > 1 (default: Format).
 	ShardFormat string `json:"shard_format,omitempty"`
-	// Solver picks the algorithm ("cg", "jacobi", "chebyshev", "ppcg";
-	// default cg).
+	// Solver picks the algorithm ("cg", "jacobi", "chebyshev", "ppcg",
+	// "pcg"; default cg).
 	Solver string `json:"solver,omitempty"`
+	// Precond selects an ECC-protected preconditioner ("none",
+	// "jacobi", "bjacobi", "sgs"). Its setup product is cached and
+	// scrubbed alongside the operator; "pcg" with no preconditioner
+	// defaults to jacobi. The preconditioner state is protected by
+	// Scheme, like the matrix it derives from.
+	Precond string `json:"precond,omitempty"`
 	// B is the right-hand side; omitted means all ones.
 	B []float64 `json:"b,omitempty"`
 	// Tol is the convergence tolerance (default 1e-10).
@@ -145,7 +152,10 @@ type solveParams struct {
 	// still sharded after clamping against the matrix size.
 	shardFormat op.Format
 	kind        solvers.Kind
-	opt         solvers.Options
+	// precond is the resolved preconditioner kind; its setup product is
+	// built, cached and scrubbed with the operator.
+	precond precond.Kind
+	opt     solvers.Options
 }
 
 // finalizeShards completes shard resolution once the matrix dimensions
@@ -210,6 +220,21 @@ func (r *SolveRequest) resolve(cfg Config) (solveParams, error) {
 	}
 	if p.kind, err = solvers.ParseKind(r.Solver); err != nil {
 		return p, err
+	}
+	if p.precond, err = precond.ParseKind(r.Precond); err != nil {
+		return p, err
+	}
+	if p.kind == solvers.KindPCG && p.precond == precond.None {
+		// "pcg" always preconditions; give it the protected default so
+		// the cached state is covered by the scrub lifecycle too.
+		p.precond = precond.Jacobi
+	}
+	if p.precond != precond.None &&
+		(p.kind == solvers.KindJacobi || p.kind == solvers.KindPPCG) {
+		// Reject rather than silently building, caching and scrubbing a
+		// preconditioner the solver would never apply (jacobi derives
+		// its own; ppcg's polynomial is its preconditioner).
+		return p, fmt.Errorf("solver %v does not apply a preconditioner (use cg, pcg or chebyshev)", p.kind)
 	}
 	if r.Sigma < 0 {
 		return p, fmt.Errorf("sigma %d must be >= 0", r.Sigma)

@@ -294,6 +294,18 @@ func (o *Operator) Shards() int { return len(o.bands) }
 // ShardRange returns the global row range [r0, r1) of shard i.
 func (o *Operator) ShardRange(i int) (r0, r1 int) { return o.bands[i].r0, o.bands[i].r1 }
 
+// BandRanges returns every shard's global row range in order — the
+// decomposition band-aligned preconditioners (internal/precond
+// block-Jacobi) adopt so their per-band applications run on goroutines
+// matching the shard layout.
+func (o *Operator) BandRanges() [][2]int {
+	out := make([][2]int, len(o.bands))
+	for i, b := range o.bands {
+		out[i] = [2]int{b.r0, b.r1}
+	}
+	return out
+}
+
 // Shard exposes shard i's protected local matrix (fault injection and
 // inspection).
 func (o *Operator) Shard(i int) core.ProtectedMatrix { return o.bands[i].m }

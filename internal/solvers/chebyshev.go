@@ -6,6 +6,13 @@ import "abft/internal/core"
 // tl_use_chebyshev path): a short CG run estimates the spectrum, then the
 // fixed three-term recurrence iterates without inner products — the same
 // structure TeaLeaf uses to cut synchronisation costs on large machines.
+//
+// With Options.Preconditioner set, the recurrence smooths the
+// preconditioned residual z = M^-1 r instead of r: the semi-iteration
+// then targets the spectrum of M^-1 A (which the CG bootstrap estimates,
+// since its probe runs preconditioned too), so a protected
+// preconditioner tightens the eigenvalue interval and cuts iterations
+// while the stopping rule still watches the true residual.
 func Chebyshev(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	w := opt.Workers
@@ -24,8 +31,12 @@ func Chebyshev(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 	r := newTemp(x)
 	p := newTemp(x)
 	t := newTemp(x)
+	var z *core.Vector
+	if opt.Preconditioner != nil {
+		z = newTemp(x)
+	}
 
-	// r = b - A x ; p = r / theta
+	// r = b - A x ; p = z / theta with z = M^-1 r (or r unpreconditioned)
 	if err := a.Apply(t, x); err != nil {
 		return res, iterErr("chebyshev", 0, err)
 	}
@@ -41,7 +52,14 @@ func Chebyshev(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 		res.ResidualNorm = sqrt(rr0)
 		return res, nil
 	}
-	if err := core.Waxpby(p, 1/theta, r, 0, r, w); err != nil {
+	zed := r
+	if z != nil {
+		if err := opt.Preconditioner.Apply(z, r); err != nil {
+			return res, iterErr("chebyshev", 0, err)
+		}
+		zed = z
+	}
+	if err := core.Waxpby(p, 1/theta, zed, 0, zed, w); err != nil {
 		return res, iterErr("chebyshev", 0, err)
 	}
 
@@ -57,9 +75,16 @@ func Chebyshev(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 		if err := core.Axpy(r, -1, t, w); err != nil {
 			return res, iterErr("chebyshev", it, err)
 		}
+		zed := r
+		if z != nil {
+			if err := opt.Preconditioner.Apply(z, r); err != nil {
+				return res, iterErr("chebyshev", it, err)
+			}
+			zed = z
+		}
 		rhoNew := 1 / (2*sigma - rho)
-		// p = rhoNew*rho*p + (2*rhoNew/delta)*r
-		if err := core.Waxpby(p, rhoNew*rho, p, 2*rhoNew/delta, r, w); err != nil {
+		// p = rhoNew*rho*p + (2*rhoNew/delta)*z
+		if err := core.Waxpby(p, rhoNew*rho, p, 2*rhoNew/delta, zed, w); err != nil {
 			return res, iterErr("chebyshev", it, err)
 		}
 		rho = rhoNew

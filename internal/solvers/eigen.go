@@ -88,13 +88,15 @@ var errNoSpectrum = errors.New("solvers: too few CG iterations to estimate the s
 
 // estimateSpectrum runs up to EigenIters CG iterations to harvest Lanczos
 // coefficients and returns (eigMin, eigMax) with a safety widening applied,
-// mirroring TeaLeaf's Chebyshev bootstrap.
+// mirroring TeaLeaf's Chebyshev bootstrap. The probe keeps the caller's
+// preconditioner: a preconditioned probe's Lanczos coefficients estimate
+// the spectrum of M^-1 A, which is exactly the interval the preconditioned
+// Chebyshev recurrence needs.
 func estimateSpectrum(a Operator, x, b *core.Vector, opt Options) (eigMin, eigMax float64, err error) {
 	guess := x.Clone()
 	probe := opt
 	probe.MaxIter = opt.EigenIters
 	probe.RecordHistory = false
-	probe.Preconditioner = nil
 	res, err := CG(a, guess, b, probe)
 	if err != nil {
 		return 0, 0, err

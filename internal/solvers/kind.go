@@ -19,6 +19,9 @@ const (
 	KindChebyshev
 	// KindPPCG is polynomially preconditioned CG.
 	KindPPCG
+	// KindPCG is explicitly preconditioned CG: CG with a first-class
+	// preconditioner (Jacobi by default when none is configured).
+	KindPCG
 )
 
 func (k Kind) String() string {
@@ -31,6 +34,8 @@ func (k Kind) String() string {
 		return "chebyshev"
 	case KindPPCG:
 		return "ppcg"
+	case KindPCG:
+		return "pcg"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -47,13 +52,15 @@ func ParseKind(s string) (Kind, error) {
 		return KindChebyshev, nil
 	case "ppcg":
 		return KindPPCG, nil
+	case "pcg":
+		return KindPCG, nil
 	default:
 		return KindCG, fmt.Errorf("solvers: unknown solver %q (choices: %s)", s, KindNames())
 	}
 }
 
 // Kinds lists every solver algorithm in display order.
-var Kinds = []Kind{KindCG, KindJacobi, KindChebyshev, KindPPCG}
+var Kinds = []Kind{KindCG, KindJacobi, KindChebyshev, KindPPCG, KindPCG}
 
 // KindNames returns the registered solver names as a comma-separated
 // list, for error messages and command-line help.
@@ -76,6 +83,8 @@ func Solve(kind Kind, a Operator, x, b *core.Vector, opt Options) (Result, error
 		return Chebyshev(a, x, b, opt)
 	case KindPPCG:
 		return PPCG(a, x, b, opt)
+	case KindPCG:
+		return PCG(a, x, b, opt)
 	default:
 		return Result{}, fmt.Errorf("solvers: unknown kind %v", kind)
 	}

@@ -1,0 +1,23 @@
+package solvers
+
+import "abft/internal/core"
+
+// PCG solves A x = b by explicitly preconditioned conjugate gradients —
+// the TeaLeaf tl_preconditioner_type path. It is CG with the
+// preconditioner made first-class: Options.Preconditioner supplies
+// z = M^-1 r each iteration (the ECC-protected preconditioners of
+// internal/precond satisfy the interface), and when none is configured
+// a Jacobi preconditioner is built from the operator's verified
+// diagonal, so "pcg" always preconditions — unlike KindCG, which runs
+// unpreconditioned unless told otherwise.
+func PCG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if opt.Preconditioner == nil {
+		pre, err := NewJacobiPreconditioner(a, opt.Workers)
+		if err != nil {
+			return Result{}, err
+		}
+		opt.Preconditioner = pre
+	}
+	return CG(a, x, b, opt)
+}

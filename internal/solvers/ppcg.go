@@ -66,9 +66,12 @@ func (c *chebPreconditioner) Apply(z, r *core.Vector) error {
 // PPCG solves A x = b with polynomially preconditioned conjugate
 // gradients (TeaLeaf's tl_use_ppcg path): CG outer iterations whose
 // preconditioner is a short Chebyshev smoothing, trading extra SpMVs per
-// iteration for far fewer iterations and dot products.
+// iteration for far fewer iterations and dot products. The polynomial is
+// the preconditioner, so any externally configured Preconditioner is
+// ignored (use KindPCG to combine CG with an explicit preconditioner).
 func PPCG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 	opt = opt.withDefaults()
+	opt.Preconditioner = nil
 	eigMin, eigMax, err := estimateSpectrum(a, x, b, opt)
 	if err != nil {
 		return Result{}, err

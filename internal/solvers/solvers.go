@@ -1,6 +1,7 @@
 // Package solvers implements the iterative sparse solvers TeaLeaf offers —
-// Conjugate Gradients (the paper's solver), Jacobi, Chebyshev and PPCG —
-// on top of the ABFT-protected kernels of package core. A detected
+// Conjugate Gradients (the paper's solver), preconditioned CG, Jacobi,
+// Chebyshev and PPCG — on top of the ABFT-protected kernels of package
+// core. A detected
 // uncorrectable fault surfaces as an error wrapping *core.FaultError with
 // the iteration it interrupted, leaving the recovery policy (abort, retry
 // the solve, accept the iteration loss) to the application; this is the
@@ -100,7 +101,9 @@ type Options struct {
 	// Workers is the kernel goroutine count for vector operations.
 	Workers int
 	// Preconditioner, when non-nil, is applied as z = M^-1 r each
-	// iteration (CG only).
+	// iteration (CG, PCG and Chebyshev; PPCG supplies its own
+	// polynomial and ignores it). The ECC-protected preconditioners of
+	// internal/precond satisfy the interface.
 	Preconditioner Preconditioner
 	// EigenIters is the number of CG iterations used to estimate the
 	// operator spectrum for Chebyshev and PPCG (default 20).

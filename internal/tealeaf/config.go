@@ -12,6 +12,7 @@ import (
 	"abft/internal/core"
 	"abft/internal/ecc"
 	"abft/internal/op"
+	"abft/internal/precond"
 	"abft/internal/solvers"
 )
 
@@ -68,6 +69,11 @@ type Config struct {
 
 	// Solver selects the iterative method (CG by default, as the paper).
 	Solver solvers.Kind
+	// Precond selects an ECC-protected preconditioner for the solve
+	// (internal/precond); its setup product is protected by ElemScheme
+	// and rebuilt with the matrix on Reprotect. The pcg solver defaults
+	// to Jacobi when none is configured.
+	Precond precond.Kind
 	// Eps is the solver tolerance on the residual L2 norm.
 	Eps float64
 	// RelativeTol measures Eps against the initial residual.
@@ -126,6 +132,18 @@ func DefaultConfig() Config {
 	}
 }
 
+// Normalized resolves defaults that depend on other fields: the pcg
+// solver always preconditions, so its implicit Jacobi default becomes
+// an explicit Precond — reporting, fault injection and the Reprotect
+// lifecycle then all see the effective kind. New applies it; callers
+// that display the configuration should too.
+func (c Config) Normalized() Config {
+	if c.Solver == solvers.KindPCG && c.Precond == precond.None {
+		c.Precond = precond.Jacobi
+	}
+	return c
+}
+
 // Validate reports configuration problems.
 func (c Config) Validate() error {
 	if c.NX <= 0 || c.NY <= 0 {
@@ -159,6 +177,13 @@ func (c Config) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("tealeaf: shards %d invalid", c.Shards)
+	}
+	if c.Precond != precond.None &&
+		(c.Solver == solvers.KindJacobi || c.Solver == solvers.KindPPCG) {
+		// These solvers never apply an external preconditioner (jacobi
+		// derives its own, ppcg's polynomial is its preconditioner);
+		// building protected state they ignore would misreport the run.
+		return fmt.Errorf("tealeaf: solver %v does not apply a preconditioner (use cg, pcg or chebyshev)", c.Solver)
 	}
 	return nil
 }

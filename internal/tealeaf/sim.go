@@ -6,6 +6,7 @@ import (
 	"abft/internal/core"
 	"abft/internal/csr"
 	"abft/internal/op"
+	"abft/internal/precond"
 	"abft/internal/shard"
 	"abft/internal/solvers"
 )
@@ -24,6 +25,7 @@ type Simulation struct {
 	rx, ry float64
 
 	matrix   core.ProtectedMatrix
+	precond  precond.Preconditioner
 	counters core.Counters
 	step     int
 }
@@ -31,6 +33,7 @@ type Simulation struct {
 // New initialises the fields from the configured states and builds the
 // protected matrix.
 func New(cfg Config) (*Simulation, error) {
+	cfg = cfg.Normalized()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,6 +55,10 @@ func (s *Simulation) Counters() *core.Counters { return &s.counters }
 // Matrix exposes the protected system matrix (for fault injection). Its
 // concrete type depends on Config.Format.
 func (s *Simulation) Matrix() core.ProtectedMatrix { return s.matrix }
+
+// Preconditioner exposes the protected preconditioner, nil when
+// Config.Precond is none (for fault injection and statistics).
+func (s *Simulation) Preconditioner() precond.Preconditioner { return s.precond }
 
 // Density returns the cell density field (row-major, no halo).
 func (s *Simulation) Density() []float64 { return s.density }
@@ -167,6 +174,23 @@ func (s *Simulation) buildMatrix() error {
 	}
 	m.SetCounters(&s.counters)
 	s.matrix = m
+	s.precond = nil
+	// The config is normalized at New, so cfg.Precond is the effective
+	// kind (pcg's implicit Jacobi included) and its state joins the
+	// Reprotect lifecycle instead of being rebuilt unprotected inside
+	// the solver.
+	if cfg.Precond != precond.None {
+		pre, err := precond.For(cfg.Precond, m, plain, precond.Options{
+			Scheme:  cfg.ElemScheme,
+			Backend: cfg.CRCBackend,
+			Workers: cfg.Workers,
+		})
+		if err != nil {
+			return err
+		}
+		pre.SetCounters(&s.counters)
+		s.precond = pre
+	}
 	return nil
 }
 
@@ -248,6 +272,9 @@ func (s *Simulation) advanceOnce() (StepResult, error) {
 		Workers:     cfg.Workers,
 		EigenIters:  cfg.EigenIters,
 		InnerSteps:  cfg.InnerSteps,
+	}
+	if s.precond != nil {
+		opt.Preconditioner = s.precond
 	}
 	op := solvers.MatrixOperator{M: s.matrix, Workers: cfg.Workers}
 	sres, err := solvers.Solve(cfg.Solver, op, x, b, opt)
