@@ -252,6 +252,33 @@ type SolveOptions = solvers.Options
 // SolveResult reports a solve outcome.
 type SolveResult = solvers.Result
 
+// RecoveryPolicy names the solver's reaction to a detected
+// uncorrectable fault in its own dynamic state (the x, r, p iteration
+// vectors): surface it, roll back to a protected checkpoint, or restart
+// the recurrence.
+type RecoveryPolicy = solvers.RecoveryPolicy
+
+// Recovery policies for SolveOptions.Recovery.
+const (
+	// RecoveryOff surfaces the fault as an error (the default).
+	RecoveryOff = solvers.RecoveryOff
+	// RecoveryRollback checkpoints the live solver vectors into
+	// codeword-protected storage every K iterations and resumes from
+	// the last good checkpoint after a fault.
+	RecoveryRollback = solvers.RecoveryRollback
+	// RecoveryRestart rewinds a faulted solve to iteration zero.
+	RecoveryRestart = solvers.RecoveryRestart
+)
+
+// RecoveryOptions configures the checkpoint/rollback recovery
+// controller: policy, checkpoint cadence, rollback budget and the
+// checkpoint storage's protection scheme.
+type RecoveryOptions = solvers.Recovery
+
+// ParseRecovery converts a recovery policy name ("off", "rollback",
+// "restart") to its RecoveryPolicy.
+func ParseRecovery(s string) (RecoveryPolicy, error) { return solvers.ParseRecovery(s) }
+
 // SolveCG solves m x = b by conjugate gradients, the paper's solver. m is
 // a protected matrix of any storage format (CSR, COO, SELL-C-sigma); a
 // *Matrix built with NewMatrix works unchanged.

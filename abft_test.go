@@ -234,3 +234,50 @@ func TestFacadePreconditionedSolve(t *testing.T) {
 		t.Fatalf("scrub: corrected=%d err=%v", corrected, err)
 	}
 }
+
+// TestFacadeRecoverySolve drives the recovery surface through the
+// public API: a solve whose dynamic vectors are corrupted mid-iteration
+// survives under the rollback policy and reports the recovery.
+func TestFacadeRecoverySolve(t *testing.T) {
+	m, err := abft.NewMatrix(abft.Laplacian2D(12, 12), abft.MatrixOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := abft.NewVector(m.Rows(), abft.SECDED64)
+	for i := 0; i < b.Len(); i++ {
+		if err := b.Set(i, float64(i%7)-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := abft.NewVector(m.Rows(), abft.SECDED64)
+
+	pol, err := abft.ParseRecovery("rollback")
+	if err != nil || pol != abft.RecoveryRollback {
+		t.Fatalf("ParseRecovery: %v %v", pol, err)
+	}
+	opt := abft.SolveOptions{
+		Tol:      1e-10,
+		Recovery: abft.RecoveryOptions{Policy: pol, Interval: 8},
+	}
+	struck := false
+	opt.StateHook = func(it int, live []*abft.Vector) {
+		if it == 5 && !struck {
+			struck = true
+			live[1].Raw()[4] ^= 1<<19 | 1<<43 // double flip: uncorrectable under SECDED64
+		}
+	}
+	res, err := abft.SolveCG(m, x, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Rollbacks == 0 || res.Checkpoints == 0 {
+		t.Fatalf("recovery not exercised: %+v", res)
+	}
+	if _, err := abft.ParseRecovery("bogus"); err == nil {
+		t.Fatal("bogus recovery policy accepted")
+	}
+	// Invalid options are rejected at the facade too.
+	if _, err := abft.SolveCG(m, x, b, abft.SolveOptions{MaxIter: -1}); err == nil {
+		t.Fatal("negative MaxIter accepted")
+	}
+}

@@ -12,6 +12,8 @@
 //	abftbench -fig 4 -nx 512 -steps 5 -runs 5
 //	abftbench -fig 8 -maxexp 7
 //	abftbench -fig pcg -precond jacobi,sgs
+//	abftbench -fig recovery -ckpt-intervals 8,32,128
+//	abftbench -fig all -json BENCH_$(date +%Y%m%d).json
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"abft/internal/bench"
 	"abft/internal/precond"
+	"abft/internal/solvers"
 )
 
 func main() {
@@ -37,7 +40,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("abftbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,pcg,all")
+		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,pcg,recovery,all")
 		nx      = fs.Int("nx", 128, "grid cells per side (paper: 2048)")
 		steps   = fs.Int("steps", 2, "timesteps per run (paper: 5)")
 		runs    = fs.Int("runs", 3, "repetitions averaged (paper: 5)")
@@ -46,6 +49,9 @@ func run(args []string, stdout io.Writer) error {
 		maxExp  = fs.Int("maxexp", 7, "largest interval exponent for figures 6-8 (2^n)")
 		shards  = fs.String("shards", "2,4,8", "shard counts for the shard-scaling experiment")
 		pre     = fs.String("precond", "", "preconditioners for the pcg experiment (comma list of jacobi, bjacobi, sgs; default all)")
+		rec     = fs.String("recovery", "rollback", "recovery policy for the checkpoint-overhead experiment (rollback, restart)")
+		ckpts   = fs.String("ckpt-intervals", "8,32,128", "checkpoint intervals for the recovery experiment")
+		jsonOut = fs.String("json", "", "also write machine-readable results (name, ns/op, iterations, overhead %) to this file; - writes to stdout")
 		quiet   = fs.Bool("quiet", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,12 +80,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 	all := want["all"]
 
+	// Machine-readable samples accumulated across every overhead
+	// figure that ran, for the -json perf-trajectory record.
+	var results []bench.JSONResult
+	collect := func(figure string, rows []bench.Row) {
+		results = append(results, bench.RowsJSON(figure, *runs, rows)...)
+	}
+
 	if all || want["4"] {
 		rows, err := bench.Fig4(opt)
 		if err != nil {
 			return err
 		}
 		bench.PrintRows(out, "Figure 4: CSR element protection overhead", rows)
+		collect("fig4", rows)
 	}
 	if all || want["5"] {
 		rows, err := bench.Fig5(opt)
@@ -87,6 +101,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		bench.PrintRows(out, "Figure 5: row-pointer protection overhead", rows)
+		collect("fig5", rows)
 	}
 	if all || want["6"] {
 		s, err := bench.Fig6(opt)
@@ -94,6 +109,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		bench.PrintSeries(out, "Figure 6: full-CSR SED overhead vs check interval", s)
+		results = append(results, bench.SeriesJSON("fig6", *runs, s)...)
 	}
 	if all || want["7"] {
 		s, err := bench.Fig7(opt)
@@ -101,6 +117,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		bench.PrintSeries(out, "Figure 7: full-CSR SECDED64 overhead vs check interval", s)
+		results = append(results, bench.SeriesJSON("fig7", *runs, s)...)
 	}
 	if all || want["8"] {
 		s, err := bench.Fig8(opt)
@@ -108,6 +125,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		bench.PrintSeries(out, "Figure 8: full-CSR CRC32C (software) overhead vs check interval", s)
+		results = append(results, bench.SeriesJSON("fig8", *runs, s)...)
 	}
 	if all || want["9"] {
 		rows, err := bench.Fig9(opt)
@@ -115,6 +133,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		bench.PrintRows(out, "Figure 9: dense vector protection overhead", rows)
+		collect("fig9", rows)
 	}
 	if all || want["full"] {
 		row, err := bench.FullProtection(opt)
@@ -124,6 +143,7 @@ func run(args []string, stdout io.Writer) error {
 		bench.PrintRows(out, "Full protection (section VII-B)", []bench.Row{row})
 		fmt.Fprintf(out, "paper reference: %.1f%% hardware-ECC overhead (NVIDIA K40), %.0f%% software target\n\n",
 			bench.HardwareECCTargetPct, 11.0)
+		collect("full", []bench.Row{row})
 	}
 	if all || want["formats"] {
 		rows, err := bench.FormatComparison(opt)
@@ -131,6 +151,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		bench.PrintRows(out, "Storage formats: element protection overhead per format", rows)
+		collect("formats", rows)
 	}
 	if all || want["shards"] {
 		counts, err := parseShardCounts(*shards)
@@ -142,6 +163,26 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		bench.PrintRows(out, "Sharded solve: overhead vs the unsharded operator (negative = speedup)", rows)
+		collect("shards", rows)
+	}
+	if all || want["recovery"] {
+		policy, err := solvers.ParseRecovery(*rec)
+		if err != nil {
+			return err
+		}
+		if policy == solvers.RecoveryOff {
+			return fmt.Errorf("the recovery experiment needs a policy (choices: rollback, restart)")
+		}
+		intervals, err := parseIntervals(*ckpts)
+		if err != nil {
+			return err
+		}
+		rows, err := bench.RecoveryOverhead(opt, policy, intervals)
+		if err != nil {
+			return err
+		}
+		bench.PrintRows(out, "Recovery: fault-free checkpoint overhead vs cadence (full SECDED64)", rows)
+		collect("recovery", rows)
 	}
 	if all || want["pcg"] {
 		kinds, err := parsePrecondKinds(*pre)
@@ -164,7 +205,37 @@ func run(args []string, stdout io.Writer) error {
 	if all || want["crc"] {
 		bench.PrintCRC(out, bench.CRCThroughput())
 	}
+	if *jsonOut != "" {
+		w := out
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := bench.WriteJSON(w, results); err != nil {
+			return err
+		}
+		if *jsonOut != "-" {
+			fmt.Fprintf(out, "wrote %d benchmark samples to %s\n", len(results), *jsonOut)
+		}
+	}
 	return nil
+}
+
+// parseIntervals parses the -ckpt-intervals comma list.
+func parseIntervals(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad checkpoint interval %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // parsePrecondKinds parses the -precond comma list (empty sweeps all).

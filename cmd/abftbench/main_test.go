@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -58,5 +60,52 @@ func TestRunRejectsUnknownPrecond(t *testing.T) {
 	}
 	if want := "choices: none, jacobi, bjacobi, sgs"; !strings.Contains(err.Error(), want) {
 		t.Fatalf("error %q does not list %q", err, want)
+	}
+}
+
+// TestRunRecoveryExperiment runs the checkpoint-overhead experiment at
+// a tiny size and checks the -json trajectory output round-trips.
+func TestRunRecoveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness in -short mode")
+	}
+	path := t.TempDir() + "/bench.json"
+	var out bytes.Buffer
+	err := run([]string{"-fig", "recovery", "-ckpt-intervals", "16", "-nx", "16",
+		"-steps", "1", "-runs", "1", "-quiet", "-json", path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "rollback/interval-16") {
+		t.Fatalf("missing recovery row:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		Name        string  `json:"name"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		Iterations  int     `json:"iterations"`
+		OverheadPct float64 `json:"overhead_pct"`
+	}
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("bad json: %v\n%s", err, data)
+	}
+	if len(results) != 1 || results[0].Name != "recovery/rollback/interval-16" ||
+		results[0].NsPerOp <= 0 || results[0].Iterations != 1 {
+		t.Fatalf("unexpected samples: %+v", results)
+	}
+}
+
+// TestRunRejectsRecoveryOff pins the usage error for -fig recovery
+// without a policy.
+func TestRunRejectsRecoveryOff(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "recovery", "-recovery", "off"}, &out); err == nil {
+		t.Fatal("recovery experiment without a policy accepted")
+	}
+	if err := run([]string{"-fig", "recovery", "-ckpt-intervals", "0"}, &out); err == nil {
+		t.Fatal("zero checkpoint interval accepted")
 	}
 }

@@ -55,6 +55,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		scrub   = fs.Duration("scrub", 5*time.Second, "scrub daemon interval (0 disables)")
 		maxw    = fs.Int("maxworkers", 8, "per-job kernel goroutine cap")
 		history = fs.Int("history", 1024, "finished jobs kept queryable")
+		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining queued and running jobs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,13 +86,22 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful shutdown: close the listener and finish in-flight
+		// HTTP exchanges, then stop admission and drain the worker
+		// pool — queued jobs run to completion unless the deadline
+		// expires — and finally flush the scrub daemon.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
+			srv.Shutdown(shutdownCtx)
 			return err
 		}
 		<-errc
-		fmt.Fprintln(stdout, "abftd: shut down")
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(stdout, "abftd: drain deadline expired with jobs still running")
+			return err
+		}
+		fmt.Fprintln(stdout, "abftd: drained and shut down")
 		return nil
 	case err := <-errc:
 		if errors.Is(err, http.ErrServerClosed) {

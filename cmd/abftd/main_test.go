@@ -90,3 +90,51 @@ func TestDaemonBadFlags(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+// TestDaemonGracefulShutdown enqueues asynchronous work and then
+// signals shutdown: the daemon must drain the queued jobs within the
+// deadline and report a clean exit.
+func TestDaemonGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-drain", "30s"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	// Queue async jobs (no wait) so the drain has work to finish.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post("http://"+addr+"/v1/solve", "application/json",
+			strings.NewReader(`{"matrix": {"grid": {"nx": 10, "ny": 10}}, "scheme": "secded64", "recovery": "rollback", "tol": 1e-8}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("solve status %d", resp.StatusCode)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful shutdown failed: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "drained and shut down") {
+		t.Fatalf("missing drain confirmation in output:\n%s", out.String())
+	}
+}

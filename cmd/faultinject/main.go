@@ -15,6 +15,8 @@
 //	faultinject -shards 4                   # strike one shard of a sharded operator
 //	faultinject -shards 4 -structure halo   # corrupt resident halo buffers mid-product
 //	faultinject -structure precond -precond sgs  # corrupt resident preconditioner state
+//	faultinject -recovery rollback          # corrupt live solver vectors mid-solve
+//	faultinject -structure solverstate -recovery restart -shards 4
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"abft/internal/mm"
 	"abft/internal/op"
 	"abft/internal/precond"
+	"abft/internal/solvers"
 )
 
 func main() {
@@ -74,6 +77,8 @@ func run(args []string, stdout io.Writer) error {
 		matrix    = fs.String("matrix", "", "MatrixMarket file to inject into (matrix structures; default: generated stencil)")
 		shards    = fs.Int("shards", 0, "row-partition matrix campaigns across this many shards (>= 2 also enables the halo structure)")
 		pre       = fs.String("precond", "", "preconditioner whose protected state the precond structure corrupts: jacobi, bjacobi, sgs (setting it also enables the precond structure)")
+		rec       = fs.String("recovery", "", "solver recovery policy solverstate campaigns run under: off, rollback, restart (setting it also enables the solverstate structure)")
+		ckpt      = fs.Int("ckpt-interval", 0, "rollback checkpoint cadence for solverstate campaigns (0 adapts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,12 +113,23 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	recovery := solvers.RecoveryOff
+	solverState := *rec != ""
+	if solverState {
+		var err error
+		if recovery, err = solvers.ParseRecovery(*rec); err != nil {
+			return err
+		}
+	}
 	structures := []core.Structure{core.StructVector, core.StructElements, core.StructRowPtr}
 	if *shards > 1 {
 		structures = append(structures, core.StructHalo)
 	}
 	if preKind != precond.None {
 		structures = append(structures, core.StructPrecond)
+	}
+	if solverState {
+		structures = append(structures, core.StructSolverState)
 	}
 	if *structure != "" {
 		switch *structure {
@@ -133,6 +149,8 @@ func run(args []string, stdout io.Writer) error {
 				preKind = precond.Jacobi
 			}
 			structures = []core.Structure{core.StructPrecond}
+		case "solverstate":
+			structures = []core.Structure{core.StructSolverState}
 		default:
 			return fmt.Errorf("unknown structure %q", *structure)
 		}
@@ -156,8 +174,8 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "fault injection: %d trials per configuration, %s flips, size %d\n\n",
 			*trials, mode, *size)
 	}
-	header := fmt.Sprintf("%-7s %-11s %-10s %5s %9s %10s %10s %8s %8s",
-		"format", "scheme", "structure", "flips", "benign", "corrected", "detected", "sdc", "sdc rate")
+	header := fmt.Sprintf("%-7s %-11s %-11s %5s %9s %10s %10s %10s %8s %8s",
+		"format", "scheme", "structure", "flips", "benign", "corrected", "detected", "recovered", "sdc", "sdc rate")
 	fmt.Fprintln(stdout, header)
 	fmt.Fprintln(stdout, strings.Repeat("-", len(header)))
 
@@ -168,7 +186,7 @@ func run(args []string, stdout io.Writer) error {
 				continue // vectors and preconditioner state have no storage format; run once
 			}
 			if st == core.StructRowPtr && f == op.SELLCS {
-				fmt.Fprintf(stdout, "%-7s %-11s %-10s        (skipped: sell-c-sigma has no protected auxiliary structure)\n",
+				fmt.Fprintf(stdout, "%-7s %-11s %-11s        (skipped: sell-c-sigma has no protected auxiliary structure)\n",
 					f, "-", st)
 				continue
 			}
@@ -182,22 +200,24 @@ func run(args []string, stdout io.Writer) error {
 			for _, s := range schemes {
 				for _, b := range bitCounts {
 					res, err := faults.Run(faults.CampaignConfig{
-						Scheme:       s,
-						Structure:    st,
-						Format:       f,
-						Bits:         b,
-						Trials:       *trials,
-						Seed:         *seed,
-						SameCodeword: !*scatter,
-						Size:         *size,
-						Matrix:       plain,
-						Shards:       *shards,
-						Precond:      preKind,
+						Scheme:             s,
+						Structure:          st,
+						Format:             f,
+						Bits:               b,
+						Trials:             *trials,
+						Seed:               *seed,
+						SameCodeword:       !*scatter,
+						Size:               *size,
+						Matrix:             plain,
+						Shards:             *shards,
+						Precond:            preKind,
+						Recovery:           recovery,
+						CheckpointInterval: *ckpt,
 					})
 					if err != nil {
 						return err
 					}
-					if st != core.StructVector && st != core.StructPrecond {
+					if st != core.StructVector && st != core.StructPrecond && st != core.StructSolverState {
 						tl := tallies[f]
 						if tl == nil {
 							tl = &tally{}
@@ -208,9 +228,9 @@ func run(args []string, stdout io.Writer) error {
 						tl.detected += res.Detected
 						tl.sdc += res.SDC
 					}
-					fmt.Fprintf(stdout, "%-7s %-11s %-10s %5d %9d %10d %10d %8d %7.1f%%\n",
-						fname, s, st, b, res.Benign, res.Corrected, res.Detected, res.SDC,
-						100*res.Rate(faults.SDC))
+					fmt.Fprintf(stdout, "%-7s %-11s %-11s %5d %9d %10d %10d %10d %8d %7.1f%%\n",
+						fname, s, st, b, res.Benign, res.Corrected, res.Detected, res.Recovered,
+						res.SDC, 100*res.Rate(faults.SDC))
 				}
 			}
 		}
@@ -235,6 +255,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if solverState {
+		fmt.Fprintf(stdout, "\nsolverstate campaigns solved under recovery=%v (recovered = DUE rolled back to the correct answer)\n", recovery)
+	}
 	fmt.Fprintln(stdout, "\npaper section IV expectations (flips within one codeword):")
 	fmt.Fprintln(stdout, "  sed:       detects odd flip counts, corrects none, misses even counts")
 	fmt.Fprintln(stdout, "  secded:    corrects 1, detects 2; 3+ may mis-correct")

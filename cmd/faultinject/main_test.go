@@ -95,3 +95,21 @@ func TestRunRejectsUnknownNames(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSolverStateCampaign smokes the -recovery path: live solver
+// vectors are corrupted mid-solve and the rollback policy recovers.
+func TestRunSolverStateCampaign(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-structure", "solverstate", "-recovery", "rollback",
+		"-scheme", "secded64", "-bits", "2", "-trials", "8", "-size", "6"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "solverstate") || !strings.Contains(s, "recovery=rollback") {
+		t.Errorf("output missing solverstate reporting:\n%s", s)
+	}
+	if err := run([]string{"-recovery", "bogus"}, &out); err == nil {
+		t.Fatal("unknown recovery policy accepted")
+	}
+}

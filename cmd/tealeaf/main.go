@@ -55,6 +55,8 @@ func run(args []string, stdout io.Writer) error {
 		workers  = fs.Int("workers", 0, "kernel goroutines")
 		shards   = fs.Int("shards", 0, "row-partition the operator into this many bands with protected halo exchanges")
 		retry    = fs.Bool("retry", false, "reprotect and retry a step after an uncorrectable fault")
+		recovery = fs.String("recovery", "", "solver recovery policy for faults in dynamic state: off, rollback, restart")
+		ckpt     = fs.Int("ckpt-interval", 0, "rollback checkpoint cadence in iterations (0 adapts to the fault rate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,6 +133,16 @@ func run(args []string, stdout io.Writer) error {
 		cfg.Shards = *shards
 	}
 	cfg.RetryOnFault = cfg.RetryOnFault || *retry
+	if *recovery != "" {
+		pol, err := solvers.ParseRecovery(*recovery)
+		if err != nil {
+			return err
+		}
+		cfg.Recovery.Policy = pol
+	}
+	if *ckpt > 0 {
+		cfg.Recovery.Interval = *ckpt
+	}
 	// Report the effective configuration (pcg's implicit Jacobi
 	// preconditioner included), exactly what the simulation will run.
 	cfg = cfg.Normalized()
@@ -138,9 +150,9 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "TeaLeaf (ABFT reproduction)\n")
 	fmt.Fprintf(stdout, "  grid %dx%d, %d steps, dt %g, solver %v, precond %v\n",
 		cfg.NX, cfg.NY, cfg.EndStep, cfg.DtInit, cfg.Solver, cfg.Precond)
-	fmt.Fprintf(stdout, "  protection: format=%v elements=%v rowptr=%v vectors=%v interval=%d crc=%v workers=%d shards=%d\n",
+	fmt.Fprintf(stdout, "  protection: format=%v elements=%v rowptr=%v vectors=%v interval=%d crc=%v workers=%d shards=%d recovery=%v\n",
 		cfg.Format, cfg.ElemScheme, cfg.RowPtrScheme, cfg.VectorScheme, cfg.CheckInterval,
-		cfg.CRCBackend, cfg.Workers, cfg.Shards)
+		cfg.CRCBackend, cfg.Workers, cfg.Shards, cfg.Recovery.Policy)
 
 	sim, err := tealeaf.New(cfg)
 	if err != nil {
@@ -155,9 +167,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "step %4d: %5d iterations, residual %.3e, %8.3fs",
 			sr.Step, sr.Iterations, sr.ResidualNorm, time.Since(stepStart).Seconds())
-		if sr.Corrected > 0 || sr.Detected > 0 || sr.Retried {
-			fmt.Fprintf(stdout, "  [corrected=%d detected=%d retried=%v]",
-				sr.Corrected, sr.Detected, sr.Retried)
+		if sr.Corrected > 0 || sr.Detected > 0 || sr.Retried || sr.Rollbacks > 0 {
+			fmt.Fprintf(stdout, "  [corrected=%d detected=%d retried=%v rollbacks=%d recomputed=%d]",
+				sr.Corrected, sr.Detected, sr.Retried, sr.Rollbacks, sr.RecomputedIterations)
 		}
 		fmt.Fprintln(stdout)
 	}

@@ -89,3 +89,19 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+// TestRunRecoveryFlag smokes the solver recovery knobs.
+func TestRunRecoveryFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-nx", "8", "-steps", "1", "-vectors", "secded64",
+		"-recovery", "rollback", "-ckpt-interval", "8"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "recovery=rollback") {
+		t.Errorf("output missing recovery configuration:\n%s", out.String())
+	}
+	if err := run([]string{"-recovery", "bogus"}, &out); err == nil {
+		t.Fatal("unknown recovery policy accepted")
+	}
+}

@@ -86,6 +86,9 @@ type protection struct {
 	// protected preconditioner — the PCG experiment's knobs.
 	solver solvers.Kind
 	pre    precond.Kind
+	// recovery enables the solver's checkpoint/rollback controller —
+	// the checkpoint-overhead experiment's knob.
+	recovery solvers.Recovery
 }
 
 // workloadConfig builds the TeaLeaf configuration for one measurement.
@@ -108,6 +111,7 @@ func (o Options) workloadConfig(p protection) tealeaf.Config {
 		cfg.Solver = p.solver
 	}
 	cfg.Precond = p.pre
+	cfg.Recovery = p.recovery
 	return cfg
 }
 

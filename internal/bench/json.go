@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONResult is one machine-readable benchmark sample, the schema the
+// BENCH_*.json perf trajectory records: a stable name, the mean
+// protected wall time in nanoseconds, how many runs were averaged and
+// the overhead against the configuration's baseline.
+type JSONResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	Iterations  int     `json:"iterations"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// RowsJSON converts a figure's rows into JSON samples, prefixing each
+// label with the figure name so samples stay unique across figures.
+func RowsJSON(figure string, runs int, rows []Row) []JSONResult {
+	out := make([]JSONResult, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, JSONResult{
+			Name:        figure + "/" + r.Label,
+			NsPerOp:     r.Protected.Nanoseconds(),
+			Iterations:  runs,
+			OverheadPct: r.OverheadPct,
+		})
+	}
+	return out
+}
+
+// SeriesJSON converts a check-interval sweep into JSON samples, one per
+// interval point.
+func SeriesJSON(figure string, runs int, s Series) []JSONResult {
+	out := make([]JSONResult, 0, len(s.Points))
+	for _, p := range s.Points {
+		out = append(out, JSONResult{
+			Name:        jsonName(figure, s.Label, p.Interval),
+			NsPerOp:     p.Time.Nanoseconds(),
+			Iterations:  runs,
+			OverheadPct: p.OverheadPct,
+		})
+	}
+	return out
+}
+
+func jsonName(figure, label string, interval int) string {
+	return fmt.Sprintf("%s/%s/interval-%d", figure, label, interval)
+}
+
+// WriteJSON serialises the collected samples as an indented JSON array.
+func WriteJSON(w io.Writer, results []JSONResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+
+	"abft/internal/core"
+	"abft/internal/solvers"
+)
+
+// RecoveryOverhead measures what the checkpoint/rollback recovery
+// controller costs when nothing goes wrong: the fully protected
+// (SECDED64 everywhere) CG workload runs once with recovery off and
+// once per checkpoint interval with the rollback policy, all
+// fault-free, so the gap is pure snapshot cost — the live solver
+// vectors verified and re-encoded into protected checkpoint storage
+// every K iterations. The paper's check-interval trade-off, applied to
+// checkpoints: at the default interval the overhead must stay in the
+// single digits for rollback to be cheaper than the restart it
+// replaces.
+func RecoveryOverhead(opt Options, policy solvers.RecoveryPolicy, intervals []int) ([]Row, error) {
+	o := opt.withDefaults()
+	if policy == solvers.RecoveryOff {
+		policy = solvers.RecoveryRollback
+	}
+	if policy == solvers.RecoveryRestart {
+		// Restart keeps only checkpoint zero — the cadence knob does
+		// not exist for it, so the sweep collapses to one measurement.
+		intervals = []int{0}
+	} else if len(intervals) == 0 {
+		intervals = []int{8, defaultRecoveryInterval, 128}
+	}
+	full := protection{elem: core.SECDED64, rowptr: core.SECDED64, vec: core.SECDED64}
+	base, err := o.measure(full)
+	if err != nil {
+		return nil, err
+	}
+	o.logf("recovery off: %v", base)
+	var rows []Row
+	for _, k := range intervals {
+		p := full
+		p.recovery = solvers.Recovery{Policy: policy, Interval: k}
+		d, err := o.measure(p)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %v interval %d: %w", policy, k, err)
+		}
+		label := fmt.Sprintf("%v/interval-%d", policy, k)
+		if policy == solvers.RecoveryRestart {
+			label = "restart/checkpoint-0"
+		}
+		o.logf("%-20s %v", label, d)
+		rows = append(rows, Row{Label: label, Base: base, Protected: d,
+			OverheadPct: overhead(base, d)})
+	}
+	return rows, nil
+}
+
+// defaultRecoveryInterval mirrors the solvers package's adaptive
+// starting cadence, the headline point of the recovery figure.
+const defaultRecoveryInterval = 32

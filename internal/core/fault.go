@@ -22,6 +22,10 @@ const (
 	// protected inverse-diagonal or inverse-block state of
 	// internal/precond, corrupted between preconditioner applications.
 	StructPrecond
+	// StructSolverState is a solver's live dynamic state — the x, r, p
+	// iteration vectors the recovery controller of internal/solvers
+	// checkpoints — corrupted mid-solve between iterations.
+	StructSolverState
 )
 
 func (s Structure) String() string {
@@ -36,6 +40,8 @@ func (s Structure) String() string {
 		return "halo"
 	case StructPrecond:
 		return "precond"
+	case StructSolverState:
+		return "solverstate"
 	default:
 		return fmt.Sprintf("Structure(%d)", uint8(s))
 	}

@@ -326,16 +326,25 @@ func Copy(dst, src *Vector, workers int) error {
 		return fmt.Errorf("core: Copy length mismatch %d vs %d", dst.Len(), src.Len())
 	}
 	return par.ForEach(dst.Blocks(), workers, 1, func(lo, hi int) error {
-		var buf [vecBlock]float64
-		src.counters.AddChecks(uint64(hi-lo) * src.checksPerBlock())
-		for blk := lo; blk < hi; blk++ {
-			if err := src.readBlock(blk, &buf, true); err != nil {
-				return err
-			}
-			dst.WriteBlock(blk, &buf)
-		}
-		return nil
+		return CopyBlocks(dst, src, lo, hi)
 	})
+}
+
+// CopyBlocks is Copy restricted to blocks [b0, b1): each block of src
+// is verified (corrections committed) and re-encoded into dst, with the
+// kernels' per-call checks accounting. It is the primitive the solver
+// recovery controller uses to checkpoint banded operators per band;
+// concurrent callers on disjoint block ranges never share a block.
+func CopyBlocks(dst, src *Vector, b0, b1 int) error {
+	var buf [vecBlock]float64
+	src.counters.AddChecks(uint64(b1-b0) * src.checksPerBlock())
+	for blk := b0; blk < b1; blk++ {
+		if err := src.readBlock(blk, &buf, true); err != nil {
+			return err
+		}
+		dst.WriteBlock(blk, &buf)
+	}
+	return nil
 }
 
 // DiagScale computes dst[i] = diag[i] * x[i] for a plain coefficient

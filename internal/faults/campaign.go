@@ -11,6 +11,7 @@ import (
 	"abft/internal/op"
 	"abft/internal/precond"
 	"abft/internal/shard"
+	"abft/internal/solvers"
 )
 
 func flipFloatBits(x float64, mask uint64) float64 {
@@ -61,6 +62,14 @@ type CampaignConfig struct {
 	// StructPrecond campaigns corrupt (the protected inverse-diagonal
 	// or inverse-block state of internal/precond). Jacobi when unset.
 	Precond precond.Kind
+	// Recovery selects the recovery policy StructSolverState campaigns
+	// solve under: off measures how often corrupted live iteration
+	// vectors abort the solve, rollback and restart measure how often
+	// the checkpoint controller turns those aborts into recoveries.
+	Recovery solvers.RecoveryPolicy
+	// CheckpointInterval overrides the rollback checkpoint cadence
+	// (zero keeps the solver's adaptive default).
+	CheckpointInterval int
 }
 
 // CampaignResult aggregates trial outcomes.
@@ -70,10 +79,13 @@ type CampaignResult struct {
 	Corrected int
 	Detected  int
 	SDC       int
+	Recovered int
 }
 
 // Total returns the number of classified trials.
-func (r CampaignResult) Total() int { return r.Benign + r.Corrected + r.Detected + r.SDC }
+func (r CampaignResult) Total() int {
+	return r.Benign + r.Corrected + r.Detected + r.SDC + r.Recovered
+}
 
 // Rate returns the fraction of trials with the given outcome.
 func (r CampaignResult) Rate(o Outcome) float64 {
@@ -87,6 +99,8 @@ func (r CampaignResult) Rate(o Outcome) float64 {
 		n = r.Detected
 	case SDC:
 		n = r.SDC
+	case Recovered:
+		n = r.Recovered
 	}
 	if r.Total() == 0 {
 		return 0
@@ -95,9 +109,9 @@ func (r CampaignResult) Rate(o Outcome) float64 {
 }
 
 func (r CampaignResult) String() string {
-	return fmt.Sprintf("%s/%s/%s bits=%d same-codeword=%v: benign=%d corrected=%d detected=%d sdc=%d",
+	return fmt.Sprintf("%s/%s/%s bits=%d same-codeword=%v: benign=%d corrected=%d detected=%d sdc=%d recovered=%d",
 		r.Config.Format, r.Config.Scheme, r.Config.Structure, r.Config.Bits, r.Config.SameCodeword,
-		r.Benign, r.Corrected, r.Detected, r.SDC)
+		r.Benign, r.Corrected, r.Detected, r.SDC, r.Recovered)
 }
 
 func (r *CampaignResult) add(o Outcome) {
@@ -110,6 +124,8 @@ func (r *CampaignResult) add(o Outcome) {
 		r.Detected++
 	case SDC:
 		r.SDC++
+	case Recovered:
+		r.Recovered++
 	}
 }
 
@@ -138,6 +154,8 @@ func Run(cfg CampaignConfig) (CampaignResult, error) {
 			o, err = haloTrial(cfg, in)
 		case cfg.Structure == core.StructPrecond:
 			o, err = precondTrial(cfg, in)
+		case cfg.Structure == core.StructSolverState:
+			o, err = solverStateTrial(cfg, in)
 		case cfg.Shards > 1:
 			o, err = shardedMatrixTrial(cfg, in)
 		default:
@@ -428,6 +446,127 @@ func precondTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
 		if got[i] != want[i] {
 			return SDC, nil
 		}
+	}
+	if c.Corrected() > 0 {
+		return Corrected, nil
+	}
+	return Benign, nil
+}
+
+// solverStateTrial corrupts a live iteration vector of a CG solve in
+// flight — x, r or p, the dynamic state no resident protected structure
+// covers — and classifies the solve's outcome under the configured
+// recovery policy. The scheme under test protects the solve's dense
+// vectors; the operator runs unprotected (in any format, sharded when
+// configured) so every detection, correction and rollback is
+// attributable to the dynamic-state paths. The trial solution is
+// compared against a fault-free solve of the identical configuration:
+// agreement after a rollback classifies as Recovered — the outcome the
+// checkpoint controller exists to produce.
+func solverStateTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
+	if cfg.Matrix == nil && cfg.Size > 32 {
+		// Clamp generated operators: each trial is a full solve.
+		cfg.Size = 32
+	}
+	plain := campaignMatrix(cfg)
+	var a solvers.Operator
+	if cfg.Shards > 1 {
+		o, err := shard.New(plain, shard.Options{
+			Shards:       cfg.Shards,
+			Format:       cfg.Format,
+			Config:       op.Config{Backend: cfg.Backend},
+			VectorScheme: cfg.Scheme,
+		})
+		if err != nil {
+			return 0, err
+		}
+		a = solvers.MatrixOperator{M: o, Workers: 1}
+	} else {
+		m, err := op.New(cfg.Format, plain, op.Config{Backend: cfg.Backend})
+		if err != nil {
+			return 0, err
+		}
+		a = solvers.MatrixOperator{M: m, Workers: 1}
+	}
+
+	rows := plain.Rows()
+	rng := rand.New(rand.NewSource(in.rng.Int63()))
+	bs := make([]float64, rows)
+	for i := range bs {
+		bs[i] = rng.NormFloat64()
+	}
+	newVecs := func() (x, b *core.Vector) {
+		x = core.NewVector(rows, cfg.Scheme)
+		b = core.VectorFromSlice(bs, cfg.Scheme)
+		for _, v := range []*core.Vector{x, b} {
+			v.SetCRCBackend(cfg.Backend)
+		}
+		return x, b
+	}
+	opt := solvers.Options{
+		Tol: 1e-8, RelativeTol: true, Workers: 1,
+		Recovery: solvers.Recovery{Policy: cfg.Recovery, Interval: cfg.CheckpointInterval},
+	}
+
+	// Fault-free reference under the identical configuration.
+	x, b := newVecs()
+	res, err := solvers.CG(a, x, b, opt)
+	if err != nil || !res.Converged {
+		return 0, fmt.Errorf("faults: fault-free reference solve: %v", err)
+	}
+	want := make([]float64, rows)
+	if err := x.CopyTo(want); err != nil {
+		return 0, err
+	}
+
+	// The trial: strike one random live vector early in the solve.
+	x, b = newVecs()
+	var c core.Counters
+	x.SetCounters(&c)
+	b.SetCounters(&c)
+	strikeAt := 1 + in.rng.Intn(4)
+	struck := false
+	opt.StateHook = func(it int, live []*core.Vector) {
+		if struck || it != strikeAt {
+			return
+		}
+		struck = true
+		v := live[in.rng.Intn(len(live))]
+		flips := in.RandomVectorFlips(v, cfg.Bits, cfg.SameCodeword)
+		if cfg.BurstWindow > 0 {
+			flips = in.BurstVectorFlips(v, cfg.BurstWindow)
+		}
+		for _, f := range flips {
+			FlipVectorBit(v, f)
+		}
+	}
+	res, err = solvers.CG(a, x, b, opt)
+	if err != nil {
+		if solvers.IsFault(err) {
+			return Detected, nil
+		}
+		return 0, err
+	}
+	if !res.Converged {
+		// Recomputed iterations can exhaust a tight budget; the solver
+		// honestly reported the non-convergence, so the application can
+		// react — nothing silent happened.
+		return Detected, nil
+	}
+	got := make([]float64, rows)
+	if err := x.CopyTo(got); err != nil {
+		return Detected, nil
+	}
+	// Converged solutions are compared at a threshold well above the
+	// solver tolerance and the checkpoint scheme's masking perturbation
+	// but far below any solution-visible corruption.
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+			return SDC, nil
+		}
+	}
+	if res.Rollbacks > 0 {
+		return Recovered, nil
 	}
 	if c.Corrected() > 0 {
 		return Corrected, nil

@@ -29,6 +29,13 @@ const (
 	// SDC: the corruption passed checks unnoticed or was mis-corrected —
 	// the failure mode ECC exists to prevent.
 	SDC
+	// Recovered: an uncorrectable error was detected in dynamic solver
+	// state and the recovery controller rolled the solve back past it
+	// to the correct answer — the outcome that separates a fault
+	// survived from a fault merely reported (the taxonomy extension the
+	// checkpoint/rollback engine adds to the paper's benign / DCE /
+	// DUE / SDC classes).
+	Recovered
 )
 
 func (o Outcome) String() string {
@@ -41,6 +48,8 @@ func (o Outcome) String() string {
 		return "detected"
 	case SDC:
 		return "sdc"
+	case Recovered:
+		return "recovered"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}

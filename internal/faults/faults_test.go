@@ -5,6 +5,7 @@ import (
 
 	"abft/internal/core"
 	"abft/internal/csr"
+	"abft/internal/op"
 	"abft/internal/solvers"
 )
 
@@ -280,7 +281,8 @@ func TestInjectorDeterminism(t *testing.T) {
 
 func TestOutcomeAndTargetStrings(t *testing.T) {
 	if Benign.String() != "benign" || Corrected.String() != "corrected" ||
-		Detected.String() != "detected" || SDC.String() != "sdc" {
+		Detected.String() != "detected" || SDC.String() != "sdc" ||
+		Recovered.String() != "recovered" {
 		t.Fatal("outcome strings wrong")
 	}
 	if TargetValues.String() != "values" || TargetCols.String() != "cols" ||
@@ -293,12 +295,13 @@ func TestOutcomeAndTargetStrings(t *testing.T) {
 }
 
 func TestCampaignResultRates(t *testing.T) {
-	r := CampaignResult{Benign: 1, Corrected: 2, Detected: 3, SDC: 4}
-	if r.Total() != 10 {
+	r := CampaignResult{Benign: 1, Corrected: 2, Detected: 3, SDC: 4, Recovered: 10}
+	if r.Total() != 20 {
 		t.Fatal("total wrong")
 	}
-	if r.Rate(Corrected) != 0.2 || r.Rate(SDC) != 0.4 ||
-		r.Rate(Benign) != 0.1 || r.Rate(Detected) != 0.3 {
+	if r.Rate(Corrected) != 0.1 || r.Rate(SDC) != 0.2 ||
+		r.Rate(Benign) != 0.05 || r.Rate(Detected) != 0.15 ||
+		r.Rate(Recovered) != 0.5 {
 		t.Fatal("rates wrong")
 	}
 	if (CampaignResult{}).Rate(SDC) != 0 {
@@ -372,5 +375,124 @@ func TestHaloCampaigns(t *testing.T) {
 
 	if _, err := Run(CampaignConfig{Scheme: core.SED, Structure: core.StructHalo}); err == nil {
 		t.Fatal("halo campaign without shards accepted")
+	}
+}
+
+// TestSolverStateCampaignRollbackRecovers corrupts live CG iteration
+// vectors with double flips — a guaranteed detected-uncorrectable error
+// under SECDED64 — and asserts the rollback policy turns every one of
+// those aborts into a recovery: the solve converges to the fault-free
+// answer with no SDC and no surfaced fault.
+func TestSolverStateCampaignRollbackRecovers(t *testing.T) {
+	res := runCampaign(t, CampaignConfig{
+		Scheme:       core.SECDED64,
+		Structure:    core.StructSolverState,
+		Bits:         2,
+		SameCodeword: true,
+		Size:         6,
+		Trials:       40,
+		Recovery:     solvers.RecoveryRollback,
+	})
+	if res.SDC != 0 {
+		t.Fatalf("rollback leaked %d SDCs: %v", res.SDC, res)
+	}
+	if res.Detected != 0 {
+		t.Fatalf("rollback aborted %d trials it should have recovered: %v", res.Detected, res)
+	}
+	if res.Recovered == 0 {
+		t.Fatalf("no recoveries recorded: %v", res)
+	}
+}
+
+// TestSolverStateCampaignOffAborts runs the same strikes without
+// recovery: every detected fault surfaces as an abort.
+func TestSolverStateCampaignOffAborts(t *testing.T) {
+	res := runCampaign(t, CampaignConfig{
+		Scheme:       core.SECDED64,
+		Structure:    core.StructSolverState,
+		Bits:         2,
+		SameCodeword: true,
+		Size:         6,
+		Trials:       40,
+	})
+	if res.Recovered != 0 {
+		t.Fatalf("recovery off cannot recover: %v", res)
+	}
+	if res.Detected == 0 {
+		t.Fatalf("no aborts recorded: %v", res)
+	}
+	if res.SDC != 0 {
+		t.Fatalf("secded64 leaked %d SDCs: %v", res.SDC, res)
+	}
+}
+
+// TestSolverStateCampaignSingleFlipsCorrect asserts single flips in
+// dynamic state are corrected in place — no rollback needed.
+func TestSolverStateCampaignSingleFlipsCorrect(t *testing.T) {
+	res := runCampaign(t, CampaignConfig{
+		Scheme:       core.SECDED64,
+		Structure:    core.StructSolverState,
+		Bits:         1,
+		SameCodeword: true,
+		Size:         6,
+		Trials:       40,
+		Recovery:     solvers.RecoveryRollback,
+	})
+	if res.SDC != 0 || res.Detected != 0 {
+		t.Fatalf("single flips must be corrected: %v", res)
+	}
+	if res.Corrected == 0 {
+		t.Fatalf("no corrections recorded: %v", res)
+	}
+}
+
+// TestSolverStateCampaignFormatsAndSharded sweeps the solverstate
+// campaign across every storage format and the sharded composite under
+// both recovery policies: the recovery story must be format- and
+// decomposition-agnostic.
+func TestSolverStateCampaignFormatsAndSharded(t *testing.T) {
+	for _, f := range op.Formats {
+		for _, shards := range []int{0, 3} {
+			for _, pol := range []solvers.RecoveryPolicy{solvers.RecoveryRollback, solvers.RecoveryRestart} {
+				res := runCampaign(t, CampaignConfig{
+					Scheme:       core.SECDED64,
+					Structure:    core.StructSolverState,
+					Format:       f,
+					Bits:         2,
+					SameCodeword: true,
+					Size:         6,
+					Shards:       shards,
+					Trials:       15,
+					Recovery:     pol,
+				})
+				if res.SDC != 0 || res.Detected != 0 {
+					t.Fatalf("%v shards=%d %v: %v", f, shards, pol, res)
+				}
+				if res.Recovered == 0 {
+					t.Fatalf("%v shards=%d %v: nothing recovered: %v", f, shards, pol, res)
+				}
+			}
+		}
+	}
+}
+
+// TestUnprotectedSolverStateLeaksSDC pins the counterfactual: with no
+// vector protection the same strikes can pass silently — exactly the
+// gap the protected dynamic state closes.
+func TestUnprotectedSolverStateLeaksSDC(t *testing.T) {
+	res := runCampaign(t, CampaignConfig{
+		Scheme:       core.None,
+		Structure:    core.StructSolverState,
+		Bits:         2,
+		SameCodeword: true,
+		Size:         6,
+		Trials:       40,
+		Recovery:     solvers.RecoveryRollback,
+	})
+	if res.Recovered != 0 {
+		t.Fatalf("nothing is detectable without protection: %v", res)
+	}
+	if res.SDC == 0 {
+		t.Fatalf("expected silent corruption without protection: %v", res)
 	}
 }

@@ -1,0 +1,137 @@
+// Recovery conformance: the checkpoint/rollback controller changes how
+// a solve survives faults, never what it computes. For every storage
+// format, sharded and unsharded, a CG solve whose live iteration
+// vectors are corrupted mid-flight under recovery=rollback must land on
+// exactly the solution of the fault-free solve — rollback parity. The
+// suite lives here, next to the operator conformance tests, because it
+// pins the same contract: recovery is a resilience knob, never a
+// semantic one.
+package op_test
+
+import (
+	"fmt"
+	"testing"
+
+	"abft/internal/core"
+	"abft/internal/op"
+	"abft/internal/shard"
+	"abft/internal/solvers"
+)
+
+// recoveryOperator builds the protected operator under test, sharded
+// when shards > 1.
+func recoveryOperator(t *testing.T, f op.Format, shards int) solvers.Operator {
+	t.Helper()
+	plain := shardTestMatrix()
+	cfg := op.Config{Scheme: core.SECDED64, RowPtrScheme: core.SECDED64}
+	var m core.ProtectedMatrix
+	var err error
+	if shards > 1 {
+		m, err = shard.New(plain, shard.Options{
+			Shards: shards, Format: f, Config: cfg, VectorScheme: core.SECDED64,
+		})
+	} else {
+		m, err = op.New(f, plain, cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return solvers.MatrixOperator{M: m, Workers: 1}
+}
+
+// recoverySolve runs CG with SECDED64 dynamic vectors and returns the
+// solution and result.
+func recoverySolve(t *testing.T, a solvers.Operator, opt solvers.Options) ([]float64, solvers.Result) {
+	t.Helper()
+	x := core.NewVector(a.Rows(), core.SECDED64)
+	b := core.VectorFromSlice(shardRefVector(a.Rows()), core.SECDED64)
+	res, err := solvers.CG(a, x, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	out := make([]float64, a.Rows())
+	if err := x.CopyTo(out); err != nil {
+		t.Fatal(err)
+	}
+	return out, res
+}
+
+// TestRecoveryConformanceRollbackParity corrupts live solver vectors
+// with guaranteed-uncorrectable double flips mid-solve: under
+// recovery=rollback the solve must converge to the bit-exact fault-free
+// solution (live and checkpoint storage share the SECDED64 masking, so
+// a restore is exact), reporting the rollbacks it took.
+func TestRecoveryConformanceRollbackParity(t *testing.T) {
+	for _, f := range op.Formats {
+		for _, shards := range []int{0, 3} {
+			t.Run(fmt.Sprintf("%v_shards%d", f, shards), func(t *testing.T) {
+				opt := solvers.Options{
+					Tol:      1e-10,
+					Recovery: solvers.Recovery{Policy: solvers.RecoveryRollback, Interval: 4},
+				}
+				want, cleanRes := recoverySolve(t, recoveryOperator(t, f, shards), opt)
+
+				struck := 0
+				opt.StateHook = func(it int, live []*core.Vector) {
+					// Two strikes, in different live vectors, far
+					// enough apart to cross checkpoints.
+					if (it == 3 && struck == 0) || (it == 11 && struck == 1) {
+						v := live[struck%len(live)]
+						v.Raw()[5] ^= 1<<17 | 1<<41
+						struck++
+					}
+				}
+				got, res := recoverySolve(t, recoveryOperator(t, f, shards), opt)
+				if struck != 2 {
+					t.Fatalf("strikes fired %d times, want 2", struck)
+				}
+				if res.Rollbacks == 0 {
+					t.Fatalf("no rollbacks recorded: %+v", res)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("row %d: recovered %v, fault-free %v", i, got[i], want[i])
+					}
+				}
+				if res.Iterations != cleanRes.Iterations {
+					t.Fatalf("recovered solve took %d recurrence iterations, fault-free %d",
+						res.Iterations, cleanRes.Iterations)
+				}
+			})
+		}
+	}
+}
+
+// TestRecoveryConformanceRestartParity pins the same parity for the
+// restart policy over the sharded composite — the per-band checkpoint
+// path — and for a plain operator.
+func TestRecoveryConformanceRestartParity(t *testing.T) {
+	for _, shards := range []int{0, 3} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			opt := solvers.Options{
+				Tol:      1e-10,
+				Recovery: solvers.Recovery{Policy: solvers.RecoveryRestart},
+			}
+			want, _ := recoverySolve(t, recoveryOperator(t, op.CSR, shards), opt)
+			struck := false
+			opt.StateHook = func(it int, live []*core.Vector) {
+				if it == 7 && !struck {
+					struck = true
+					live[2].Raw()[2] ^= 1<<9 | 1<<33
+				}
+			}
+			got, res := recoverySolve(t, recoveryOperator(t, op.CSR, shards), opt)
+			if res.Rollbacks != 1 || res.RecomputedIterations != 7 {
+				t.Fatalf("restart accounting wrong: %+v", res)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("row %d diverged after restart", i)
+				}
+			}
+		})
+	}
+}

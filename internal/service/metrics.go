@@ -34,6 +34,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "abftd_jobs_total{state=\"failed\"} %d\n", s.jobsFailed.Load())
 	counter("abftd_jobs_rejected_total", "Jobs rejected by a full queue.", s.jobsRejected.Load())
 	counter("abftd_jobs_sharded_total", "Jobs enqueued to solve over a sharded operator.", s.jobsSharded.Load())
+	counter("abftd_jobs_recovered_total", "Jobs that finished after solver checkpoint rollbacks.", s.jobsRecovered.Load())
+	counter("abftd_jobs_retried_total", "Jobs retried against a rebuilt operator after a fault survived solver recovery.", s.jobsRetried.Load())
+	counter("abftd_solver_rollbacks_total", "Solver checkpoint rollbacks across all jobs.", s.rollbacks.Load())
+	counter("abftd_solver_recomputed_iterations_total", "Solver iterations re-run after rollbacks across all jobs.", s.recomputedIters.Load())
 
 	gauge("abftd_cache_operators", "Resident protected operators.", float64(cs.Entries))
 	gauge("abftd_cache_shards", "Resident shards summed over all operators (unsharded operators count one).", float64(cs.Shards))

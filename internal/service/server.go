@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -149,7 +150,14 @@ type Server struct {
 	jobsFailed   atomic.Uint64
 	jobsRejected atomic.Uint64
 	jobsSharded  atomic.Uint64
-	inflight     atomic.Int64
+	// Recovery accounting: jobs that finished after solver rollbacks,
+	// jobs the service retried against a rebuilt operator, and the
+	// solver-level rollback/recomputation totals.
+	jobsRecovered   atomic.Uint64
+	jobsRetried     atomic.Uint64
+	rollbacks       atomic.Uint64
+	recomputedIters atomic.Uint64
+	inflight        atomic.Int64
 }
 
 // New builds and starts a service: the worker pool begins draining the
@@ -184,16 +192,38 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Close stops accepting work, drains the queue, waits for running
 // solves and halts the scrub daemon. The Server must not be used after.
 func (s *Server) Close() {
+	s.Shutdown(context.Background())
+}
+
+// Shutdown is Close with a drain deadline: new solves are rejected
+// immediately, queued and running jobs drain until ctx expires, and the
+// scrub daemon stops after the pool (so it is never flushed while jobs
+// still share cached operators). It returns ctx.Err when the deadline
+// cut the drain short — workers then finish their in-flight jobs in the
+// background — and nil on a complete drain. Safe to call concurrently
+// with Close; the first caller wins.
+func (s *Server) Shutdown(ctx context.Context) error {
 	if s.closed.Swap(true) {
-		return
+		return nil
 	}
 	// The exclusive lock waits out any enqueue that passed the closed
 	// check before the swap; new ones see closed first.
 	s.qmu.Lock()
 	close(s.queue)
 	s.qmu.Unlock()
-	s.wg.Wait()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
 	s.scrub.Stop()
+	return err
 }
 
 // CacheStats exposes operator-cache activity (also on /metrics).

@@ -13,10 +13,6 @@ import (
 func (s *Server) runJob(j *job) {
 	j.setState(StateRunning)
 	res, e, err := s.solve(j)
-	// The matrix payload (and RHS) exist to admit and build; release
-	// them so the finished-job history does not pin them.
-	j.plain = nil
-	j.req.B = nil
 	if solvers.IsFault(err) && e != nil {
 		// The solve tripped over corruption the operator's scheme
 		// cannot repair: drop the exact operator it ran against now
@@ -25,11 +21,37 @@ func (s *Server) runJob(j *job) {
 		// daemon already evicted it — or a clean rebuild took the key —
 		// this is a no-op and never drops a healthy operator.
 		s.cache.evictFault(e)
+		if j.params.opt.Recovery.Policy != solvers.RecoveryOff {
+			// A fault that survived solver-level rollback lives in the
+			// resident operator, not the dynamic state; the eviction
+			// above cleared it, so one service-level retry against a
+			// freshly built operator completes the recovery ladder.
+			s.jobsRetried.Add(1)
+			var e2 *cacheEntry
+			res, e2, err = s.solve(j)
+			if res != nil {
+				res.Retried = true
+			}
+			if solvers.IsFault(err) && e2 != nil {
+				s.cache.evictFault(e2)
+			}
+		}
 	}
+	// The matrix payload (and RHS) exist to admit and build; release
+	// them so the finished-job history does not pin them.
+	j.plain = nil
+	j.req.B = nil
 	if err != nil {
 		s.jobsFailed.Add(1)
 	} else {
 		s.jobsDone.Add(1)
+		if res != nil && res.Rollbacks > 0 {
+			s.jobsRecovered.Add(1)
+		}
+	}
+	if res != nil {
+		s.rollbacks.Add(uint64(res.Rollbacks))
+		s.recomputedIters.Add(uint64(res.RecomputedIterations))
 	}
 	j.finish(res, err, solvers.IsFault(err))
 	s.retire(j)
@@ -181,14 +203,16 @@ func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
 	}
 	snap := jc.Snapshot()
 	return &SolveResult{
-		X:            out,
-		Iterations:   sres.Iterations,
-		ResidualNorm: sres.ResidualNorm,
-		Converged:    sres.Converged,
-		CacheHit:     hit,
-		Checks:       snap.Checks,
-		Corrected:    snap.Corrected,
-		Detected:     snap.Detected,
-		Bounds:       snap.Bounds,
+		X:                    out,
+		Iterations:           sres.Iterations,
+		ResidualNorm:         sres.ResidualNorm,
+		Converged:            sres.Converged,
+		CacheHit:             hit,
+		Rollbacks:            sres.Rollbacks,
+		RecomputedIterations: sres.RecomputedIterations,
+		Checks:               snap.Checks,
+		Corrected:            snap.Corrected,
+		Detected:             snap.Detected,
+		Bounds:               snap.Bounds,
 	}, e, nil
 }

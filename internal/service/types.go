@@ -118,6 +118,17 @@ type SolveRequest struct {
 	// defaults to jacobi. The preconditioner state is protected by
 	// Scheme, like the matrix it derives from.
 	Precond string `json:"precond,omitempty"`
+	// Recovery selects the solver's reaction to a detected
+	// uncorrectable fault in its own dynamic state ("off", "rollback",
+	// "restart"; default off): rollback checkpoints the live iteration
+	// vectors into codeword-protected storage and resumes from the
+	// last good checkpoint instead of failing the job. Any policy but
+	// off also makes the service retry the job once against a freshly
+	// built operator when the fault survives solver-level recovery.
+	Recovery string `json:"recovery,omitempty"`
+	// RecoveryInterval fixes the rollback checkpoint cadence in
+	// iterations (0 adapts it to the observed fault rate).
+	RecoveryInterval int `json:"recovery_interval,omitempty"`
 	// B is the right-hand side; omitted means all ones.
 	B []float64 `json:"b,omitempty"`
 	// Tol is the convergence tolerance (default 1e-10).
@@ -247,11 +258,24 @@ func (r *SolveRequest) resolve(cfg Config) (solveParams, error) {
 	if workers > cfg.MaxSolveWorkers {
 		workers = cfg.MaxSolveWorkers
 	}
+	recovery, err := solvers.ParseRecovery(r.Recovery)
+	if err != nil {
+		return p, err
+	}
 	p.opt = solvers.Options{
 		Tol:         r.Tol,
 		RelativeTol: r.RelativeTol,
 		MaxIter:     r.MaxIter,
 		Workers:     workers,
+		Recovery: solvers.Recovery{
+			Policy:   recovery,
+			Interval: r.RecoveryInterval,
+		},
+	}
+	// Admission-time validation: a request that would iterate forever
+	// or not at all fails with 400 before touching the queue.
+	if err := p.opt.Validate(); err != nil {
+		return p, err
 	}
 	return p, nil
 }
@@ -269,6 +293,16 @@ type SolveResult struct {
 	// CacheHit reports whether the protected operator was already
 	// resident (the encode cost was amortised away).
 	CacheHit bool `json:"cache_hit"`
+	// Rollbacks counts the solver's checkpoint rollbacks past detected
+	// uncorrectable faults in its dynamic state, and
+	// RecomputedIterations the iterations re-run because of them
+	// (non-zero only with a recovery policy).
+	Rollbacks            int `json:"rollbacks,omitempty"`
+	RecomputedIterations int `json:"recomputed_iterations,omitempty"`
+	// Retried reports that the job's first solve failed on a fault
+	// solver-level recovery could not clear and the service retried it
+	// against a freshly built operator.
+	Retried bool `json:"retried,omitempty"`
 	// Checks/Corrected/Detected/Bounds are the ABFT counter deltas this
 	// job contributed.
 	Checks    uint64 `json:"checks"`

@@ -422,3 +422,34 @@ func TestConcurrentApplySharedOperator(t *testing.T) {
 		}
 	}
 }
+
+// TestBandRangesBlockAligned pins the invariant the band-parallel
+// consumers of the decomposition (block-Jacobi preconditioners, the
+// solver recovery controller's per-band checkpoints) rely on: band
+// boundaries tile [0, rows) contiguously and every interior boundary is
+// a multiple of the protection codeword block.
+func TestBandRangesBlockAligned(t *testing.T) {
+	for _, shards := range []int{2, 3, 7} {
+		o, err := New(csr.Laplacian2D(11, 9), Options{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges := o.BandRanges()
+		if len(ranges) != o.Shards() {
+			t.Fatalf("shards=%d: %d ranges for %d bands", shards, len(ranges), o.Shards())
+		}
+		next := 0
+		for i, r := range ranges {
+			if r[0] != next || r[1] <= r[0] {
+				t.Fatalf("shards=%d: range %d = %v does not tile from %d", shards, i, r, next)
+			}
+			if r[0]%blockLen != 0 {
+				t.Fatalf("shards=%d: boundary %d not aligned to the codeword block", shards, r[0])
+			}
+			next = r[1]
+		}
+		if next != o.Rows() {
+			t.Fatalf("shards=%d: ranges end at %d, want %d", shards, next, o.Rows())
+		}
+	}
+}

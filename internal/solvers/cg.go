@@ -5,108 +5,110 @@ import "abft/internal/core"
 // CG solves A x = b by preconditioned conjugate gradients, the solver the
 // paper instruments (TeaLeaf's tl_use_cg path). x carries the initial
 // guess in and the solution out. All vector traffic flows through the
-// ABFT-protected kernels, so every iteration checks the data it touches.
+// ABFT-protected kernels, so every iteration checks the data it touches;
+// the iteration engine's recovery controller (Options.Recovery) can roll
+// the recurrence back past detected uncorrectable faults in x, r or p.
 func CG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
-	opt = opt.withDefaults()
-	w := opt.Workers
-	var res Result
+	e, err := newEngine("cg", a, x, b, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	opt = e.opt
+	w := e.w
 
-	r := newTemp(x)
-	p := newTemp(x)
-	wv := newTemp(x)
+	r := e.temp()
+	p := e.temp()
+	wv := e.temp()
 	var z *core.Vector
 	if opt.Preconditioner != nil {
-		z = newTemp(x)
+		z = e.temp()
 	}
 
 	// r = b - A x
 	if err := a.Apply(wv, x); err != nil {
-		return res, iterErr("cg", 0, err)
+		return e.res, iterErr("cg", 0, err)
 	}
 	if err := core.Waxpby(r, 1, b, -1, wv, w); err != nil {
-		return res, iterErr("cg", 0, err)
+		return e.res, iterErr("cg", 0, err)
 	}
 	// p = z = M^-1 r (or r unpreconditioned); rro = r . z
 	zed := r
 	if z != nil {
 		if err := opt.Preconditioner.Apply(z, r); err != nil {
-			return res, iterErr("cg", 0, err)
+			return e.res, iterErr("cg", 0, err)
 		}
 		zed = z
 	}
 	if err := core.Copy(p, zed, w); err != nil {
-		return res, iterErr("cg", 0, err)
+		return e.res, iterErr("cg", 0, err)
 	}
-	rro, err := operatorDot(a, r, zed, w)
+	rro, err := e.dot(r, zed)
 	if err != nil {
-		return res, iterErr("cg", 0, err)
+		return e.res, iterErr("cg", 0, err)
 	}
-	rr, err := operatorDot(a, r, r, w)
+	rr, err := e.dot(r, r)
 	if err != nil {
-		return res, iterErr("cg", 0, err)
+		return e.res, iterErr("cg", 0, err)
 	}
 	rr0 := rr
-	res.ResidualNorm = sqrt(rr)
-	if converged(rr, rr0, opt) {
-		res.Converged = true
-		return res, nil
+	e.res.ResidualNorm = sqrt(rr)
+	if e.converged(rr, rr0) {
+		e.res.Converged = true
+		return e.res, nil
 	}
 
-	for it := 1; it <= opt.MaxIter; it++ {
-		res.Iterations = it
+	// wv and z are scratch (fully rewritten — and thereby re-encoded —
+	// every iteration); x, r, p and the recurrence scalars are the
+	// dynamic state a checkpoint must cover.
+	e.protect(x, r, p)
+	e.state(&rro, &rr, &rr0)
+	return e.run(func(it int) (bool, error) {
 		// w = A p
 		if err := a.Apply(wv, p); err != nil {
-			return res, iterErr("cg", it, err)
+			return false, err
 		}
-		pw, err := operatorDot(a, p, wv, w)
+		pw, err := e.dot(p, wv)
 		if err != nil {
-			return res, iterErr("cg", it, err)
+			return false, err
 		}
 		if pw == 0 {
-			return res, iterErr("cg", it, errBreakdown)
+			return false, errBreakdown
 		}
 		alpha := rro / pw
 		// x += alpha p ; r -= alpha w
 		if err := core.Axpy(x, alpha, p, w); err != nil {
-			return res, iterErr("cg", it, err)
+			return false, err
 		}
 		if err := core.Axpy(r, -alpha, wv, w); err != nil {
-			return res, iterErr("cg", it, err)
+			return false, err
 		}
 		zed := r
 		if z != nil {
 			if err := opt.Preconditioner.Apply(z, r); err != nil {
-				return res, iterErr("cg", it, err)
+				return false, err
 			}
 			zed = z
 		}
-		rrn, err := operatorDot(a, r, zed, w)
+		rrn, err := e.dot(r, zed)
 		if err != nil {
-			return res, iterErr("cg", it, err)
+			return false, err
 		}
 		beta := rrn / rro
-		res.Alphas = append(res.Alphas, alpha)
-		res.Betas = append(res.Betas, beta)
+		e.res.Alphas = append(e.res.Alphas, alpha)
+		e.res.Betas = append(e.res.Betas, beta)
 		// p = z + beta p
 		if err := core.Xpby(p, zed, beta, w); err != nil {
-			return res, iterErr("cg", it, err)
+			return false, err
 		}
 		rro = rrn
 		rr = rrn
 		if z != nil {
 			// Preconditioned: rrn is r.z; the stopping rule needs r.r.
-			if rr, err = operatorDot(a, r, r, w); err != nil {
-				return res, iterErr("cg", it, err)
+			if rr, err = e.dot(r, r); err != nil {
+				return false, err
 			}
 		}
-		res.ResidualNorm = sqrt(rr)
-		if opt.RecordHistory {
-			res.History = append(res.History, res.ResidualNorm)
-		}
-		if converged(rr, rr0, opt) {
-			res.Converged = true
-			return res, nil
-		}
-	}
-	return res, nil
+		e.res.ResidualNorm = sqrt(rr)
+		return e.converged(rr, rr0), nil
+	})
 }

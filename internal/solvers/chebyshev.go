@@ -14,93 +14,92 @@ import "abft/internal/core"
 // preconditioner tightens the eigenvalue interval and cuts iterations
 // while the stopping rule still watches the true residual.
 func Chebyshev(a Operator, x, b *core.Vector, opt Options) (Result, error) {
-	opt = opt.withDefaults()
-	w := opt.Workers
-	var res Result
+	e, err := newEngine("chebyshev", a, x, b, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	opt = e.opt
+	w := e.w
 
 	eigMin, eigMax, err := estimateSpectrum(a, x, b, opt)
 	if err != nil {
-		return res, err
+		return e.res, err
 	}
-	res.EigMin, res.EigMax = eigMin, eigMax
+	e.res.EigMin, e.res.EigMax = eigMin, eigMax
 	theta := (eigMax + eigMin) / 2
 	delta := (eigMax - eigMin) / 2
 	sigma := theta / delta
 	rho := 1 / sigma
 
-	r := newTemp(x)
-	p := newTemp(x)
-	t := newTemp(x)
+	r := e.temp()
+	p := e.temp()
+	t := e.temp()
 	var z *core.Vector
 	if opt.Preconditioner != nil {
-		z = newTemp(x)
+		z = e.temp()
 	}
 
 	// r = b - A x ; p = z / theta with z = M^-1 r (or r unpreconditioned)
 	if err := a.Apply(t, x); err != nil {
-		return res, iterErr("chebyshev", 0, err)
+		return e.res, iterErr("chebyshev", 0, err)
 	}
 	if err := core.Waxpby(r, 1, b, -1, t, w); err != nil {
-		return res, iterErr("chebyshev", 0, err)
+		return e.res, iterErr("chebyshev", 0, err)
 	}
-	rr0, err := operatorDot(a, r, r, w)
+	rr0, err := e.dot(r, r)
 	if err != nil {
-		return res, iterErr("chebyshev", 0, err)
+		return e.res, iterErr("chebyshev", 0, err)
 	}
-	if converged(rr0, rr0, opt) {
-		res.Converged = true
-		res.ResidualNorm = sqrt(rr0)
-		return res, nil
+	if e.converged(rr0, rr0) {
+		e.res.Converged = true
+		e.res.ResidualNorm = sqrt(rr0)
+		return e.res, nil
 	}
 	zed := r
 	if z != nil {
 		if err := opt.Preconditioner.Apply(z, r); err != nil {
-			return res, iterErr("chebyshev", 0, err)
+			return e.res, iterErr("chebyshev", 0, err)
 		}
 		zed = z
 	}
 	if err := core.Waxpby(p, 1/theta, zed, 0, zed, w); err != nil {
-		return res, iterErr("chebyshev", 0, err)
+		return e.res, iterErr("chebyshev", 0, err)
 	}
 
-	for it := 1; it <= opt.MaxIter; it++ {
-		res.Iterations = it
+	// t and z are scratch; the three-term recurrence lives in x, r, p
+	// and the scalar rho.
+	e.protect(x, r, p)
+	e.state(&rho, &rr0)
+	return e.run(func(it int) (bool, error) {
 		// x += p ; r -= A p
 		if err := core.Axpy(x, 1, p, w); err != nil {
-			return res, iterErr("chebyshev", it, err)
+			return false, err
 		}
 		if err := a.Apply(t, p); err != nil {
-			return res, iterErr("chebyshev", it, err)
+			return false, err
 		}
 		if err := core.Axpy(r, -1, t, w); err != nil {
-			return res, iterErr("chebyshev", it, err)
+			return false, err
 		}
 		zed := r
 		if z != nil {
 			if err := opt.Preconditioner.Apply(z, r); err != nil {
-				return res, iterErr("chebyshev", it, err)
+				return false, err
 			}
 			zed = z
 		}
 		rhoNew := 1 / (2*sigma - rho)
 		// p = rhoNew*rho*p + (2*rhoNew/delta)*z
 		if err := core.Waxpby(p, rhoNew*rho, p, 2*rhoNew/delta, zed, w); err != nil {
-			return res, iterErr("chebyshev", it, err)
+			return false, err
 		}
 		rho = rhoNew
 
-		rr, err := operatorDot(a, r, r, w)
+		rr, err := e.dot(r, r)
 		if err != nil {
-			return res, iterErr("chebyshev", it, err)
+			return false, err
 		}
-		res.ResidualNorm = sqrt(rr)
-		if opt.RecordHistory {
-			res.History = append(res.History, res.ResidualNorm)
-		}
-		if converged(rr, rr0, opt) {
-			res.Converged = true
-			return res, nil
-		}
-	}
-	return res, nil
+		e.res.ResidualNorm = sqrt(rr)
+		return e.converged(rr, rr0), nil
+	})
 }

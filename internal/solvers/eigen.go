@@ -97,6 +97,10 @@ func estimateSpectrum(a Operator, x, b *core.Vector, opt Options) (eigMin, eigMa
 	probe := opt
 	probe.MaxIter = opt.EigenIters
 	probe.RecordHistory = false
+	// The probe is an implementation detail: the state hook observes
+	// the requesting solver's own iteration loop, not the bootstrap's.
+	// Recovery stays on, so a fault mid-probe still rolls back.
+	probe.StateHook = nil
 	res, err := CG(a, guess, b, probe)
 	if err != nil {
 		return 0, 0, err

@@ -15,48 +15,49 @@ func sqrt(x float64) float64 { return math.Sqrt(x) }
 // Jacobi solves A x = b with the damped-free Jacobi iteration
 // x += D^-1 (b - A x), TeaLeaf's tl_use_jacobi path. It converges slowly
 // but exercises the same protected kernels with a different access mix.
+// The recurrence reads b every iteration, so the recovery controller
+// checkpoints it alongside x: a rollback restores (and re-encodes) both.
 func Jacobi(a Operator, x, b *core.Vector, opt Options) (Result, error) {
-	opt = opt.withDefaults()
-	w := opt.Workers
-	var res Result
+	e, err := newEngine("jacobi", a, x, b, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	w := e.w
 
 	pre, err := NewJacobiPreconditioner(a, w)
 	if err != nil {
-		return res, err
+		return e.res, err
 	}
-	r := newTemp(x)
-	t := newTemp(x)
+	r := e.temp()
+	t := e.temp()
 
 	rr0 := -1.0
-	for it := 1; it <= opt.MaxIter; it++ {
-		res.Iterations = it
+	e.protect(x, b)
+	e.state(&rr0)
+	return e.run(func(it int) (bool, error) {
 		if err := a.Apply(t, x); err != nil {
-			return res, iterErr("jacobi", it, err)
+			return false, err
 		}
 		if err := core.Waxpby(r, 1, b, -1, t, w); err != nil {
-			return res, iterErr("jacobi", it, err)
+			return false, err
 		}
-		rr, err := operatorDot(a, r, r, w)
+		rr, err := e.dot(r, r)
 		if err != nil {
-			return res, iterErr("jacobi", it, err)
+			return false, err
 		}
 		if rr0 < 0 {
 			rr0 = rr
 		}
-		res.ResidualNorm = sqrt(rr)
-		if opt.RecordHistory {
-			res.History = append(res.History, res.ResidualNorm)
-		}
-		if converged(rr, rr0, opt) {
-			res.Converged = true
-			return res, nil
+		e.res.ResidualNorm = sqrt(rr)
+		if e.converged(rr, rr0) {
+			return true, nil
 		}
 		if err := pre.Apply(t, r); err != nil {
-			return res, iterErr("jacobi", it, err)
+			return false, err
 		}
 		if err := core.Axpy(x, 1, t, w); err != nil {
-			return res, iterErr("jacobi", it, err)
+			return false, err
 		}
-	}
-	return res, nil
+		return false, nil
+	})
 }

@@ -11,6 +11,9 @@ import "abft/internal/core"
 // diagonal, so "pcg" always preconditions — unlike KindCG, which runs
 // unpreconditioned unless told otherwise.
 func PCG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
 	opt = opt.withDefaults()
 	if opt.Preconditioner == nil {
 		pre, err := NewJacobiPreconditioner(a, opt.Workers)

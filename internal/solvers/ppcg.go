@@ -70,6 +70,9 @@ func (c *chebPreconditioner) Apply(z, r *core.Vector) error {
 // the preconditioner, so any externally configured Preconditioner is
 // ignored (use KindPCG to combine CG with an explicit preconditioner).
 func PPCG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
 	opt = opt.withDefaults()
 	opt.Preconditioner = nil
 	eigMin, eigMax, err := estimateSpectrum(a, x, b, opt)

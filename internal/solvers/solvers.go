@@ -1,16 +1,22 @@
 // Package solvers implements the iterative sparse solvers TeaLeaf offers —
 // Conjugate Gradients (the paper's solver), preconditioned CG, Jacobi,
 // Chebyshev and PPCG — on top of the ABFT-protected kernels of package
-// core. A detected
-// uncorrectable fault surfaces as an error wrapping *core.FaultError with
-// the iteration it interrupted, leaving the recovery policy (abort, retry
-// the solve, accept the iteration loss) to the application; this is the
-// flexibility over hardware ECC the paper highlights.
+// core. All five run on a shared iteration engine whose recovery
+// controller (Options.Recovery) snapshots the live solver vectors into
+// codeword-protected checkpoint storage and rolls back past detected
+// uncorrectable faults in dynamic state — the completion of the paper's
+// design Bosilca et al.'s ABFT line prescribes. With recovery off, a
+// detected uncorrectable fault surfaces as an error wrapping
+// *core.FaultError with the iteration it interrupted, leaving the
+// policy (abort, retry the solve, accept the iteration loss) to the
+// application; this is the flexibility over hardware ECC the paper
+// highlights.
 package solvers
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"abft/internal/core"
 )
@@ -112,14 +118,32 @@ type Options struct {
 	InnerSteps int
 	// RecordHistory stores the residual norm after every iteration.
 	RecordHistory bool
+	// Recovery configures the reaction to a detected uncorrectable
+	// fault in the solver's own dynamic state: off (surface the error,
+	// the default), rollback (checkpoint every K iterations and resume
+	// from the last good checkpoint), or restart (rewind to iteration
+	// zero). See the Recovery type for the knobs.
+	Recovery Recovery
+	// StateHook, when set, observes the registered live solver vectors
+	// once per iteration, before the iteration body runs — the window
+	// the fault campaigns of internal/faults use to corrupt dynamic
+	// solver state mid-solve. Not intended for general use.
+	StateHook func(it int, live []*core.Vector)
 }
+
+// Defaults applied by withDefaults, named so validation errors can
+// report them.
+const (
+	defaultTol     = 1e-10
+	defaultMaxIter = 10000
+)
 
 func (o Options) withDefaults() Options {
 	if o.Tol == 0 {
-		o.Tol = 1e-10
+		o.Tol = defaultTol
 	}
 	if o.MaxIter == 0 {
-		o.MaxIter = 10000
+		o.MaxIter = defaultMaxIter
 	}
 	if o.EigenIters == 0 {
 		o.EigenIters = 20
@@ -128,6 +152,30 @@ func (o Options) withDefaults() Options {
 		o.InnerSteps = 4
 	}
 	return o
+}
+
+// Validate rejects option values that would otherwise iterate forever
+// or not at all: a negative MaxIter runs zero iterations, a negative or
+// NaN tolerance can never be met. Zero keeps meaning "the default"
+// throughout, so every error names the field and the default zero
+// selects. Every solver entry point validates; the solve service calls
+// it at admission so bad requests fail before touching the queue.
+func (o Options) Validate() error {
+	if o.MaxIter < 0 {
+		return fmt.Errorf("solvers: MaxIter %d must be positive (zero selects the default %d)",
+			o.MaxIter, defaultMaxIter)
+	}
+	if o.Tol < 0 || math.IsNaN(o.Tol) {
+		return fmt.Errorf("solvers: Tol %g must be a positive tolerance (zero selects the default %g)",
+			o.Tol, defaultTol)
+	}
+	if o.EigenIters < 0 {
+		return fmt.Errorf("solvers: EigenIters %d must be positive (zero selects the default 20)", o.EigenIters)
+	}
+	if o.InnerSteps < 0 {
+		return fmt.Errorf("solvers: InnerSteps %d must be positive (zero selects the default 4)", o.InnerSteps)
+	}
+	return o.Recovery.validate()
 }
 
 // Result reports the outcome of a solve.
@@ -146,6 +194,16 @@ type Result struct {
 	EigMin, EigMax float64
 	// History holds per-iteration residual norms when requested.
 	History []float64
+	// Checkpoints is the number of snapshots the recovery controller
+	// took (zero with Recovery off).
+	Checkpoints int
+	// Rollbacks counts recoveries from detected uncorrectable faults
+	// in dynamic solver state (a restart counts as a rollback to
+	// iteration zero).
+	Rollbacks int
+	// RecomputedIterations is the total number of iterations re-run
+	// after rollbacks, the faulted iteration included.
+	RecomputedIterations int
 }
 
 // Preconditioner applies z = M^-1 r.

@@ -108,6 +108,12 @@ type Config struct {
 	// fields and retries the step once after a detected uncorrectable
 	// error, instead of failing the run.
 	RetryOnFault bool
+	// Recovery configures the solver's own checkpoint/rollback
+	// controller (internal/solvers): with the rollback policy a
+	// detected uncorrectable fault in the solve's dynamic vectors is
+	// rolled back mid-iteration instead of failing the step — the
+	// finer-grained first rung under RetryOnFault's step-level retry.
+	Recovery solvers.Recovery
 }
 
 // DefaultConfig returns the standard tea benchmark deck (the tea_bm series

@@ -221,6 +221,10 @@ type StepResult struct {
 	// Retried reports that the step hit an uncorrectable fault and was
 	// re-run after Reprotect (RetryOnFault).
 	Retried bool
+	// Rollbacks and RecomputedIterations report the solver's own
+	// checkpoint recovery activity within the step (Config.Recovery).
+	Rollbacks            int
+	RecomputedIterations int
 }
 
 // Advance performs one timestep: u = density*energy, solve
@@ -272,6 +276,7 @@ func (s *Simulation) advanceOnce() (StepResult, error) {
 		Workers:     cfg.Workers,
 		EigenIters:  cfg.EigenIters,
 		InnerSteps:  cfg.InnerSteps,
+		Recovery:    cfg.Recovery,
 	}
 	if s.precond != nil {
 		opt.Preconditioner = s.precond
@@ -279,9 +284,11 @@ func (s *Simulation) advanceOnce() (StepResult, error) {
 	op := solvers.MatrixOperator{M: s.matrix, Workers: cfg.Workers}
 	sres, err := solvers.Solve(cfg.Solver, op, x, b, opt)
 	out := StepResult{
-		Iterations:   sres.Iterations,
-		ResidualNorm: sres.ResidualNorm,
-		Converged:    sres.Converged,
+		Iterations:           sres.Iterations,
+		ResidualNorm:         sres.ResidualNorm,
+		Converged:            sres.Converged,
+		Rollbacks:            sres.Rollbacks,
+		RecomputedIterations: sres.RecomputedIterations,
 	}
 	if err == nil && cfg.CheckInterval > 1 {
 		// End-of-timestep scrub: with interval checking, errors that
