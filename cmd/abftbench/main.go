@@ -40,7 +40,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("abftbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,pcg,recovery,all")
+		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,spmv,pcg,recovery,all")
 		nx      = fs.Int("nx", 128, "grid cells per side (paper: 2048)")
 		steps   = fs.Int("steps", 2, "timesteps per run (paper: 5)")
 		runs    = fs.Int("runs", 3, "repetitions averaged (paper: 5)")
@@ -152,6 +152,25 @@ func run(args []string, stdout io.Writer) error {
 		}
 		bench.PrintRows(out, "Storage formats: element protection overhead per format", rows)
 		collect("formats", rows)
+	}
+	if all || want["spmv"] {
+		counts, err := parseShardCounts(*shards)
+		if err != nil {
+			return err
+		}
+		spmvCounts := []int{0}
+		for _, c := range counts {
+			if c > 1 {
+				spmvCounts = append(spmvCounts, c)
+				break
+			}
+		}
+		rows, err := bench.SpMVOverhead(opt, spmvCounts)
+		if err != nil {
+			return err
+		}
+		bench.PrintRows(out, "SpMV: verified read-path overhead per format (no solver)", rows)
+		collect("spmv", rows)
 	}
 	if all || want["shards"] {
 		counts, err := parseShardCounts(*shards)

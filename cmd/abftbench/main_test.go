@@ -83,15 +83,25 @@ func TestRunRecoveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var results []struct {
-		Name        string  `json:"name"`
-		NsPerOp     int64   `json:"ns_per_op"`
-		Iterations  int     `json:"iterations"`
-		OverheadPct float64 `json:"overhead_pct"`
+	var report struct {
+		Meta struct {
+			GoVersion  string `json:"go_version"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+		} `json:"meta"`
+		Results []struct {
+			Name        string  `json:"name"`
+			NsPerOp     int64   `json:"ns_per_op"`
+			Iterations  int     `json:"iterations"`
+			OverheadPct float64 `json:"overhead_pct"`
+		} `json:"results"`
 	}
-	if err := json.Unmarshal(data, &results); err != nil {
+	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatalf("bad json: %v\n%s", err, data)
 	}
+	if report.Meta.GoVersion == "" || report.Meta.GOMAXPROCS < 1 {
+		t.Fatalf("run metadata incomplete: %+v\n%s", report.Meta, data)
+	}
+	results := report.Results
 	if len(results) != 1 || results[0].Name != "recovery/rollback/interval-16" ||
 		results[0].NsPerOp <= 0 || results[0].Iterations != 1 {
 		t.Fatalf("unexpected samples: %+v", results)

@@ -1,0 +1,155 @@
+// Command benchguard compares a fresh benchmark report against a
+// committed baseline and fails when the protected-over-baseline
+// overhead regressed beyond the slack.
+//
+// It guards the overhead *ratio*, not wall time: CI machines vary
+// wildly in absolute speed, but the protected/unprotected quotient of
+// the same binary on the same host is stable. A sample with baseline
+// overhead O_b and candidate overhead O_c carries the per-sample ratio
+//
+//	(100 + O_c) / (100 + O_b)
+//
+// The suite regresses when the geometric mean of the shared samples'
+// ratios exceeds 1 + slack/100 — single samples jitter with host load,
+// but a slowdown in a shared code path moves its whole family of
+// samples and the mean with it. A lone sample may additionally not
+// exceed 1 + sample-slack/100 (default 100%, i.e. doubling), the
+// catastrophic-single-regression backstop sized well above wall-clock
+// noise.
+//
+// Samples present in only one file are reported and skipped, so the
+// guard keeps working while figures are added or retired.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_006.json -candidate BENCH_smoke.json -slack 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"abft/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	var (
+		basePath    = fs.String("baseline", "", "committed baseline report (required)")
+		candPath    = fs.String("candidate", "", "freshly produced report (required)")
+		slack       = fs.Float64("slack", 15, "allowed suite-wide (geometric mean) overhead-ratio regression in percent")
+		sampleSlack = fs.Float64("sample-slack", 100, "allowed single-sample overhead-ratio regression in percent")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *candPath == "" {
+		return fmt.Errorf("both -baseline and -candidate are required")
+	}
+	base, err := readReport(*basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := readReport(*candPath)
+	if err != nil {
+		return err
+	}
+
+	baseBy := indexByName(base.Results)
+	candBy := indexByName(cand.Results)
+	shared := intersect(baseBy, candBy)
+	if len(shared) == 0 {
+		return fmt.Errorf("no shared samples between %s and %s", *basePath, *candPath)
+	}
+
+	sampleLimit := 1 + *sampleSlack/100
+	var failures []string
+	logRatioSum := 0.0
+	for _, name := range shared {
+		b, c := baseBy[name], candBy[name]
+		// Overheads below zero (a protected run beating its baseline by
+		// noise) clamp to zero so the ratio stays meaningful.
+		ratio := (100 + max(c.OverheadPct, 0)) / (100 + max(b.OverheadPct, 0))
+		logRatioSum += math.Log(ratio)
+		status := "ok"
+		if ratio > sampleLimit {
+			status = "REGRESSED"
+			failures = append(failures, name)
+		}
+		fmt.Printf("%-44s baseline %+7.1f%%  candidate %+7.1f%%  ratio %.3f  %s\n",
+			name, b.OverheadPct, c.OverheadPct, ratio, status)
+	}
+	for _, name := range only(baseBy, candBy) {
+		fmt.Printf("%-44s only in baseline (skipped)\n", name)
+	}
+	for _, name := range only(candBy, baseBy) {
+		fmt.Printf("%-44s only in candidate (skipped)\n", name)
+	}
+
+	geomean := math.Exp(logRatioSum / float64(len(shared)))
+	fmt.Printf("suite geometric mean ratio %.3f over %d shared samples (limit %.3f)\n",
+		geomean, len(shared), 1+*slack/100)
+	if geomean > 1+*slack/100 {
+		return fmt.Errorf("suite overhead regressed %.1f%% beyond the %.0f%% slack (geometric mean ratio %.3f)",
+			(geomean-1)*100, *slack, geomean)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d samples regressed beyond the %.0f%% single-sample slack: %v",
+			len(failures), len(shared), *sampleSlack, failures)
+	}
+	fmt.Printf("within %.0f%% suite slack and %.0f%% single-sample slack\n", *slack, *sampleSlack)
+	return nil
+}
+
+func readReport(path string) (bench.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return bench.Report{}, err
+	}
+	defer f.Close()
+	rep, err := bench.ReadReport(f)
+	if err != nil {
+		return bench.Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func indexByName(rs []bench.JSONResult) map[string]bench.JSONResult {
+	m := make(map[string]bench.JSONResult, len(rs))
+	for _, r := range rs {
+		m[r.Name] = r
+	}
+	return m
+}
+
+func intersect(a, b map[string]bench.JSONResult) []string {
+	var names []string
+	for n := range a {
+		if _, ok := b[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func only(a, b map[string]bench.JSONResult) []string {
+	var names []string
+	for n := range a {
+		if _, ok := b[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

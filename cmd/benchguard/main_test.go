@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"abft/internal/bench"
+)
+
+func writeReport(t *testing.T, name string, results []bench.JSONResult) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := bench.WriteJSON(f, results); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchguard(t *testing.T) {
+	base := writeReport(t, "base.json", []bench.JSONResult{
+		{Name: "spmv/csr/secded64", OverheadPct: 100},
+		{Name: "full/full-secded64", OverheadPct: 40},
+		{Name: "retired/sample", OverheadPct: 5},
+	})
+
+	// Within slack: a couple of points of drift on either side, one
+	// sample bouncing 30% — noise on a single sample must not fail the
+	// suite as long as the mean stays put.
+	cand := writeReport(t, "ok.json", []bench.JSONResult{
+		{Name: "spmv/csr/secded64", OverheadPct: 160},
+		{Name: "full/full-secded64", OverheadPct: 5},
+		{Name: "retired/sample", OverheadPct: 4},
+		{Name: "new/sample", OverheadPct: 1},
+	})
+	if err := run([]string{"-baseline", base, "-candidate", cand, "-slack", "15"}); err != nil {
+		t.Fatalf("within-slack comparison failed: %v", err)
+	}
+
+	// Every sample up ~30%: the geometric mean breaches the 15% slack.
+	bad := writeReport(t, "bad.json", []bench.JSONResult{
+		{Name: "spmv/csr/secded64", OverheadPct: 160},
+		{Name: "full/full-secded64", OverheadPct: 82},
+		{Name: "retired/sample", OverheadPct: 36},
+	})
+	err := run([]string{"-baseline", base, "-candidate", bad, "-slack", "15"})
+	if err == nil || !strings.Contains(err.Error(), "suite overhead regressed") {
+		t.Fatalf("suite regression not flagged: %v", err)
+	}
+
+	// One sample more than doubling trips the single-sample backstop
+	// even though the mean survives.
+	spike := writeReport(t, "spike.json", []bench.JSONResult{
+		{Name: "spmv/csr/secded64", OverheadPct: 320},
+		{Name: "full/full-secded64", OverheadPct: 40},
+		{Name: "retired/sample", OverheadPct: 5},
+	})
+	err = run([]string{"-baseline", base, "-candidate", spike, "-slack", "200"})
+	if err == nil || !strings.Contains(err.Error(), "spmv/csr/secded64") {
+		t.Fatalf("single-sample spike not flagged: %v", err)
+	}
+
+	// Disjoint files are an error, not a silent pass.
+	other := writeReport(t, "other.json", []bench.JSONResult{{Name: "elsewhere", OverheadPct: 1}})
+	if err := run([]string{"-baseline", base, "-candidate", other}); err == nil {
+		t.Fatal("disjoint sample sets compared successfully")
+	}
+
+	// Missing flags and missing files fail loudly.
+	if err := run(nil); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	if err := run([]string{"-baseline", base, "-candidate", filepath.Join(t.TempDir(), "nope.json")}); err == nil {
+		t.Fatal("missing candidate file accepted")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 )
 
 // JSONResult is one machine-readable benchmark sample, the schema the
@@ -51,9 +53,66 @@ func jsonName(figure, label string, interval int) string {
 	return fmt.Sprintf("%s/%s/interval-%d", figure, label, interval)
 }
 
-// WriteJSON serialises the collected samples as an indented JSON array.
+// RunMeta identifies the environment a BENCH_*.json file was produced
+// in, so trajectory comparisons can tell a code regression from a
+// toolchain or host change.
+type RunMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// GitCommit is the vcs revision stamped into the binary, empty when
+	// the build carries no VCS info (e.g. `go run` from a dirty tree).
+	GitCommit string `json:"git_commit,omitempty"`
+}
+
+// CollectMeta captures the current run environment.
+func CollectMeta() RunMeta {
+	m := RunMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				m.GitCommit = s.Value
+			}
+		}
+	}
+	return m
+}
+
+// Report is the on-disk schema of a benchmark run: the environment it
+// ran in plus the samples it produced.
+type Report struct {
+	Meta    RunMeta      `json:"meta"`
+	Results []JSONResult `json:"results"`
+}
+
+// WriteJSON serialises the collected samples, wrapped in a Report that
+// records the run environment, as indented JSON.
 func WriteJSON(w io.Writer, results []JSONResult) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	return enc.Encode(Report{Meta: CollectMeta(), Results: results})
+}
+
+// ReadReport parses a benchmark file written by WriteJSON. It also
+// accepts the pre-metadata schema — a bare sample array — so older
+// committed trajectories stay comparable.
+func ReadReport(r io.Reader) (Report, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err == nil && rep.Results != nil {
+		return rep, nil
+	}
+	if err := json.Unmarshal(raw, &rep.Results); err != nil {
+		return Report{}, fmt.Errorf("bench: not a benchmark report: %w", err)
+	}
+	return rep, nil
 }

@@ -7,14 +7,24 @@ import (
 	"time"
 )
 
+// roundDur rounds a duration for table display: solver figures sit in
+// the milliseconds-to-seconds range, per-product kernel figures (the
+// spmv rows) in microseconds.
+func roundDur(d time.Duration) time.Duration {
+	if d < 10*time.Millisecond {
+		return d.Round(time.Microsecond)
+	}
+	return d.Round(time.Millisecond)
+}
+
 // PrintRows renders an overhead figure as an aligned text table with a
 // crude bar chart, mirroring the shape of the paper's bar figures.
 func PrintRows(w io.Writer, title string, rows []Row) {
 	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
-	fmt.Fprintf(w, "%-14s %12s %12s %10s\n", "scheme", "baseline", "protected", "overhead")
+	fmt.Fprintf(w, "%-22s %12s %12s %10s\n", "scheme", "baseline", "protected", "overhead")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-14s %12s %12s %9.1f%% %s\n",
-			r.Label, r.Base.Round(time.Millisecond), r.Protected.Round(time.Millisecond),
+		fmt.Fprintf(w, "%-22s %12s %12s %9.1f%% %s\n",
+			r.Label, roundDur(r.Base), roundDur(r.Protected),
 			r.OverheadPct, bar(r.OverheadPct))
 	}
 	fmt.Fprintln(w)

@@ -62,11 +62,29 @@ func TestJSONConversions(t *testing.T) {
 	if err := WriteJSON(&buf, got); err != nil {
 		t.Fatal(err)
 	}
-	var back []JSONResult
-	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+	rep, err := ReadReport(&buf)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(back) != 1 || back[0] != got[0] {
-		t.Fatalf("round trip lost data: %+v", back)
+	if len(rep.Results) != 1 || rep.Results[0] != got[0] {
+		t.Fatalf("round trip lost data: %+v", rep.Results)
+	}
+	if rep.Meta.GoVersion == "" || rep.Meta.GOMAXPROCS < 1 ||
+		rep.Meta.GOOS == "" || rep.Meta.GOARCH == "" {
+		t.Fatalf("run metadata incomplete: %+v", rep.Meta)
+	}
+
+	// The pre-metadata schema — a bare sample array — must stay readable
+	// so older committed trajectories remain comparable.
+	legacy, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = ReadReport(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0] != got[0] {
+		t.Fatalf("legacy array schema lost data: %+v", rep.Results)
 	}
 }

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpMVOverheadRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrated benchmark batches in -short mode")
+	}
+	rows, err := SpMVOverhead(tinyOpts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 formats x {unsharded, shards-4} x 3 schemes.
+	if len(rows) != 18 {
+		t.Fatalf("got %d rows, want 18: %+v", len(rows), rows)
+	}
+	labels := make(map[string]bool)
+	for _, r := range rows {
+		if r.Base <= 0 || r.Protected <= 0 {
+			t.Fatalf("non-positive measurement: %+v", r)
+		}
+		labels[r.Label] = true
+	}
+	for _, want := range []string{"csr/secded64", "csr/shards-4/secded64",
+		"coo/sed", "sellcs/crc32c", "sellcs/shards-4/crc32c"} {
+		if !labels[want] {
+			t.Fatalf("missing label %q in %+v", want, rows)
+		}
+	}
+	for l := range labels {
+		if strings.Contains(l, "none") {
+			t.Fatalf("baseline scheme leaked into the rows: %q", l)
+		}
+	}
+}

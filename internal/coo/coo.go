@@ -268,7 +268,9 @@ func (m *Matrix) fault(idx int, detail string) error {
 }
 
 // check64 verifies element k, repairing single flips when commit is true.
-func (m *Matrix) check64(k int, commit bool) error {
+// The first return reports whether a correction was found — storage is
+// stale when it was and commit was false.
+func (m *Matrix) check64(k int, commit bool) (bool, error) {
 	cw := ecc.Word4{
 		math.Float64bits(m.vals[k]),
 		word1(m.rowIdx[k], m.colIdx[k]),
@@ -281,14 +283,17 @@ func (m *Matrix) check64(k int, commit bool) error {
 			m.colIdx[k] = uint32(cw[1] >> 32)
 		}
 		m.counters.AddCorrected(1)
+		return true, nil
 	case ecc.Detected:
-		return m.fault(k, "secded64 double-bit error")
+		return false, m.fault(k, "secded64 double-bit error")
 	}
-	return nil
+	return false, nil
 }
 
-// checkPair verifies element pair t.
-func (m *Matrix) checkPair(t int, commit bool) error {
+// checkPair verifies element pair t. The first return reports whether a
+// correction was found — storage is stale when it was and commit was
+// false.
+func (m *Matrix) checkPair(t int, commit bool) (bool, error) {
 	k := 2 * t
 	cw := ecc.Word4{
 		math.Float64bits(m.vals[k]),
@@ -307,34 +312,41 @@ func (m *Matrix) checkPair(t int, commit bool) error {
 			m.colIdx[k+1] = uint32(cw[3] >> 32)
 		}
 		m.counters.AddCorrected(1)
+		return true, nil
 	case ecc.Detected:
-		return m.fault(t, "secded128 double-bit error")
+		return false, m.fault(t, "secded128 double-bit error")
 	}
-	return nil
+	return false, nil
 }
 
-// checkGroupCRC verifies 8-element group g.
-func (m *Matrix) checkGroupCRC(g int, commit bool) error {
+// checkGroupCRC verifies 8-element group g. img receives the group's
+// *corrected* image (16 bytes per element: value, masked row, column), so
+// a caller that cannot commit a correction to shared storage can still
+// stream the repaired group. The first return reports whether a
+// correction was found — storage is stale when it was and commit was
+// false.
+func (m *Matrix) checkGroupCRC(g int, commit bool, img *[16 * crcGroup]byte) (bool, error) {
 	base := g * crcGroup
-	var buf [16 * crcGroup]byte
 	var stored uint32
 	for i := 0; i < crcGroup; i++ {
 		k := base + i
-		binary.LittleEndian.PutUint64(buf[16*i:], math.Float64bits(m.vals[k]))
-		binary.LittleEndian.PutUint32(buf[16*i+8:], m.rowIdx[k]&eccIdxMask)
-		binary.LittleEndian.PutUint32(buf[16*i+12:], m.colIdx[k])
+		binary.LittleEndian.PutUint64(img[16*i:], math.Float64bits(m.vals[k]))
+		binary.LittleEndian.PutUint32(img[16*i+8:], m.rowIdx[k]&eccIdxMask)
+		binary.LittleEndian.PutUint32(img[16*i+12:], m.colIdx[k])
 		stored |= (m.rowIdx[k] >> 28) << (4 * uint(i))
 	}
-	crc := ecc.Checksum(buf[:], m.backend)
+	crc := ecc.Checksum(img[:], m.backend)
 	if crc == stored {
-		return nil
+		return false, nil
 	}
-	flips, ok := ecc.CorrectCodeword(buf[:], stored, crc)
+	flips, ok := ecc.CorrectCodeword(img[:], stored, crc)
 	if !ok {
-		return m.fault(g, "crc32c mismatch beyond correction depth")
+		return false, m.fault(g, "crc32c mismatch beyond correction depth")
 	}
 	for _, f := range flips {
 		if f.InCRC {
+			// Checksum-slot flip: the data records in img are already
+			// right, only the stored redundancy needs repair.
 			if commit {
 				m.rowIdx[base+f.Bit/4] ^= 1 << uint(28+f.Bit%4)
 			}
@@ -350,7 +362,7 @@ func (m *Matrix) checkGroupCRC(g int, commit bool) error {
 			}
 		case bit < 96:
 			if bit-64 >= 28 {
-				return m.fault(g, "crc flip located in reserved nibble")
+				return false, m.fault(g, "crc flip located in reserved nibble")
 			}
 			if commit {
 				m.rowIdx[k] ^= 1 << uint(bit-64)
@@ -360,9 +372,10 @@ func (m *Matrix) checkGroupCRC(g int, commit bool) error {
 				m.colIdx[k] ^= 1 << uint(bit-96)
 			}
 		}
+		img[f.Bit/8] ^= 1 << uint(f.Bit%8)
 	}
 	m.counters.AddCorrected(1)
-	return nil
+	return true, nil
 }
 
 // CheckAll verifies and repairs every codeword, returning the number of
@@ -390,17 +403,21 @@ func (m *Matrix) CheckAll() (corrected int, err error) {
 	case core.SECDED64:
 		m.counters.AddChecks(uint64(len(m.vals)))
 		for k := range m.vals {
-			record(m.check64(k, true))
+			_, e := m.check64(k, true)
+			record(e)
 		}
 	case core.SECDED128:
 		m.counters.AddChecks(uint64(len(m.vals) / 2))
 		for t := 0; 2*t < len(m.vals); t++ {
-			record(m.checkPair(t, true))
+			_, e := m.checkPair(t, true)
+			record(e)
 		}
 	case core.CRC32C:
 		m.counters.AddChecks(uint64(len(m.vals) / crcGroup))
+		var img [16 * crcGroup]byte
 		for g := 0; g*crcGroup < len(m.vals); g++ {
-			record(m.checkGroupCRC(g, true))
+			_, e := m.checkGroupCRC(g, true, &img)
+			record(e)
 		}
 	}
 	return int(m.counters.Corrected() - before), err
@@ -519,57 +536,211 @@ func (m *Matrix) entryRanges(workers int) [][2]int {
 	return append(out, [2]int{lo, len(m.vals)})
 }
 
-// scatterRange verifies and scatters entries [lo,hi) into acc. Ranges are
-// codeword-aligned, so corrections may always be committed to storage —
-// unless the matrix is shared across Apply callers (see SetShared).
+// verifyChunk bounds the entry span one batch verify covers before its
+// chunk is scattered, keeping the verified entries warm in cache for the
+// scatter pass. It is a multiple of every codeword group size.
+const verifyChunk = 64
+
+// scatterRange verifies and scatters entries [lo,hi) into acc following
+// the verify-then-stream protocol: each chunk's codewords are
+// batch-verified in a tight per-scheme loop, then the chunk streams
+// unguarded (index mask and range checks only) with no decode
+// interleaved with the multiply. Only a chunk whose correction could not
+// be committed — the matrix is shared across Apply callers (see
+// SetShared) and a live fault was hit — falls back to a corrective local
+// decode, so the slow path is paid per faulty chunk, not per sweep.
+// Ranges are codeword-aligned, so workers never share a codeword.
 func (m *Matrix) scatterRange(acc, xbuf []float64, lo, hi int) error {
-	mask := m.idxMask()
 	commit := !m.shared
 	var checks uint64
 	defer func() { m.counters.AddChecks(checks) }()
-	for k := lo; k < hi; k++ {
-		switch m.scheme {
-		case core.SED:
-			checks++
+	switch m.scheme {
+	case core.None:
+		for k := lo; k < hi; k++ {
+			acc[m.rowIdx[k]] += m.vals[k] * xbuf[m.colIdx[k]]
+		}
+	case core.SED:
+		// Detect-only: nothing to fall back to, verify then stream.
+		checks += uint64(hi - lo)
+		for k := lo; k < hi; k++ {
 			if err := m.checkSED(k); err != nil {
 				return err
 			}
-		case core.SECDED64:
-			checks++
-			if err := m.check64(k, commit); err != nil {
+		}
+		return m.scatterClean(acc, xbuf, lo, hi)
+	case core.SECDED64:
+		for base := lo; base < hi; base += verifyChunk {
+			end := base + verifyChunk
+			if end > hi {
+				end = hi
+			}
+			checks += uint64(end - base)
+			dirty := false
+			for k := base; k < end; k++ {
+				corrected, err := m.check64(k, commit)
+				if err != nil {
+					return err
+				}
+				if corrected && !commit {
+					dirty = true
+				}
+			}
+			var err error
+			if dirty {
+				err = m.scatter64Local(acc, xbuf, base, end)
+			} else {
+				err = m.scatterClean(acc, xbuf, base, end)
+			}
+			if err != nil {
 				return err
 			}
-		case core.SECDED128:
-			if k%2 == 0 {
-				checks++
-				if err := m.checkPair(k/2, commit); err != nil {
+		}
+	case core.SECDED128:
+		for base := lo; base < hi; base += verifyChunk {
+			end := base + verifyChunk
+			if end > hi {
+				end = hi
+			}
+			checks += uint64((end - base + 1) / 2)
+			dirty := false
+			for t := base / 2; 2*t < end; t++ {
+				corrected, err := m.checkPair(t, commit)
+				if err != nil {
 					return err
+				}
+				if corrected && !commit {
+					dirty = true
 				}
 			}
-		case core.CRC32C:
-			if k%crcGroup == 0 {
-				checks++
-				if err := m.checkGroupCRC(k/crcGroup, commit); err != nil {
-					return err
-				}
+			var err error
+			if dirty {
+				err = m.scatterPairLocal(acc, xbuf, base, end)
+			} else {
+				err = m.scatterClean(acc, xbuf, base, end)
+			}
+			if err != nil {
+				return err
 			}
 		}
+	case core.CRC32C:
+		var img [16 * crcGroup]byte
+		for base := lo; base < hi; base += crcGroup {
+			checks++
+			corrected, err := m.checkGroupCRC(base/crcGroup, commit, &img)
+			if err != nil {
+				return err
+			}
+			if corrected && !commit {
+				err = m.scatterGroupImg(acc, xbuf, base, &img)
+			} else {
+				err = m.scatterClean(acc, xbuf, base, base+crcGroup)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scatterClean scatters entries [lo,hi) straight from storage: the fast
+// second half of verify-then-stream, applying only the index mask and
+// the range checks.
+func (m *Matrix) scatterClean(acc, xbuf []float64, lo, hi int) error {
+	mask := m.idxMask()
+	for k := lo; k < hi; k++ {
 		row := m.rowIdx[k] & mask
 		col := m.colIdx[k] & mask
-		if m.scheme != core.None {
-			if row >= uint32(m.rows) {
-				m.counters.AddBounds(1)
-				return &core.BoundsError{Structure: core.StructElements, Index: k,
-					Value: row, Limit: uint32(m.rows)}
-			}
-			if col >= uint32(m.cols) {
-				m.counters.AddBounds(1)
-				return &core.BoundsError{Structure: core.StructElements, Index: k,
-					Value: col, Limit: uint32(m.cols)}
-			}
+		if row >= uint32(m.rows) {
+			m.counters.AddBounds(1)
+			return &core.BoundsError{Structure: core.StructElements, Index: k,
+				Value: row, Limit: uint32(m.rows)}
+		}
+		if col >= uint32(m.cols) {
+			m.counters.AddBounds(1)
+			return &core.BoundsError{Structure: core.StructElements, Index: k,
+				Value: col, Limit: uint32(m.cols)}
 		}
 		acc[row] += m.vals[k] * xbuf[col]
 	}
+	return nil
+}
+
+// scatter64Local is the corrective fallback for a dirty SECDED64 chunk:
+// every element decodes through a local codeword with the correction
+// applied there, never touching shared storage. The verify pass already
+// accounted the checks and corrections.
+func (m *Matrix) scatter64Local(acc, xbuf []float64, lo, hi int) error {
+	for k := lo; k < hi; k++ {
+		cw := ecc.Word4{
+			math.Float64bits(m.vals[k]),
+			word1(m.rowIdx[k], m.colIdx[k]),
+		}
+		if res, _ := codecElem64.Check(&cw); res == ecc.Detected {
+			return m.fault(k, "secded64 double-bit error")
+		}
+		if err := m.scatterElem(acc, xbuf, k,
+			uint32(cw[1])&eccIdxMask, uint32(cw[1]>>32)&eccIdxMask,
+			math.Float64frombits(cw[0])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterPairLocal is scatter64Local for a dirty SECDED128 chunk; lo and
+// hi are pair-aligned (chunks and ranges are codeword-aligned).
+func (m *Matrix) scatterPairLocal(acc, xbuf []float64, lo, hi int) error {
+	for t := lo / 2; 2*t < hi; t++ {
+		k := 2 * t
+		cw := ecc.Word4{
+			math.Float64bits(m.vals[k]),
+			word1(m.rowIdx[k], m.colIdx[k]),
+			math.Float64bits(m.vals[k+1]),
+			word1(m.rowIdx[k+1], m.colIdx[k+1]),
+		}
+		if res, _ := codecElem128.Check(&cw); res == ecc.Detected {
+			return m.fault(t, "secded128 double-bit error")
+		}
+		for j := 0; j < 2; j++ {
+			if err := m.scatterElem(acc, xbuf, k+j,
+				uint32(cw[1+2*j])&eccIdxMask, uint32(cw[1+2*j]>>32)&eccIdxMask,
+				math.Float64frombits(cw[2*j])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scatterGroupImg is the corrective fallback for a dirty CRC32C group:
+// the verify left the corrected group image in img, so the scatter
+// streams from it instead of the stale storage.
+func (m *Matrix) scatterGroupImg(acc, xbuf []float64, base int, img *[16 * crcGroup]byte) error {
+	for i := 0; i < crcGroup; i++ {
+		if err := m.scatterElem(acc, xbuf, base+i,
+			binary.LittleEndian.Uint32(img[16*i+8:])&eccIdxMask,
+			binary.LittleEndian.Uint32(img[16*i+12:])&eccIdxMask,
+			math.Float64frombits(binary.LittleEndian.Uint64(img[16*i:]))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterElem range-checks and applies one decoded element.
+func (m *Matrix) scatterElem(acc, xbuf []float64, k int, row, col uint32, val float64) error {
+	if row >= uint32(m.rows) {
+		m.counters.AddBounds(1)
+		return &core.BoundsError{Structure: core.StructElements, Index: k,
+			Value: row, Limit: uint32(m.rows)}
+	}
+	if col >= uint32(m.cols) {
+		m.counters.AddBounds(1)
+		return &core.BoundsError{Structure: core.StructElements, Index: k,
+			Value: col, Limit: uint32(m.cols)}
+	}
+	acc[row] += val * xbuf[col]
 	return nil
 }
 

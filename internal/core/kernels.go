@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -49,6 +50,15 @@ func SpMVOpts(dst *Vector, m *Matrix, x *Vector, opt SpMVOptions) error {
 
 // spmvRange multiplies rows [lo,hi); lo must be a multiple of the output
 // block size (guaranteed by par.Ranges alignment 8).
+//
+// Each row follows the verify-then-stream protocol: on checking sweeps
+// the row's element codewords are batch-verified first (verifyRowElems),
+// then the payload streams from storage with only the column mask and
+// range check applied — no decode interleaved with the multiply. Only
+// when a correction could not be committed (a no-commit worker or a
+// shared operator hit a live fault) does the row fall back to the
+// corrective per-element decode, so the fallback's cost is paid per
+// faulty row, not per sweep.
 func (m *Matrix) spmvRange(dst, x *Vector, lo, hi int, fullCheck, commit, noCache bool) error {
 	if m.elemScheme == None && m.rowScheme == None && x.scheme == None {
 		return m.spmvRawRange(dst, x, lo, hi)
@@ -71,6 +81,8 @@ func (m *Matrix) spmvRange(dst, x *Vector, lo, hi int, fullCheck, commit, noCach
 
 	var out [vecBlock]float64
 	lastPair := -1
+	var dec elemDecoder
+	dec.init(m)
 	// Row r's end pointer is row r+1's start pointer: carry it across
 	// iterations so each row costs one cursor lookup, not two.
 	rlo32, err := cur.value(lo)
@@ -86,14 +98,18 @@ func (m *Matrix) spmvRange(dst, x *Vector, lo, hi int, fullCheck, commit, noCach
 			return m.boundsErr(StructRowPtr, r, rlo32, rhi32)
 		}
 		rlo, rhi := int(rlo32), int(rhi32)
-		if fullCheck && m.elemScheme == CRC32C {
-			elemChecks++
-			if err := m.checkElemRowCRC(r, rlo, rhi, scratch, commit); err != nil {
+		dirty := false
+		if fullCheck && m.elemScheme != None {
+			var checks uint64
+			dirty, checks, err = m.verifyRowElems(r, rlo, rhi, commit, scratch, &lastPair)
+			elemChecks += checks
+			if err != nil {
 				return err
 			}
 		}
 		var sum float64
-		if m.elemScheme == None && xRaw {
+		switch {
+		case m.elemScheme == None && xRaw:
 			// Unprotected elements and source vector: the tight baseline
 			// inner loop. Indices are raw exactly as in an unprotected
 			// solver, so no range checks apply (protecting only the row
@@ -102,30 +118,10 @@ func (m *Matrix) spmvRange(dst, x *Vector, lo, hi int, fullCheck, commit, noCach
 			for k := rlo; k < rhi; k++ {
 				sum += m.vals[k] * math.Float64frombits(x.words[m.colIdx[k]])
 			}
-		} else {
+		case !dirty:
+			// Verified clean (or a range-check-only sweep): stream the
+			// row unguarded from storage.
 			for k := rlo; k < rhi; k++ {
-				if fullCheck {
-					switch m.elemScheme {
-					case SED:
-						elemChecks++
-						if err := m.checkElemSED(k); err != nil {
-							return err
-						}
-					case SECDED64:
-						elemChecks++
-						if err := m.checkElem64(k, commit); err != nil {
-							return err
-						}
-					case SECDED128:
-						if t := k / 2; t != lastPair {
-							elemChecks++
-							if err := m.checkElemPair(t, commit); err != nil {
-								return err
-							}
-							lastPair = t
-						}
-					}
-				}
 				col := m.colIdx[k] & colMask
 				if m.elemScheme != None && col >= uint32(m.cols) {
 					return m.boundsErr(StructElements, k, col, uint32(m.cols))
@@ -140,6 +136,46 @@ func (m *Matrix) spmvRange(dst, x *Vector, lo, hi int, fullCheck, commit, noCach
 					}
 				}
 				sum += m.vals[k] * xv
+			}
+		case m.elemScheme == CRC32C:
+			// Dirty CRC row: the verify left the corrected row image in
+			// scratch; stream from it.
+			for j := 0; j < rhi-rlo; j++ {
+				col := binary.LittleEndian.Uint32(scratch[12*j+8:]) & eccColMask
+				if col >= uint32(m.cols) {
+					return m.boundsErr(StructElements, rlo+j, col, uint32(m.cols))
+				}
+				var xv float64
+				if xRaw {
+					xv = math.Float64frombits(x.words[col])
+				} else {
+					xv, err = cache.at(int(col))
+					if err != nil {
+						return err
+					}
+				}
+				sum += math.Float64frombits(binary.LittleEndian.Uint64(scratch[12*j:])) * xv
+			}
+		default:
+			// Dirty SECDED row: corrective per-element local decode.
+			for k := rlo; k < rhi; k++ {
+				col, val, err := dec.at(k)
+				if err != nil {
+					return err
+				}
+				if col >= uint32(m.cols) {
+					return m.boundsErr(StructElements, k, col, uint32(m.cols))
+				}
+				var xv float64
+				if xRaw {
+					xv = math.Float64frombits(x.words[col])
+				} else {
+					xv, err = cache.at(int(col))
+					if err != nil {
+						return err
+					}
+				}
+				sum += val * xv
 			}
 		}
 		rlo32 = rhi32

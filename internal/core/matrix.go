@@ -285,32 +285,63 @@ func (m *Matrix) encodeRowGroup(g int) {
 // checkRowGroup verifies row-pointer group g, repairing correctable errors
 // when commit is true. It reports corrections via the counters.
 func (m *Matrix) checkRowGroup(g int, commit bool) error {
+	var tmp [8]uint32
+	_, err := m.decodeRowGroup(g, commit, &tmp)
+	return err
+}
+
+// decodeRowGroup verifies row-pointer group g and writes its masked data
+// entries into dst (the group's entries occupy dst[0:RowPtrGroup()]).
+// Correctable faults are counted and always applied to dst; storage is
+// repaired only when commit is true. The first return reports whether a
+// correction was found — when it was and commit is false, storage still
+// holds the fault and only dst carries the corrected values.
+func (m *Matrix) decodeRowGroup(g int, commit bool, dst *[8]uint32) (corrected bool, err error) {
 	switch m.rowScheme {
 	case None:
-		return nil
+		dst[0] = m.rowptr[g]
 	case SED:
-		if ecc.Parity64(uint64(m.rowptr[g])) != 0 {
-			return m.faultErr(StructRowPtr, SED, g, "parity mismatch")
+		r := m.rowptr[g]
+		if ecc.Parity64(uint64(r)) != 0 {
+			return false, m.faultErr(StructRowPtr, SED, g, "parity mismatch")
 		}
-		return nil
+		dst[0] = r & sedColMask
 	case SECDED64:
 		e := m.rowptr[2*g : 2*g+2]
 		cw := ecc.Word4{uint64(e[0]) | uint64(e[1])<<32}
-		res, _ := codecRow64.Check(&cw)
-		return m.finishRowCheck(g, res, commit, func() {
-			e[0], e[1] = uint32(cw[0]), uint32(cw[0]>>32)
-		})
+		switch res, _ := codecRow64.Check(&cw); res {
+		case ecc.Corrected:
+			corrected = true
+			if commit {
+				e[0], e[1] = uint32(cw[0]), uint32(cw[0]>>32)
+			}
+			m.counters.AddCorrected(1)
+		case ecc.Detected:
+			return false, m.faultErr(StructRowPtr, SECDED64, g, "secded double-bit error")
+		}
+		dst[0] = uint32(cw[0]) & rowPtrMask
+		dst[1] = uint32(cw[0]>>32) & rowPtrMask
 	case SECDED128:
 		e := m.rowptr[4*g : 4*g+4]
 		cw := ecc.Word4{
 			uint64(e[0]) | uint64(e[1])<<32,
 			uint64(e[2]) | uint64(e[3])<<32,
 		}
-		res, _ := codecRow128.Check(&cw)
-		return m.finishRowCheck(g, res, commit, func() {
-			e[0], e[1] = uint32(cw[0]), uint32(cw[0]>>32)
-			e[2], e[3] = uint32(cw[1]), uint32(cw[1]>>32)
-		})
+		switch res, _ := codecRow128.Check(&cw); res {
+		case ecc.Corrected:
+			corrected = true
+			if commit {
+				e[0], e[1] = uint32(cw[0]), uint32(cw[0]>>32)
+				e[2], e[3] = uint32(cw[1]), uint32(cw[1]>>32)
+			}
+			m.counters.AddCorrected(1)
+		case ecc.Detected:
+			return false, m.faultErr(StructRowPtr, SECDED128, g, "secded double-bit error")
+		}
+		dst[0] = uint32(cw[0]) & rowPtrMask
+		dst[1] = uint32(cw[0]>>32) & rowPtrMask
+		dst[2] = uint32(cw[1]) & rowPtrMask
+		dst[3] = uint32(cw[1]>>32) & rowPtrMask
 	case CRC32C:
 		e := m.rowptr[8*g : 8*g+8]
 		var buf [32]byte
@@ -319,70 +350,68 @@ func (m *Matrix) checkRowGroup(g int, commit bool) error {
 			binary.LittleEndian.PutUint32(buf[4*i:], x&rowPtrMask)
 			stored |= (x >> 28) << (4 * uint(i))
 		}
-		crc := ecc.Checksum(buf[:], m.backend)
-		if crc == stored {
-			return nil
-		}
-		flips, ok := correctCRCCodeword(buf[:], stored, crc, m.backend)
-		if ok {
+		if crc := ecc.Checksum(buf[:], m.backend); crc != stored {
+			flips, ok := correctCRCCodeword(buf[:], stored, crc, m.backend)
+			if !ok {
+				return false, m.faultErr(StructRowPtr, CRC32C, g, "crc32c mismatch beyond correction depth")
+			}
 			for _, f := range flips {
 				if f.inCRC {
 					if commit {
 						e[f.bit/4] ^= 1 << uint(28+f.bit%4)
 					}
-				} else {
-					if f.bit%32 >= 28 {
-						return m.faultErr(StructRowPtr, CRC32C, g, "crc flip located in reserved bits")
-					}
-					if commit {
-						e[f.bit/32] ^= 1 << uint(f.bit%32)
-					}
+					continue
+				}
+				if f.bit%32 >= 28 {
+					return false, m.faultErr(StructRowPtr, CRC32C, g, "crc flip located in reserved bits")
+				}
+				buf[f.bit/8] ^= 1 << uint(f.bit%8)
+				if commit {
+					e[f.bit/32] ^= 1 << uint(f.bit%32)
 				}
 			}
+			corrected = true
 			m.counters.AddCorrected(1)
-			return nil
 		}
-		return m.faultErr(StructRowPtr, CRC32C, g, "crc32c mismatch beyond correction depth")
-	}
-	return nil
-}
-
-func (m *Matrix) finishRowCheck(g int, res ecc.CheckResult, commit bool, apply func()) error {
-	switch res {
-	case ecc.Corrected:
-		if commit {
-			apply()
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint32(buf[4*i:])
 		}
-		m.counters.AddCorrected(1)
-		return nil
-	case ecc.Detected:
-		return m.faultErr(StructRowPtr, m.rowScheme, g, "secded double-bit error")
-	default:
-		return nil
 	}
+	return corrected, nil
 }
 
 // rowPtrCursor streams row-pointer values with one integrity check per
-// codeword group. With check false only range validity is enforced.
+// codeword group. Values are read through a locally decoded copy of the
+// current group, so callers observe corrected pointers even when the
+// correction cannot be committed to shared storage. With check false
+// only range validity is enforced.
 type rowPtrCursor struct {
 	m      *Matrix
 	check  bool
 	commit bool
-	group  int    // currently verified group, -1 initially
-	checks uint64 // group checks performed (flushed by the caller)
+	group  int       // currently verified group, -1 initially
+	checks uint64    // group checks performed (flushed by the caller)
+	vals   [8]uint32 // locally corrected decode of group
 }
 
 func (c *rowPtrCursor) value(r int) (uint32, error) {
+	if !c.check {
+		v := c.m.rowptr[r] & rowPtrMaskFor(c.m.rowScheme)
+		if v > uint32(c.m.nnz) {
+			return 0, c.m.boundsErr(StructRowPtr, r, v, uint32(c.m.nnz)+1)
+		}
+		return v, nil
+	}
 	g := c.m.rowScheme.RowPtrGroup()
 	grp := r / g
-	if c.check && grp != c.group {
+	if grp != c.group {
 		c.checks++
-		if err := c.m.checkRowGroup(grp, c.commit); err != nil {
+		if _, err := c.m.decodeRowGroup(grp, c.commit, &c.vals); err != nil {
 			return 0, err
 		}
 		c.group = grp
 	}
-	v := c.m.rowptr[r] & rowPtrMaskFor(c.m.rowScheme)
+	v := c.vals[r%g]
 	if v > uint32(c.m.nnz) {
 		return 0, c.m.boundsErr(StructRowPtr, r, v, uint32(c.m.nnz)+1)
 	}
@@ -501,8 +530,9 @@ func (m *Matrix) checkElemSED(k int) error {
 }
 
 // checkElem64 verifies element k under SECDED64, repairing single flips
-// when commit is true.
-func (m *Matrix) checkElem64(k int, commit bool) error {
+// when commit is true. The first return reports whether a correction was
+// found — storage is stale when it was and commit was false.
+func (m *Matrix) checkElem64(k int, commit bool) (bool, error) {
 	cw := ecc.Word4{math.Float64bits(m.vals[k]), uint64(m.colIdx[k])}
 	switch res, _ := codecElem64.Check(&cw); res {
 	case ecc.Corrected:
@@ -511,16 +541,17 @@ func (m *Matrix) checkElem64(k int, commit bool) error {
 			m.colIdx[k] = uint32(cw[1])
 		}
 		m.counters.AddCorrected(1)
-		return nil
+		return true, nil
 	case ecc.Detected:
-		return m.faultErr(StructElements, SECDED64, k, "secded64 double-bit error")
+		return false, m.faultErr(StructElements, SECDED64, k, "secded64 double-bit error")
 	}
-	return nil
+	return false, nil
 }
 
 // checkElemPair verifies element pair t (elements 2t and 2t+1) under
-// SECDED128.
-func (m *Matrix) checkElemPair(t int, commit bool) error {
+// SECDED128. The first return reports whether a correction was found —
+// storage is stale when it was and commit was false.
+func (m *Matrix) checkElemPair(t int, commit bool) (bool, error) {
 	k := 2 * t
 	v0 := math.Float64bits(m.vals[k])
 	v1 := math.Float64bits(m.vals[k+1])
@@ -534,11 +565,11 @@ func (m *Matrix) checkElemPair(t int, commit bool) error {
 			m.colIdx[k+1] = uint32(cw[2] >> 32)
 		}
 		m.counters.AddCorrected(1)
-		return nil
+		return true, nil
 	case ecc.Detected:
-		return m.faultErr(StructElements, SECDED128, t, "secded128 double-bit error")
+		return false, m.faultErr(StructElements, SECDED128, t, "secded128 double-bit error")
 	}
-	return nil
+	return false, nil
 }
 
 // checkElemRowCRC verifies the CRC codeword of the row occupying entries
@@ -546,10 +577,16 @@ func (m *Matrix) checkElemPair(t int, commit bool) error {
 // claimed width exceeds the widest real row means the row pointers
 // themselves are corrupted beyond repair; that is reported as a fault, not
 // a crash.
-func (m *Matrix) checkElemRowCRC(row, lo, hi int, buf []byte, commit bool) error {
+//
+// On return buf[:12*(hi-lo)] always holds the *corrected* row image (the
+// 12-byte value+masked-column records the checksum covers), so a caller
+// that cannot commit a correction to shared storage can still stream the
+// repaired row from buf. The first return reports whether a correction
+// was found — storage is stale when it was and commit was false.
+func (m *Matrix) checkElemRowCRC(row, lo, hi int, buf []byte, commit bool) (bool, error) {
 	n := hi - lo
 	if n < 0 || 12*n > len(buf) || hi > len(m.colIdx) {
-		return m.faultErr(StructElements, CRC32C, row,
+		return false, m.faultErr(StructElements, CRC32C, row,
 			"row bounds exceed the widest row (corrupted row pointers)")
 	}
 	msg := buf[:12*n]
@@ -564,14 +601,16 @@ func (m *Matrix) checkElemRowCRC(row, lo, hi int, buf []byte, commit bool) error
 	}
 	crc := ecc.Checksum(msg, m.backend)
 	if crc == stored {
-		return nil
+		return false, nil
 	}
 	flips, ok := correctCRCCodeword(msg, stored, crc, m.backend)
 	if !ok {
-		return m.faultErr(StructElements, CRC32C, row, "crc32c row mismatch beyond correction depth")
+		return false, m.faultErr(StructElements, CRC32C, row, "crc32c row mismatch beyond correction depth")
 	}
 	for _, f := range flips {
 		if f.inCRC {
+			// Checksum-slot flip: the data records in msg are already
+			// right, only the stored redundancy needs repair.
 			if commit {
 				m.colIdx[lo+f.bit/8] ^= 1 << uint(24+f.bit%8)
 			}
@@ -590,11 +629,12 @@ func (m *Matrix) checkElemRowCRC(row, lo, hi int, buf []byte, commit bool) error
 				m.colIdx[lo+elem] ^= 1 << uint(bit-64)
 			}
 		default:
-			return m.faultErr(StructElements, CRC32C, row, "crc flip located in reserved byte")
+			return false, m.faultErr(StructElements, CRC32C, row, "crc flip located in reserved byte")
 		}
+		msg[f.bit/8] ^= 1 << uint(f.bit%8)
 	}
 	m.counters.AddCorrected(1)
-	return nil
+	return true, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -635,12 +675,14 @@ func (m *Matrix) CheckAll() (corrected int, err error) {
 	case SECDED64:
 		checks += uint64(len(m.colIdx))
 		for k := range m.colIdx {
-			record(m.checkElem64(k, true))
+			_, e := m.checkElem64(k, true)
+			record(e)
 		}
 	case SECDED128:
 		checks += uint64((len(m.colIdx) + 1) / 2)
 		for t := 0; 2*t < len(m.colIdx); t++ {
-			record(m.checkElemPair(t, true))
+			_, e := m.checkElemPair(t, true)
+			record(e)
 		}
 	case CRC32C:
 		checks += uint64(m.rows)
@@ -652,7 +694,8 @@ func (m *Matrix) CheckAll() (corrected int, err error) {
 			hi, e2 := cur.value(r + 1)
 			record(e2)
 			if e == nil && e2 == nil && lo <= hi {
-				record(m.checkElemRowCRC(r, int(lo), int(hi), buf, true))
+				_, e3 := m.checkElemRowCRC(r, int(lo), int(hi), buf, true)
+				record(e3)
 			}
 		}
 	}

@@ -4,8 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-
-	"abft/internal/ecc"
 )
 
 // RowScanner streams fully verified matrix rows to a caller-supplied
@@ -16,31 +14,27 @@ import (
 // element codewords — is checked exactly as a full-check SpMV checks
 // it.
 //
-// In exclusive mode (the default) repairs are committed to storage. In
-// shared mode (Matrix.SetShared) nothing is ever written back, but the
-// visitor still receives the *corrected* values: the scanner decodes
-// each codeword locally, applies the correction to the local copy, and
-// streams from that — the matrix-element analogue of
-// Vector.ReadBlockShared. The stored fault stays for the owner's Scrub
-// to clear.
+// Each row follows the verify-then-stream protocol: the row's codewords
+// are batch-verified once, then the entries stream from storage with
+// only the column mask and range check applied. In exclusive mode (the
+// default) repairs are committed to storage, so a verified row is
+// always streamable. In shared mode (Matrix.SetShared) nothing is ever
+// written back; a row whose verify found a correction it could not
+// commit falls back to a corrective per-element local decode — the
+// matrix-element analogue of Vector.ReadBlockShared — so the visitor
+// still receives the corrected values while the stored fault stays for
+// the owner's Scrub to clear.
 //
 // A scanner carries scratch buffers and codeword memoisation across
 // rows, so one scanner serves a whole sweep; it is not safe for
 // concurrent use. Reset clears the memoisation so a new sweep
 // re-verifies state that may have been corrupted since the last one.
 type RowScanner struct {
-	m   *Matrix
-	cur rowPtrCursor // exclusive-mode row-pointer cursor
-	buf []byte       // CRC32C row scratch
-
-	// Shared-mode caches: locally corrected decodes of the codeword
-	// groups most recently verified.
-	rowGroup int       // row-pointer group held in rowVals, -1 if none
-	rowVals  [8]uint32 // decoded entries of rowGroup (masked)
-	lastPair int       // SECDED128 pair held in pairVals/pairCols
-	pairVals [2]float64
-	pairCols [2]uint32
-	crcRow   int // row whose corrected image is in buf, -1 if none
+	m        *Matrix
+	cur      rowPtrCursor // row-pointer cursor (locally corrected decode)
+	buf      []byte       // CRC32C row scratch
+	lastPair int          // SECDED128 pair memo for verifyRowElems
+	dec      elemDecoder  // corrective fallback for dirty rows
 }
 
 // NewRowScanner returns a scanner over m's rows.
@@ -58,9 +52,8 @@ func (m *Matrix) NewRowScanner() *RowScanner {
 // caught again.
 func (s *RowScanner) Reset() {
 	s.cur = rowPtrCursor{m: s.m, check: s.m.rowScheme != None, commit: !s.m.shared, group: -1}
-	s.rowGroup = -1
 	s.lastPair = -1
-	s.crcRow = -1
+	s.dec.init(s.m)
 }
 
 // Row verifies row r's row-pointer and element codewords and streams
@@ -69,9 +62,6 @@ func (s *RowScanner) Row(r int, fn func(col int, val float64)) error {
 	m := s.m
 	if r < 0 || r >= m.rows {
 		return fmt.Errorf("core: row %d out of range [0,%d)", r, m.rows)
-	}
-	if m.shared {
-		return s.sharedRow(r, fn)
 	}
 	var checks uint64
 	curBefore := s.cur.checks
@@ -90,75 +80,33 @@ func (s *RowScanner) Row(r int, fn func(col int, val float64)) error {
 		return m.boundsErr(StructRowPtr, r, lo32, hi32)
 	}
 	lo, hi := int(lo32), int(hi32)
-	if m.elemScheme == CRC32C {
-		checks++
-		if err := m.checkElemRowCRC(r, lo, hi, s.buf, true); err != nil {
+	dirty := false
+	if m.elemScheme != None {
+		var ec uint64
+		dirty, ec, err = m.verifyRowElems(r, lo, hi, !m.shared, s.buf, &s.lastPair)
+		checks += ec
+		if err != nil {
 			return err
 		}
 	}
-	colMask := colMaskFor(m.elemScheme)
-	for k := lo; k < hi; k++ {
-		switch m.elemScheme {
-		case SED:
-			checks++
-			if err := m.checkElemSED(k); err != nil {
-				return err
-			}
-		case SECDED64:
-			checks++
-			if err := m.checkElem64(k, true); err != nil {
-				return err
-			}
-		case SECDED128:
-			if t := k / 2; t != s.lastPair {
-				checks++
-				if err := m.checkElemPair(t, true); err != nil {
-					return err
-				}
-				s.lastPair = t
-			}
-		}
+	switch {
+	case !dirty:
 		// Unlike SpMV's raw baseline path, the range check also runs for
 		// unprotected matrices: visitors index by the column we hand
 		// them, so the check is what turns a corrupted index into a
 		// classified fault instead of a crash (paper's range-check
 		// rationale).
-		col := m.colIdx[k] & colMask
-		if col >= uint32(m.cols) {
-			return m.boundsErr(StructElements, k, col, uint32(m.cols))
-		}
-		fn(int(col), m.vals[k])
-	}
-	return nil
-}
-
-// sharedRow is Row under the no-commit discipline: every codeword is
-// verified and decoded into scanner-local storage, corrections applied
-// to the local copy only, and the visitor fed from that copy.
-func (s *RowScanner) sharedRow(r int, fn func(col int, val float64)) error {
-	m := s.m
-	var checks uint64
-	defer func() { m.counters.AddChecks(checks) }()
-	lo32, err := s.sharedRowPtr(r, &checks)
-	if err != nil {
-		return err
-	}
-	hi32, err := s.sharedRowPtr(r+1, &checks)
-	if err != nil {
-		return err
-	}
-	if lo32 > hi32 {
-		return m.boundsErr(StructRowPtr, r, lo32, hi32)
-	}
-	lo, hi := int(lo32), int(hi32)
-
-	if m.elemScheme == CRC32C {
-		if s.crcRow != r {
-			checks++
-			if err := s.decodeRowCRC(r, lo, hi); err != nil {
-				return err
+		colMask := colMaskFor(m.elemScheme)
+		for k := lo; k < hi; k++ {
+			col := m.colIdx[k] & colMask
+			if col >= uint32(m.cols) {
+				return m.boundsErr(StructElements, k, col, uint32(m.cols))
 			}
+			fn(int(col), m.vals[k])
 		}
+	case m.elemScheme == CRC32C:
+		// Dirty CRC row: stream the corrected row image the verify left
+		// in the scratch buffer.
 		for j := 0; j < hi-lo; j++ {
 			col := binary.LittleEndian.Uint32(s.buf[12*j+8:]) & eccColMask
 			if col >= uint32(m.cols) {
@@ -166,191 +114,17 @@ func (s *RowScanner) sharedRow(r int, fn func(col int, val float64)) error {
 			}
 			fn(int(col), math.Float64frombits(binary.LittleEndian.Uint64(s.buf[12*j:])))
 		}
-		return nil
-	}
-
-	for k := lo; k < hi; k++ {
-		var col uint32
-		var val float64
-		switch m.elemScheme {
-		case None:
-			// Still range-checked below: visitors index by this column.
-			col, val = m.colIdx[k], m.vals[k]
-		case SED:
-			checks++
-			if err := m.checkElemSED(k); err != nil {
+	default:
+		// Dirty SECDED row: corrective per-element local decode.
+		for k := lo; k < hi; k++ {
+			col, val, err := s.dec.at(k)
+			if err != nil {
 				return err
 			}
-			col, val = m.colIdx[k]&sedColMask, m.vals[k]
-		case SECDED64:
-			checks++
-			cw := ecc.Word4{math.Float64bits(m.vals[k]), uint64(m.colIdx[k])}
-			switch res, _ := codecElem64.Check(&cw); res {
-			case ecc.Corrected:
-				m.counters.AddCorrected(1)
-			case ecc.Detected:
-				return m.faultErr(StructElements, SECDED64, k, "secded64 double-bit error")
+			if col >= uint32(m.cols) {
+				return m.boundsErr(StructElements, k, col, uint32(m.cols))
 			}
-			col, val = uint32(cw[1])&eccColMask, math.Float64frombits(cw[0])
-		case SECDED128:
-			if t := k / 2; t != s.lastPair {
-				checks++
-				v0 := math.Float64bits(m.vals[2*t])
-				v1 := math.Float64bits(m.vals[2*t+1])
-				cw := ecc.Word4{v0, uint64(m.colIdx[2*t]) | v1<<32, v1>>32 | uint64(m.colIdx[2*t+1])<<32}
-				switch res, _ := codecElem128.Check(&cw); res {
-				case ecc.Corrected:
-					m.counters.AddCorrected(1)
-				case ecc.Detected:
-					return m.faultErr(StructElements, SECDED128, t, "secded128 double-bit error")
-				}
-				s.pairVals[0] = math.Float64frombits(cw[0])
-				s.pairCols[0] = uint32(cw[1]) & eccColMask
-				s.pairVals[1] = math.Float64frombits(cw[1]>>32 | cw[2]<<32)
-				s.pairCols[1] = uint32(cw[2]>>32) & eccColMask
-				s.lastPair = t
-			}
-			col, val = s.pairCols[k%2], s.pairVals[k%2]
-		}
-		if col >= uint32(m.cols) {
-			return m.boundsErr(StructElements, k, col, uint32(m.cols))
-		}
-		fn(int(col), val)
-	}
-	return nil
-}
-
-// decodeRowCRC verifies row r's CRC codeword into s.buf, applying any
-// located correction to the local copy only.
-func (s *RowScanner) decodeRowCRC(r, lo, hi int) error {
-	m := s.m
-	n := hi - lo
-	if n < 0 || 12*n > len(s.buf) || hi > len(m.colIdx) {
-		return m.faultErr(StructElements, CRC32C, r,
-			"row bounds exceed the widest row (corrupted row pointers)")
-	}
-	msg := s.buf[:12*n]
-	var stored uint32
-	for j := 0; j < n; j++ {
-		c := m.colIdx[lo+j]
-		binary.LittleEndian.PutUint64(msg[12*j:], math.Float64bits(m.vals[lo+j]))
-		binary.LittleEndian.PutUint32(msg[12*j+8:], c&eccColMask)
-		if j < 4 {
-			stored |= (c >> 24) << (8 * uint(j))
-		}
-	}
-	if crc := ecc.Checksum(msg, m.backend); crc != stored {
-		flips, ok := correctCRCCodeword(msg, stored, crc, m.backend)
-		if !ok {
-			return m.faultErr(StructElements, CRC32C, r, "crc32c row mismatch beyond correction depth")
-		}
-		for _, f := range flips {
-			if f.inCRC {
-				continue // checksum-slot flip: the data copy is already right
-			}
-			if f.bit%96 >= 88 {
-				return m.faultErr(StructElements, CRC32C, r, "crc flip located in reserved byte")
-			}
-			msg[f.bit/8] ^= 1 << uint(f.bit%8)
-		}
-		m.counters.AddCorrected(1)
-	}
-	s.crcRow = r
-	return nil
-}
-
-// sharedRowPtr returns row-pointer entry idx through a locally
-// corrected decode of its codeword group, verifying each group once
-// per sweep.
-func (s *RowScanner) sharedRowPtr(idx int, checks *uint64) (uint32, error) {
-	m := s.m
-	if m.rowScheme == None {
-		v := m.rowptr[idx]
-		if v > uint32(m.nnz) {
-			return 0, m.boundsErr(StructRowPtr, idx, v, uint32(m.nnz)+1)
-		}
-		return v, nil
-	}
-	g := m.rowScheme.RowPtrGroup()
-	grp := idx / g
-	if grp != s.rowGroup {
-		*checks++
-		if err := s.decodeRowGroup(grp); err != nil {
-			return 0, err
-		}
-		s.rowGroup = grp
-	}
-	v := s.rowVals[idx%g]
-	if v > uint32(m.nnz) {
-		return 0, m.boundsErr(StructRowPtr, idx, v, uint32(m.nnz)+1)
-	}
-	return v, nil
-}
-
-// decodeRowGroup verifies row-pointer group grp into s.rowVals with
-// corrections applied locally — the no-commit mirror of checkRowGroup.
-func (s *RowScanner) decodeRowGroup(grp int) error {
-	m := s.m
-	switch m.rowScheme {
-	case SED:
-		r := m.rowptr[grp]
-		if ecc.Parity64(uint64(r)) != 0 {
-			return m.faultErr(StructRowPtr, SED, grp, "parity mismatch")
-		}
-		s.rowVals[0] = r & sedColMask
-	case SECDED64:
-		e := m.rowptr[2*grp : 2*grp+2]
-		cw := ecc.Word4{uint64(e[0]) | uint64(e[1])<<32}
-		switch res, _ := codecRow64.Check(&cw); res {
-		case ecc.Corrected:
-			m.counters.AddCorrected(1)
-		case ecc.Detected:
-			return m.faultErr(StructRowPtr, SECDED64, grp, "secded double-bit error")
-		}
-		s.rowVals[0] = uint32(cw[0]) & rowPtrMask
-		s.rowVals[1] = uint32(cw[0]>>32) & rowPtrMask
-	case SECDED128:
-		e := m.rowptr[4*grp : 4*grp+4]
-		cw := ecc.Word4{
-			uint64(e[0]) | uint64(e[1])<<32,
-			uint64(e[2]) | uint64(e[3])<<32,
-		}
-		switch res, _ := codecRow128.Check(&cw); res {
-		case ecc.Corrected:
-			m.counters.AddCorrected(1)
-		case ecc.Detected:
-			return m.faultErr(StructRowPtr, SECDED128, grp, "secded double-bit error")
-		}
-		s.rowVals[0] = uint32(cw[0]) & rowPtrMask
-		s.rowVals[1] = uint32(cw[0]>>32) & rowPtrMask
-		s.rowVals[2] = uint32(cw[1]) & rowPtrMask
-		s.rowVals[3] = uint32(cw[1]>>32) & rowPtrMask
-	case CRC32C:
-		e := m.rowptr[8*grp : 8*grp+8]
-		var buf [32]byte
-		var stored uint32
-		for i, x := range e {
-			binary.LittleEndian.PutUint32(buf[4*i:], x&rowPtrMask)
-			stored |= (x >> 28) << (4 * uint(i))
-		}
-		if crc := ecc.Checksum(buf[:], m.backend); crc != stored {
-			flips, ok := correctCRCCodeword(buf[:], stored, crc, m.backend)
-			if !ok {
-				return m.faultErr(StructRowPtr, CRC32C, grp, "crc32c mismatch beyond correction depth")
-			}
-			for _, f := range flips {
-				if f.inCRC {
-					continue
-				}
-				if f.bit%32 >= 28 {
-					return m.faultErr(StructRowPtr, CRC32C, grp, "crc flip located in reserved bits")
-				}
-				buf[f.bit/8] ^= 1 << uint(f.bit%8)
-			}
-			m.counters.AddCorrected(1)
-		}
-		for i := range s.rowVals {
-			s.rowVals[i] = binary.LittleEndian.Uint32(buf[4*i:])
+			fn(int(col), val)
 		}
 	}
 	return nil

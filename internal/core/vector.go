@@ -280,6 +280,40 @@ func (v *Vector) ReadBlockShared(b int, dst *[vecBlock]float64) error {
 	return v.readBlock(b, dst, false)
 }
 
+// ReadBlocksInto verifies blocks [b0,b1) and stores their masked values
+// into dst, which must hold at least (b1-b0)*4 elements. It is the
+// block-verified sweep primitive: one call verifies a whole contiguous
+// span and batches the check accounting into the counters once, instead
+// of per-block atomic updates. Corrections are committed to storage.
+// Callers that sweep many consecutive blocks (preconditioner decodes,
+// halo packing) use it in place of per-block ReadBlock loops.
+func (v *Vector) ReadBlocksInto(b0, b1 int, dst []float64) error {
+	return v.readBlocks(b0, b1, dst, true)
+}
+
+// ReadBlocksSharedInto is ReadBlocksInto under the no-commit discipline
+// of ReadBlockShared: corrections are used for the returned values (and
+// counted) but never written back, so concurrent readers never race.
+func (v *Vector) ReadBlocksSharedInto(b0, b1 int, dst []float64) error {
+	return v.readBlocks(b0, b1, dst, false)
+}
+
+func (v *Vector) readBlocks(b0, b1 int, dst []float64, commit bool) error {
+	if b0 < 0 || b1 > v.Blocks() || b0 > b1 {
+		return fmt.Errorf("core: block range [%d,%d) out of range [0,%d)", b0, b1, v.Blocks())
+	}
+	if len(dst) < (b1-b0)*vecBlock {
+		return fmt.Errorf("core: ReadBlocks destination too short: %d < %d", len(dst), (b1-b0)*vecBlock)
+	}
+	v.counters.AddChecks(uint64(b1-b0) * v.checksPerBlock())
+	for b := b0; b < b1; b++ {
+		if err := v.readBlock(b, (*[vecBlock]float64)(dst[(b-b0)*vecBlock:]), commit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ReadBlockNoCheck returns the masked values of block b without integrity
 // checking; the less-frequent-checking mode uses it for vectors that are
 // known-clean within the interval. Exposed for kernels and tests.

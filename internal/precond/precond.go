@@ -236,11 +236,25 @@ func vecChecks(v *core.Vector, blocks int) {
 }
 
 // decode verifies the whole state vector into dst (len >= v.Len()),
-// respecting the shared no-commit discipline.
+// respecting the shared no-commit discipline. Blocks fully covered by
+// dst are batch-verified in one ReadBlocks sweep; only a partial tail
+// block falls back to a buffered per-block read.
 func decode(v *core.Vector, dst []float64, shared bool) error {
+	nb := v.Blocks()
+	full := len(dst) / blockLen
+	if full > nb {
+		full = nb
+	}
+	read := v.ReadBlocksInto
+	if shared {
+		read = v.ReadBlocksSharedInto
+	}
+	if err := read(0, full, dst[:full*blockLen]); err != nil {
+		return err
+	}
 	var buf [blockLen]float64
-	vecChecks(v, v.Blocks())
-	for b := 0; b < v.Blocks(); b++ {
+	vecChecks(v, nb-full)
+	for b := full; b < nb; b++ {
 		if err := readBlk(v, b, &buf, shared); err != nil {
 			return err
 		}

@@ -356,7 +356,9 @@ func (m *Matrix) checkSED(k int) error {
 }
 
 // check64 verifies element k, repairing single flips when commit is true.
-func (m *Matrix) check64(k int, commit bool) error {
+// The first return reports whether a correction was found — storage is
+// stale when it was and commit was false.
+func (m *Matrix) check64(k int, commit bool) (bool, error) {
 	cw := ecc.Word4{math.Float64bits(m.vals[k]), uint64(m.colIdx[k])}
 	switch res, _ := codecElem64.Check(&cw); res {
 	case ecc.Corrected:
@@ -365,14 +367,17 @@ func (m *Matrix) check64(k int, commit bool) error {
 			m.colIdx[k] = uint32(cw[1])
 		}
 		m.counters.AddCorrected(1)
+		return true, nil
 	case ecc.Detected:
-		return m.fault(k, "secded64 double-bit error")
+		return false, m.fault(k, "secded64 double-bit error")
 	}
-	return nil
+	return false, nil
 }
 
-// checkPair verifies element pair t (storage entries 2t and 2t+1).
-func (m *Matrix) checkPair(t int, commit bool) error {
+// checkPair verifies element pair t (storage entries 2t and 2t+1). The
+// first return reports whether a correction was found — storage is stale
+// when it was and commit was false.
+func (m *Matrix) checkPair(t int, commit bool) (bool, error) {
 	k := 2 * t
 	v0 := math.Float64bits(m.vals[k])
 	v1 := math.Float64bits(m.vals[k+1])
@@ -386,15 +391,18 @@ func (m *Matrix) checkPair(t int, commit bool) error {
 			m.colIdx[k+1] = uint32(cw[2] >> 32)
 		}
 		m.counters.AddCorrected(1)
+		return true, nil
 	case ecc.Detected:
-		return m.fault(t, "secded128 double-bit error")
+		return false, m.fault(t, "secded128 double-bit error")
 	}
-	return nil
+	return false, nil
 }
 
 // checkLaneCRC verifies the CRC codeword of lane l in slice sl; buf must
-// hold 12*sliceWidth bytes of scratch.
-func (m *Matrix) checkLaneCRC(sl, l int, buf []byte, commit bool) error {
+// hold 12*sliceWidth bytes of scratch. The first return reports whether a
+// correction was found — storage is stale when it was and commit was
+// false.
+func (m *Matrix) checkLaneCRC(sl, l int, buf []byte, commit bool) (bool, error) {
 	n := m.sliceWidth(sl)
 	msg := buf[:12*n]
 	var stored uint32
@@ -408,11 +416,11 @@ func (m *Matrix) checkLaneCRC(sl, l int, buf []byte, commit bool) error {
 	}
 	crc := ecc.Checksum(msg, m.backend)
 	if crc == stored {
-		return nil
+		return false, nil
 	}
 	flips, ok := ecc.CorrectCodeword(msg, stored, crc)
 	if !ok {
-		return m.fault(sl*C+l, "crc32c lane mismatch beyond correction depth")
+		return false, m.fault(sl*C+l, "crc32c lane mismatch beyond correction depth")
 	}
 	for _, f := range flips {
 		if f.InCRC {
@@ -433,21 +441,28 @@ func (m *Matrix) checkLaneCRC(sl, l int, buf []byte, commit bool) error {
 				m.colIdx[k] ^= 1 << uint(bit-64)
 			}
 		default:
-			return m.fault(sl*C+l, "crc flip located in reserved byte")
+			return false, m.fault(sl*C+l, "crc flip located in reserved byte")
 		}
 	}
 	m.counters.AddCorrected(1)
-	return nil
+	return true, nil
 }
 
-// checkSlice verifies every codeword of slice sl in storage order,
-// repairing correctable errors when commit is true. It returns the number
-// of codeword checks performed alongside the first error.
-func (m *Matrix) checkSlice(sl int, buf []byte, commit bool) (checks uint64, err error) {
+// checkSlice verifies every codeword of slice sl in storage order in one
+// tight per-scheme pass, repairing correctable errors when commit is
+// true — the batch-verify half of the verify-then-stream protocol. It
+// returns whether the slice is dirty (a correction was found but not
+// committed, so storage still holds a raw fault and the caller must take
+// the corrective lane decode instead of streaming storage), the number
+// of codeword checks performed, and the first error.
+func (m *Matrix) checkSlice(sl int, buf []byte, commit bool) (dirty bool, checks uint64, err error) {
 	lo, hi := int(m.slicePtr[sl]), int(m.slicePtr[sl+1])
-	record := func(e error) {
+	record := func(corrected bool, e error) {
 		if e != nil && err == nil {
 			err = e
+		}
+		if corrected && !commit {
+			dirty = true
 		}
 	}
 	switch m.scheme {
@@ -455,7 +470,7 @@ func (m *Matrix) checkSlice(sl int, buf []byte, commit bool) (checks uint64, err
 	case core.SED:
 		for k := lo; k < hi; k++ {
 			checks++
-			record(m.checkSED(k))
+			record(false, m.checkSED(k))
 		}
 	case core.SECDED64:
 		for k := lo; k < hi; k++ {
@@ -473,7 +488,7 @@ func (m *Matrix) checkSlice(sl int, buf []byte, commit bool) (checks uint64, err
 			record(m.checkLaneCRC(sl, l, buf, commit))
 		}
 	}
-	return checks, err
+	return dirty, checks, err
 }
 
 // CheckAll verifies and repairs every codeword, returning the number of
@@ -492,7 +507,7 @@ func (m *Matrix) CheckAll() (corrected int, err error) {
 	}
 	var checks uint64
 	for sl := 0; sl < m.Slices(); sl++ {
-		n, e := m.checkSlice(sl, buf, true)
+		_, n, e := m.checkSlice(sl, buf, true)
 		checks += n
 		if e != nil && err == nil {
 			err = e
@@ -585,10 +600,20 @@ func (m *Matrix) applyWindow(dst *core.Vector, xbuf, acc []float64, buf []byte, 
 	defer func() { m.counters.AddChecks(checks) }()
 	for sl := slo; sl < shi; sl++ {
 		if m.scheme != core.None {
-			n, err := m.checkSlice(sl, buf, !m.shared)
+			dirty, n, err := m.checkSlice(sl, buf, !m.shared)
 			checks += n
 			if err != nil {
 				return err
+			}
+			if dirty {
+				// Shared-mode slice whose verify found a correction it
+				// could not commit: storage still holds the raw fault, so
+				// take the corrective per-lane local decode instead of
+				// streaming storage.
+				if err := m.applySliceLocal(acc, xbuf, buf, sl, base); err != nil {
+					return err
+				}
+				continue
 			}
 		}
 		width := m.sliceWidth(sl)
@@ -622,6 +647,112 @@ func (m *Matrix) applyWindow(dst *core.Vector, xbuf, acc []float64, buf []byte, 
 			}
 		}
 		dst.WriteBlock(blk, &out)
+	}
+	return nil
+}
+
+// applySliceLocal accumulates slice sl's lanes into acc with every
+// codeword decoded into locals — the corrective fallback of the
+// verify-then-stream protocol for shared matrices: the slice verify
+// found a correction it could not commit, so storage cannot be streamed
+// and each element is re-decoded with corrections applied to the local
+// copy only. The verify pass already accounted the checks and
+// corrections, so this path deliberately counts nothing.
+func (m *Matrix) applySliceLocal(acc, xbuf []float64, buf []byte, sl, base int) error {
+	width := m.sliceWidth(sl)
+	for l := 0; l < C; l++ {
+		r := m.perm[sl*C+l]
+		if r == padRow {
+			continue
+		}
+		if m.scheme == core.CRC32C {
+			// Rebuild this lane's corrected image: checkSlice shares one
+			// scratch buffer across the four lanes, so by the time the
+			// slice is known dirty the buffer only holds the last lane.
+			if err := m.decodeLaneCRC(sl, l, buf); err != nil {
+				return err
+			}
+		}
+		var sum float64
+		for j := 0; j < width; j++ {
+			k := m.entryIndex(sl, l, j)
+			var col uint32
+			var val float64
+			switch m.scheme {
+			case core.SECDED64:
+				cw := ecc.Word4{math.Float64bits(m.vals[k]), uint64(m.colIdx[k])}
+				if res, _ := codecElem64.Check(&cw); res == ecc.Detected {
+					return m.fault(k, "secded64 double-bit error")
+				}
+				col = uint32(cw[1]) & eccColMask
+				val = math.Float64frombits(cw[0])
+			case core.SECDED128:
+				t := k / 2
+				v0 := math.Float64bits(m.vals[2*t])
+				v1 := math.Float64bits(m.vals[2*t+1])
+				cw := ecc.Word4{v0, uint64(m.colIdx[2*t]) | v1<<32, v1>>32 | uint64(m.colIdx[2*t+1])<<32}
+				if res, _ := codecElem128.Check(&cw); res == ecc.Detected {
+					return m.fault(t, "secded128 double-bit error")
+				}
+				if k%2 == 0 {
+					col = uint32(cw[1]) & eccColMask
+					val = math.Float64frombits(cw[0])
+				} else {
+					col = uint32(cw[2]>>32) & eccColMask
+					val = math.Float64frombits(cw[1]>>32 | cw[2]<<32)
+				}
+			case core.CRC32C:
+				col = binary.LittleEndian.Uint32(buf[12*j+8:]) & eccColMask
+				val = math.Float64frombits(binary.LittleEndian.Uint64(buf[12*j:]))
+			default:
+				// SED is detect-only, so a slice can never be dirty.
+				col = m.colIdx[k] & m.colMask()
+				val = m.vals[k]
+			}
+			if col >= uint32(m.cols) {
+				m.counters.AddBounds(1)
+				return &core.BoundsError{Structure: core.StructElements, Index: k,
+					Value: col, Limit: uint32(m.cols)}
+			}
+			sum += val * xbuf[col]
+		}
+		acc[int(r)-base] = sum
+	}
+	return nil
+}
+
+// decodeLaneCRC reconstructs lane l of slice sl into buf with any
+// correctable flips patched into the local image, writing nothing back
+// and counting nothing: the uncounted re-decode behind applySliceLocal.
+func (m *Matrix) decodeLaneCRC(sl, l int, buf []byte) error {
+	n := m.sliceWidth(sl)
+	msg := buf[:12*n]
+	var stored uint32
+	for j := 0; j < n; j++ {
+		k := m.entryIndex(sl, l, j)
+		c := m.colIdx[k]
+		binary.LittleEndian.PutUint64(msg[12*j:], math.Float64bits(m.vals[k]))
+		binary.LittleEndian.PutUint32(msg[12*j+8:], c&eccColMask)
+		if j < 4 {
+			stored |= (c >> 24) << (8 * uint(j))
+		}
+	}
+	crc := ecc.Checksum(msg, m.backend)
+	if crc == stored {
+		return nil
+	}
+	flips, ok := ecc.CorrectCodeword(msg, stored, crc)
+	if !ok {
+		return m.fault(sl*C+l, "crc32c lane mismatch beyond correction depth")
+	}
+	for _, f := range flips {
+		if f.InCRC {
+			continue
+		}
+		if f.Bit%96 >= 88 {
+			return m.fault(sl*C+l, "crc flip located in reserved byte")
+		}
+		msg[f.Bit/8] ^= 1 << uint(f.Bit%8)
 	}
 	return nil
 }

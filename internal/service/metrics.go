@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"abft/internal/op"
 )
 
 // handleMetrics renders the service state in the Prometheus text
@@ -34,6 +36,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "abftd_jobs_total{state=\"failed\"} %d\n", s.jobsFailed.Load())
 	counter("abftd_jobs_rejected_total", "Jobs rejected by a full queue.", s.jobsRejected.Load())
 	counter("abftd_jobs_sharded_total", "Jobs enqueued to solve over a sharded operator.", s.jobsSharded.Load())
+	counter("abftd_jobs_autotuned_total", "Jobs admitted with at least one auto-selected knob.", s.jobsAutotuned.Load())
+	fmt.Fprintf(w, "# HELP abftd_autotune_format_total Auto-selected storage formats at admission.\n")
+	fmt.Fprintf(w, "# TYPE abftd_autotune_format_total counter\n")
+	for f := range s.autotunedFormats {
+		fmt.Fprintf(w, "abftd_autotune_format_total{format=%q} %d\n",
+			op.Format(f).String(), s.autotunedFormats[f].Load())
+	}
 	counter("abftd_jobs_recovered_total", "Jobs that finished after solver checkpoint rollbacks.", s.jobsRecovered.Load())
 	counter("abftd_jobs_retried_total", "Jobs retried against a rebuilt operator after a fault survived solver recovery.", s.jobsRetried.Load())
 	counter("abftd_solver_rollbacks_total", "Solver checkpoint rollbacks across all jobs.", s.rollbacks.Load())

@@ -68,6 +68,7 @@ type job struct {
 	req    SolveRequest
 	params solveParams
 	plain  *csr.Matrix
+	tuned  *AutotuneDecision
 	key    string
 
 	mu     sync.Mutex
@@ -158,6 +159,11 @@ type Server struct {
 	rollbacks       atomic.Uint64
 	recomputedIters atomic.Uint64
 	inflight        atomic.Int64
+	// Autotuning accounting: jobs admitted with at least one
+	// auto-selected knob, and the auto-selected storage formats indexed
+	// by op.Format.
+	jobsAutotuned    atomic.Uint64
+	autotunedFormats [3]atomic.Uint64
 }
 
 // New builds and starts a service: the worker pool begins draining the
@@ -287,12 +293,29 @@ func (s *Server) admit(req SolveRequest) (*job, error) {
 	if len(req.B) > 0 && len(req.B) != plain.Rows() {
 		return nil, fmt.Errorf("rhs length %d does not match %d rows", len(req.B), plain.Rows())
 	}
+	// Admission-time autotuning: after shard finalization has clamped
+	// the requested band count (so a shard format that no longer applies
+	// cannot pin the layout), knobs the request left unpinned are filled
+	// from the operator's structural profile. A second finalization then
+	// re-establishes the shard/format/knob invariants over the tuned
+	// values, so they flow through exactly the clamping and cache-key
+	// path a pinned request takes.
 	params.finalizeShards(plain.Rows())
+	tuned := autotune(&req, &params, plain, s.cfg)
+	if tuned != nil {
+		params.finalizeShards(plain.Rows())
+		if tuned.Shards > 0 {
+			// Echo the post-clamp band count (0 when clamping collapsed
+			// the sharded solve back to a single band).
+			tuned.Shards = params.shards
+		}
+	}
 	return &job{
 		id:     fmt.Sprintf("j%08d", s.nextID.Add(1)),
 		req:    req,
 		params: params,
 		plain:  plain,
+		tuned:  tuned,
 		key:    operatorKey(plain, params),
 		state:  StateQueued,
 		done:   make(chan struct{}),
@@ -316,6 +339,12 @@ func (s *Server) enqueue(j *job) error {
 		s.inflight.Add(1)
 		if j.params.shards > 1 {
 			s.jobsSharded.Add(1)
+		}
+		if j.tuned != nil {
+			s.jobsAutotuned.Add(1)
+			if j.tuned.Format != "" {
+				s.autotunedFormats[j.params.format].Add(1)
+			}
 		}
 		return nil
 	default:

@@ -204,6 +204,7 @@ func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
 	snap := jc.Snapshot()
 	return &SolveResult{
 		X:                    out,
+		Autotune:             j.tuned,
 		Iterations:           sres.Iterations,
 		ResidualNorm:         sres.ResidualNorm,
 		Converged:            sres.Converged,

@@ -303,6 +303,10 @@ type SolveResult struct {
 	// solver-level recovery could not clear and the service retried it
 	// against a freshly built operator.
 	Retried bool `json:"retried,omitempty"`
+	// Autotune records the admission-time profile and the knobs the
+	// service auto-selected because the request left them unpinned (nil
+	// when every tunable knob was pinned).
+	Autotune *AutotuneDecision `json:"autotune,omitempty"`
 	// Checks/Corrected/Detected/Bounds are the ABFT counter deltas this
 	// job contributed.
 	Checks    uint64 `json:"checks"`

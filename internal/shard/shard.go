@@ -36,6 +36,12 @@ import (
 // codeword block of a global vector.
 const blockLen = 4
 
+// packChunk is how many vector blocks one batched verified read covers
+// during scatter and gather: large enough to amortise the per-call
+// verify accounting, small enough to keep the stack-friendly scratch
+// buffer out of the allocator's large-object path.
+const packChunk = 64
+
 // Phase names one bulk-synchronous step of a sharded Apply; the phase
 // hook receives it after the step's barrier.
 type Phase int
@@ -414,19 +420,25 @@ func (o *Operator) Apply(dst, x *core.Vector, workers int) error {
 		localWorkers = 1
 	}
 
-	// Scatter: each shard verifies its own blocks of the global x and
-	// re-encodes them into its local interior. Band boundaries are
-	// block-aligned, so shards never touch a shared codeword of x.
+	// Scatter: each shard batch-verifies its own span of the global x
+	// (one ReadBlocksInto call per chunk instead of a per-block check
+	// loop) and re-encodes it into its local interior. Band boundaries
+	// are block-aligned, so shards never touch a shared codeword of x.
 	err := o.forEachBand(func(bi int, b *band) error {
-		var buf [blockLen]float64
+		var buf [packChunk * blockLen]float64
 		b0 := b.r0 / blockLen
 		nb := (b.rows() + blockLen - 1) / blockLen
-		vecChecks(x, nb)
-		for k := 0; k < nb; k++ {
-			if err := x.ReadBlock(b0+k, &buf); err != nil {
+		for k := 0; k < nb; k += packChunk {
+			cn := packChunk
+			if nb-k < cn {
+				cn = nb - k
+			}
+			if err := x.ReadBlocksInto(b0+k, b0+k+cn, buf[:cn*blockLen]); err != nil {
 				return fmt.Errorf("shard: scatter into shard %d: %w", bi, err)
 			}
-			ws.x[bi].WriteBlock(k, &buf)
+			for j := 0; j < cn; j++ {
+				ws.x[bi].WriteBlock(k+j, (*[blockLen]float64)(buf[j*blockLen:]))
+			}
 		}
 		return nil
 	})
@@ -446,15 +458,20 @@ func (o *Operator) Apply(dst, x *core.Vector, workers int) error {
 		if err := b.m.Apply(ws.y[bi], ws.x[bi], localWorkers); err != nil {
 			return fmt.Errorf("shard: shard %d: %w", bi, err)
 		}
-		var buf [blockLen]float64
+		var buf [packChunk * blockLen]float64
 		b0 := b.r0 / blockLen
 		nb := (b.rows() + blockLen - 1) / blockLen
-		vecChecks(ws.y[bi], nb)
-		for k := 0; k < nb; k++ {
-			if err := ws.y[bi].ReadBlock(k, &buf); err != nil {
+		for k := 0; k < nb; k += packChunk {
+			cn := packChunk
+			if nb-k < cn {
+				cn = nb - k
+			}
+			if err := ws.y[bi].ReadBlocksInto(k, k+cn, buf[:cn*blockLen]); err != nil {
 				return fmt.Errorf("shard: gather from shard %d: %w", bi, err)
 			}
-			dst.WriteBlock(b0+k, &buf)
+			for j := 0; j < cn; j++ {
+				dst.WriteBlock(b0+k+j, (*[blockLen]float64)(buf[j*blockLen:]))
+			}
 		}
 		return nil
 	})
@@ -466,36 +483,56 @@ func (o *Operator) Apply(dst, x *core.Vector, workers int) error {
 }
 
 // exchange fills every shard's halo section from the owning shards'
-// local vectors: each boundary entry is integrity-checked as it is
-// packed from the owner (without committing repairs — several shards
-// may read one source block concurrently) and re-encoded as it lands in
-// the destination halo, so corruption in either shard's memory is
-// caught at the boundary.
+// local vectors through the batched verify-then-stream pack path: the
+// ascending halo columns are split into runs owned by one shard and
+// spanning a contiguous range of source blocks, each run's blocks are
+// verified in a single ReadBlocksSharedInto call (without committing
+// repairs — several shards may read one source block concurrently), and
+// the entries are re-encoded as they land in the destination halo, so
+// corruption in either shard's memory is still caught at the boundary.
 func (o *Operator) exchange(ws *workspace) error {
 	return o.forEachBand(func(bi int, b *band) error {
-		if len(b.haloCols) == 0 {
+		n := len(b.haloCols)
+		if n == 0 {
 			return nil
 		}
-		var src, out [blockLen]float64
-		curOwner, curBlk := -1, -1
-		for k, c := range b.haloCols {
-			ow := o.owner(int(c))
-			r0 := o.bands[ow].r0
-			blk := (int(c) - r0) / blockLen
-			if ow != curOwner || blk != curBlk {
-				if err := ws.x[ow].ReadBlockShared(blk, &src); err != nil {
-					return fmt.Errorf("shard: pack shard %d for shard %d: %w", ow, bi, err)
+		var out [blockLen]float64
+		var src []float64
+		for k := 0; k < n; {
+			// Grow a run: same owner, and each column's source block at
+			// most one beyond the last, so every block in [blk0, blkEnd]
+			// holds at least one needed entry — the batched read never
+			// verifies a block the per-block path would have skipped.
+			ow := o.owner(int(b.haloCols[k]))
+			r0, r1 := o.bands[ow].r0, o.bands[ow].r1
+			blk0 := (int(b.haloCols[k]) - r0) / blockLen
+			end, blkEnd := k+1, blk0
+			for end < n && int(b.haloCols[end]) < r1 {
+				blk := (int(b.haloCols[end]) - r0) / blockLen
+				if blk > blkEnd+1 {
+					break
 				}
-				vecChecks(ws.x[ow], 1)
-				curOwner, curBlk = ow, blk
+				blkEnd = blk
+				end++
 			}
-			out[k%blockLen] = src[(int(c)-r0)%blockLen]
-			if k%blockLen == blockLen-1 {
-				ws.x[bi].WriteBlock(b.interiorPad/blockLen+k/blockLen, &out)
-				out = [blockLen]float64{}
+			need := (blkEnd - blk0 + 1) * blockLen
+			if cap(src) < need {
+				src = make([]float64, need)
+			}
+			src = src[:need]
+			if err := ws.x[ow].ReadBlocksSharedInto(blk0, blkEnd+1, src); err != nil {
+				return fmt.Errorf("shard: pack shard %d for shard %d: %w", ow, bi, err)
+			}
+			for ; k < end; k++ {
+				lc := int(b.haloCols[k]) - r0
+				out[k%blockLen] = src[lc-blk0*blockLen]
+				if k%blockLen == blockLen-1 {
+					ws.x[bi].WriteBlock(b.interiorPad/blockLen+k/blockLen, &out)
+					out = [blockLen]float64{}
+				}
 			}
 		}
-		if n := len(b.haloCols); n%blockLen != 0 {
+		if n%blockLen != 0 {
 			ws.x[bi].WriteBlock(b.interiorPad/blockLen+(n-1)/blockLen, &out)
 		}
 		return nil
