@@ -7,28 +7,39 @@
 // Usage:
 //
 //	abftd -addr :8080 -workers 8 -cache 32 -scrub 5s
+//	abftd -log-level debug -debug-addr 127.0.0.1:6060
 //
 // Endpoints:
 //
-//	POST /v1/solve       submit a solve (append ?wait=1 to block)
-//	GET  /v1/jobs/{id}   poll a job
-//	GET  /healthz        liveness
-//	GET  /metrics        Prometheus text metrics
+//	POST /v1/solve             submit a solve (append ?wait=1 to block)
+//	GET  /v1/jobs/{id}         poll a job
+//	GET  /v1/jobs/{id}/trace   per-stage solve trace with residual history
+//	GET  /v1/events            recent fault events (scrubs, rollbacks, retries)
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text metrics
+//
+// With -debug-addr set, a second listener serves net/http/pprof under
+// /debug/pprof/ and expvar under /debug/vars — kept off the service
+// address so profiling endpoints are never exposed where solves are.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"abft/internal/obs"
 	"abft/internal/service"
 )
 
@@ -56,9 +67,15 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		maxw    = fs.Int("maxworkers", 8, "per-job kernel goroutine cap")
 		history = fs.Int("history", 1024, "finished jobs kept queryable")
 		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining queued and running jobs")
+		debug   = fs.String("debug-addr", "", "serve pprof and expvar debug endpoints on this address (empty disables)")
+		logLvl  = fs.String("log-level", "info", "minimum structured-log level: debug, info, warn or error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLvl)); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
 	}
 
 	srv := service.New(service.Config{
@@ -68,6 +85,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		ScrubInterval:   *scrub,
 		MaxSolveWorkers: *maxw,
 		JobHistory:      *history,
+		Logger:          obs.NewLogger(stdout, level),
 	})
 	defer srv.Close()
 
@@ -80,6 +98,32 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	}
 	fmt.Fprintf(stdout, "abftd listening on %s (workers=%d queue=%d cache=%d scrub=%v)\n",
 		ln.Addr(), *workers, *queue, *cache, *scrub)
+
+	if *debug != "" {
+		// The debug listener is separate from the service socket on
+		// purpose: pprof and expvar stay bindable to loopback while the
+		// API faces the network. Only the default expvar vars (memstats,
+		// cmdline) are published — no expvar.Publish, which would panic
+		// on re-registration when run is invoked twice in one process.
+		dln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		ds := &http.Server{Handler: dmux}
+		go ds.Serve(dln)
+		defer ds.Close()
+		if ready != nil {
+			ready <- dln.Addr().String()
+		}
+		fmt.Fprintf(stdout, "abftd debug endpoints on %s\n", dln.Addr())
+	}
 
 	hs := &http.Server{Handler: srv}
 	errc := make(chan error, 1)

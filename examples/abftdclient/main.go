@@ -52,12 +52,32 @@ func main() {
 		B:            ramp(64 * 64),
 		Tol:          1e-10,
 	}
+	var last abft.SolveJobStatus
 	for attempt := 1; attempt <= 2; attempt++ {
 		st := solve(base, req)
 		r := st.Result
 		fmt.Printf("solve %d: job %s %s — %d iterations, residual %.3e, cache_hit=%v\n",
 			attempt, st.ID, st.State, r.Iterations, r.ResidualNorm, r.CacheHit)
+		last = st
 	}
+
+	// Where the last job's wall-clock went, stage by stage: the full
+	// trace behind the summary every JobStatus already carries.
+	resp0, err := http.Get(base + "/v1/jobs/" + last.ID + "/trace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tr abft.SolveTrace
+	if err := json.NewDecoder(resp0.Body).Decode(&tr); err != nil {
+		log.Fatal(err)
+	}
+	resp0.Body.Close()
+	fmt.Println("\ntrace of the last job:")
+	for _, sp := range tr.Spans {
+		fmt.Printf("  %-10s %10.1fµs  %s\n", sp.Stage, sp.Seconds*1e6, sp.Detail)
+	}
+	fmt.Printf("  %d residuals recorded; final %.3e\n",
+		len(tr.Residuals), last.Result.ResidualNorm)
 
 	// A few service metrics, Prometheus text format.
 	resp, err := http.Get(base + "/metrics")

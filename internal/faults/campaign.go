@@ -8,6 +8,7 @@ import (
 	"abft/internal/core"
 	"abft/internal/csr"
 	"abft/internal/ecc"
+	"abft/internal/obs"
 	"abft/internal/op"
 	"abft/internal/precond"
 	"abft/internal/shard"
@@ -70,6 +71,12 @@ type CampaignConfig struct {
 	// CheckpointInterval overrides the rollback checkpoint cadence
 	// (zero keeps the solver's adaptive default).
 	CheckpointInterval int
+	// Journal, when non-nil, receives one attributed obs.Event per
+	// non-benign trial (kind "campaign_<outcome>") — campaigns feed the
+	// same bounded fault-event journal the solve service serves at
+	// /v1/events, so injection runs and production faults share one
+	// record format.
+	Journal *obs.Journal
 }
 
 // CampaignResult aggregates trial outcomes.
@@ -165,6 +172,13 @@ func Run(cfg CampaignConfig) (CampaignResult, error) {
 			return res, err
 		}
 		res.add(o)
+		if cfg.Journal != nil && o != Benign {
+			cfg.Journal.Append(obs.Event{
+				Kind:     "campaign_" + o.String(),
+				Operator: fmt.Sprintf("%v/%v/%v", cfg.Format, cfg.Scheme, cfg.Structure),
+				Detail:   fmt.Sprintf("trial %d: %d bit flips", trial, cfg.Bits),
+			})
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBounds are the histogram bucket upper bounds in seconds: a 1-2-5
+// log series from 1µs to 10s. Latencies above the last bound land in
+// the implicit +Inf bucket. The series is shared by every histogram so
+// /metrics renders one consistent le-label set across stages.
+var histBounds = func() []float64 {
+	var b []float64
+	for decade := 1e-6; decade < 20; decade *= 10 {
+		for _, m := range []float64{1, 2, 5} {
+			b = append(b, decade*m)
+		}
+	}
+	return b // 1e-6 .. 5e+1, 24 bounds
+}()
+
+// HistBounds returns the shared bucket upper bounds in seconds.
+func HistBounds() []float64 { return histBounds }
+
+// Histogram is a lock-free log-bucketed latency histogram: Observe is a
+// bound scan plus two atomic adds, safe from any number of goroutines
+// with no mutex on the hot path. Snapshot renders into the native
+// Prometheus histogram sample set (cumulative le buckets, sum, count).
+type Histogram struct {
+	buckets [25]atomic.Uint64 // len(histBounds) + 1 for +Inf
+	sumNs   atomic.Int64
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(histBounds) && s > histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, cumulative the
+// way Prometheus expects: Cumulative[i] counts observations <=
+// HistBounds()[i], with the final element the +Inf (total) count.
+type HistSnapshot struct {
+	Cumulative []uint64
+	Count      uint64
+	SumSeconds float64
+}
+
+// Snapshot copies and accumulates the buckets.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Cumulative: make([]uint64, len(histBounds)+1)}
+	var run uint64
+	for i := range h.buckets {
+		run += h.buckets[i].Load()
+		s.Cumulative[i] = run
+	}
+	s.Count = run
+	s.SumSeconds = time.Duration(h.sumNs.Load()).Seconds()
+	return s
+}

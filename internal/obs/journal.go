@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event kinds the solve service records. Append accepts any kind
+// string; these name the ones the stack emits today.
+const (
+	// EventScrubCorrection: the scrub daemon repaired codewords in a
+	// resident operator or cached preconditioner.
+	EventScrubCorrection = "scrub_correction"
+	// EventScrubEviction: scrubbing found a detected-but-uncorrectable
+	// fault and evicted the operator.
+	EventScrubEviction = "scrub_eviction"
+	// EventReadFault: a solve's verified read path detected a fault it
+	// could not correct (the operator was evicted on the spot).
+	EventReadFault = "read_fault"
+	// EventSolverRollback: the iteration engine rolled a solve back to
+	// its last good checkpoint.
+	EventSolverRollback = "solver_rollback"
+	// EventJobRetry: the service retried a faulted job against a
+	// freshly built operator.
+	EventJobRetry = "job_retry"
+)
+
+// Event is one entry of the fault-event journal.
+type Event struct {
+	// Time is when the event was recorded (filled by Append when zero).
+	Time time.Time `json:"time"`
+	// Kind classifies the event (see the Event* constants).
+	Kind string `json:"kind"`
+	// Job attributes the event to a job id, when one was involved.
+	Job string `json:"job,omitempty"`
+	// Operator attributes the event to an operator (the shortened
+	// content hash of its cache key).
+	Operator string `json:"operator,omitempty"`
+	// Detail is a one-line human-readable elaboration.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Journal is a bounded ring buffer of fault events: appends past the
+// capacity overwrite the oldest entries, and the total append count is
+// kept so readers can see how many were dropped. A journal read is a
+// snapshot — the ring keeps rolling underneath it.
+type Journal struct {
+	mu     sync.Mutex
+	buf    []Event
+	next   int // ring write cursor
+	total  uint64
+	byKind map[string]uint64
+}
+
+// NewJournal builds a journal retaining up to capacity events
+// (minimum 1).
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{buf: make([]Event, 0, capacity), byKind: make(map[string]uint64)}
+}
+
+// Append records one event, stamping Time if unset.
+func (j *Journal) Append(e Event) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	j.mu.Lock()
+	if len(j.buf) < cap(j.buf) {
+		j.buf = append(j.buf, e)
+	} else {
+		j.buf[j.next] = e
+		j.next = (j.next + 1) % cap(j.buf)
+	}
+	j.total++
+	j.byKind[e.Kind]++
+	j.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest-first and the lifetime
+// append count (total minus the snapshot length is how many the ring
+// has dropped).
+func (j *Journal) Snapshot() ([]Event, uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, len(j.buf))
+	out = append(out, j.buf[j.next:]...)
+	out = append(out, j.buf[:j.next]...)
+	return out, j.total
+}
+
+// KindCount is one (kind, lifetime count) pair of Totals.
+type KindCount struct {
+	Kind  string
+	Count uint64
+}
+
+// Totals returns the lifetime event count per kind, sorted by kind so
+// the /metrics label series is stable across scrapes.
+func (j *Journal) Totals() []KindCount {
+	j.mu.Lock()
+	out := make([]KindCount, 0, len(j.byKind))
+	for k, v := range j.byKind {
+		out = append(out, KindCount{Kind: k, Count: v})
+	}
+	j.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Kind < out[b].Kind })
+	return out
+}

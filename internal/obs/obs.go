@@ -1,0 +1,36 @@
+// Package obs is the dependency-free telemetry layer of the repository:
+// structured leveled logging (log/slog), per-job solve traces built from
+// stage spans, lock-free log-bucketed latency histograms rendered as
+// native Prometheus histograms, and a bounded ring-buffer journal of
+// fault events. The solve service threads these through its whole stack
+// — server, worker pool, operator cache, scrub daemon and the iteration
+// engine's progress hook — so corrections, rollbacks and retries are
+// visible as they happen instead of only as lifetime counters.
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a leveled structured JSON logger writing to w. Every
+// line is one JSON object with time, level, msg and the record's
+// attributes — the format the README's jq pipelines consume.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// nopHandler drops every record. slog.DiscardHandler exists from Go 1.24
+// only; this keeps the module buildable on the older toolchains CI runs.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// NopLogger returns a logger that discards everything: the library
+// default, so embedding the service stays silent unless the caller
+// injects a real logger.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }

@@ -5,8 +5,10 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
+	"time"
 
 	"abft/internal/core"
 	"abft/internal/csr"
@@ -114,6 +116,7 @@ type CacheStats struct {
 // Builds are single-flight: N concurrent requests for one new key pay
 // one encode.
 type operatorCache struct {
+	log     *slog.Logger
 	mu      sync.Mutex
 	max     int
 	lru     *list.List // front = most recently used; values are *cacheEntry
@@ -124,11 +127,12 @@ type operatorCache struct {
 	retired core.CounterSnapshot
 }
 
-func newOperatorCache(max int) *operatorCache {
+func newOperatorCache(max int, log *slog.Logger) *operatorCache {
 	if max < 1 {
 		max = 1
 	}
 	return &operatorCache{
+		log:     log,
 		max:     max,
 		lru:     list.New(),
 		entries: make(map[string]*cacheEntry),
@@ -157,12 +161,14 @@ func (c *operatorCache) get(key string, build func() (core.ProtectedMatrix, []fl
 	c.entries[key] = e
 	c.mu.Unlock()
 
+	buildStart := time.Now()
 	m, diag, pre, err := build()
 
 	c.mu.Lock()
 	if err != nil {
 		c.stats.BuildErrors++
 		c.removeLocked(e)
+		c.log.Warn("operator build failed", "operator", opShort(key), "err", err)
 	} else {
 		e.m = m
 		e.diag = diag
@@ -174,6 +180,8 @@ func (c *operatorCache) get(key string, build func() (core.ProtectedMatrix, []fl
 		e.built = true
 		c.stats.Builds++
 		c.evictOverCapacityLocked()
+		c.log.Debug("operator built", "operator", opShort(key),
+			"rows", m.Rows(), "shards", e.shards, "build_time", time.Since(buildStart))
 	}
 	c.mu.Unlock()
 	e.buildErr = err
@@ -218,6 +226,7 @@ func (c *operatorCache) evictFault(e *cacheEntry) {
 	if c.entries[e.key] == e {
 		c.removeLocked(e)
 		c.stats.EvictedFault++
+		c.log.Warn("operator evicted on fault", "operator", opShort(e.key))
 	}
 }
 
@@ -238,6 +247,7 @@ func (c *operatorCache) evictOverCapacityLocked() {
 		}
 		c.removeLocked(victim)
 		c.stats.EvictedLRU++
+		c.log.Debug("operator evicted, cache full", "operator", opShort(victim.key))
 	}
 }
 

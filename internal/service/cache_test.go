@@ -9,6 +9,7 @@ import (
 
 	"abft/internal/core"
 	"abft/internal/csr"
+	"abft/internal/obs"
 	"abft/internal/precond"
 )
 
@@ -26,7 +27,7 @@ func testOperator(t *testing.T) core.ProtectedMatrix {
 // exactly one encode; everyone else blocks on the in-flight build and
 // counts as a hit.
 func TestCacheSingleFlight(t *testing.T) {
-	c := newOperatorCache(8)
+	c := newOperatorCache(8, obs.NopLogger())
 	var builds atomic.Int32
 	build := func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error) {
 		builds.Add(1)
@@ -65,7 +66,7 @@ func TestCacheSingleFlight(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newOperatorCache(2)
+	c := newOperatorCache(2, obs.NopLogger())
 	build := func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error) {
 		return testOperator(t), nil, nil, nil
 	}
@@ -97,7 +98,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheBuildErrorNotCached(t *testing.T) {
-	c := newOperatorCache(2)
+	c := newOperatorCache(2, obs.NopLogger())
 	boom := fmt.Errorf("boom")
 	if _, _, err := c.get("k", func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error) { return nil, nil, nil, boom }); err != boom {
 		t.Fatalf("err = %v, want boom", err)

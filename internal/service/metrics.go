@@ -3,8 +3,11 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"time"
 
+	"abft/internal/obs"
 	"abft/internal/op"
 )
 
@@ -39,9 +42,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("abftd_jobs_autotuned_total", "Jobs admitted with at least one auto-selected knob.", s.jobsAutotuned.Load())
 	fmt.Fprintf(w, "# HELP abftd_autotune_format_total Auto-selected storage formats at admission.\n")
 	fmt.Fprintf(w, "# TYPE abftd_autotune_format_total counter\n")
+	// Emit the label series in sorted label order, not declaration
+	// order, so the scrape output is byte-stable run to run.
+	formats := make([]struct {
+		name string
+		n    uint64
+	}, len(s.autotunedFormats))
 	for f := range s.autotunedFormats {
-		fmt.Fprintf(w, "abftd_autotune_format_total{format=%q} %d\n",
-			op.Format(f).String(), s.autotunedFormats[f].Load())
+		formats[f].name = op.Format(f).String()
+		formats[f].n = s.autotunedFormats[f].Load()
+	}
+	sort.Slice(formats, func(a, b int) bool { return formats[a].name < formats[b].name })
+	for _, f := range formats {
+		fmt.Fprintf(w, "abftd_autotune_format_total{format=%q} %d\n", f.name, f.n)
 	}
 	counter("abftd_jobs_recovered_total", "Jobs that finished after solver checkpoint rollbacks.", s.jobsRecovered.Load())
 	counter("abftd_jobs_retried_total", "Jobs retried against a rebuilt operator after a fault survived solver recovery.", s.jobsRetried.Load())
@@ -70,4 +83,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("abftd_operator_corrected_total", "Corrected errors across all cached operators.", oc.Corrected)
 	counter("abftd_operator_detected_total", "Detected uncorrectable errors across all cached operators.", oc.Detected)
 	counter("abftd_operator_bounds_total", "Range-check violations across all cached operators.", oc.Bounds)
+
+	// Fault-event journal accounting, one series per event kind seen so
+	// far (obs.Journal returns them sorted, so the scrape is stable).
+	fmt.Fprintf(w, "# HELP abftd_fault_events_total Fault events recorded in the journal, by kind.\n")
+	fmt.Fprintf(w, "# TYPE abftd_fault_events_total counter\n")
+	for _, kc := range s.journal.Totals() {
+		fmt.Fprintf(w, "abftd_fault_events_total{kind=%q} %d\n", kc.Kind, kc.Count)
+	}
+
+	// Per-stage latency histograms, native Prometheus rendering: p50/p99
+	// per stage become scrapeable. Bucket bounds are the shared log
+	// series of internal/obs.
+	bounds := obs.HistBounds()
+	fmt.Fprintf(w, "# HELP abftd_stage_duration_seconds Wall-clock latency of job lifecycle stages.\n")
+	fmt.Fprintf(w, "# TYPE abftd_stage_duration_seconds histogram\n")
+	for _, stage := range stages {
+		h := s.hist[stage].Snapshot()
+		for i, b := range bounds {
+			fmt.Fprintf(w, "abftd_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n",
+				stage, strconv.FormatFloat(b, 'g', -1, 64), h.Cumulative[i])
+		}
+		fmt.Fprintf(w, "abftd_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", stage, h.Count)
+		fmt.Fprintf(w, "abftd_stage_duration_seconds_sum{stage=%q} %g\n", stage, h.SumSeconds)
+		fmt.Fprintf(w, "abftd_stage_duration_seconds_count{stage=%q} %d\n", stage, h.Count)
+	}
 }

@@ -1,0 +1,159 @@
+package service
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) \S.*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+)
+
+// TestMetricsExpositionLint parses every line /metrics emits and holds
+// it to the Prometheus text format: each sample series is preceded by a
+// HELP and TYPE pair for its family, histogram samples only use the
+// _bucket/_sum/_count suffixes under a histogram TYPE, label values are
+// always quoted, and values parse as floats. The endpoint is scraped
+// after real traffic (including a retried faulted job) so the
+// conditional series are all present.
+func TestMetricsExpositionLint(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Drive traffic that populates the conditional series: a faulted
+	// solve that evicts and retries, then an autotuned clean solve.
+	e := primeOperator(t, srv, recoveryRequest())
+	e.mu.Lock()
+	e.m.RawVals()[5] = flipBits(e.m.RawVals()[5], 1<<37)
+	e.mu.Unlock()
+	waitedSolve(t, ts.URL, recoveryRequest())
+	waitedSolve(t, ts.URL, SolveRequest{
+		Matrix: MatrixSpec{Grid: &GridSpec{NX: 8, NY: 8}},
+		Tol:    1e-8,
+	})
+	srv.ScrubNow()
+
+	body := metricsBody(t, ts.URL)
+	help := map[string]bool{}
+	typed := map[string]string{}
+	family := "" // most recently TYPE-declared metric family
+	samples := 0
+	for i, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if m := helpRe.FindStringSubmatch(line); m != nil {
+			if help[m[1]] {
+				t.Errorf("line %d: duplicate HELP for %s", i+1, m[1])
+			}
+			help[m[1]] = true
+			continue
+		}
+		if m := typeRe.FindStringSubmatch(line); m != nil {
+			if !help[m[1]] {
+				t.Errorf("line %d: TYPE %s without preceding HELP", i+1, m[1])
+			}
+			if typed[m[1]] != "" {
+				t.Errorf("line %d: duplicate TYPE for %s", i+1, m[1])
+			}
+			typed[m[1]] = m[2]
+			family = m[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("line %d: malformed comment line: %q", i+1, line)
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d: unparsable sample line: %q", i+1, line)
+			continue
+		}
+		samples++
+		name, labels, value := m[1], m[2], m[3]
+
+		// Each sample belongs to the family declared just above it; a
+		// histogram family additionally owns its suffixed series.
+		base := name
+		if family != name {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.TrimSuffix(name, suf) == family {
+					base = family
+					break
+				}
+			}
+		}
+		if base != family {
+			t.Errorf("line %d: sample %s outside its HELP/TYPE block (family %s)", i+1, name, family)
+			continue
+		}
+		if base != name && typed[base] != "histogram" {
+			t.Errorf("line %d: suffixed sample %s under non-histogram TYPE %q", i+1, name, typed[base])
+		}
+		if typed[base] == "histogram" && base == name {
+			t.Errorf("line %d: bare sample %s under histogram TYPE", i+1, name)
+		}
+
+		if labels != "" {
+			inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+			for _, pair := range splitLabels(inner) {
+				if !labelRe.MatchString(pair) {
+					t.Errorf("line %d: malformed label pair %q", i+1, pair)
+				}
+			}
+		}
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Errorf("line %d: unparsable value %q: %v", i+1, value, err)
+			}
+		}
+	}
+	if samples < 30 {
+		t.Fatalf("scrape produced only %d samples; traffic did not register", samples)
+	}
+	// The series this PR stabilised must scrape in sorted label order.
+	var forms []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "abftd_autotune_format_total{") {
+			forms = append(forms, line)
+		}
+	}
+	if len(forms) == 0 {
+		t.Fatal("no autotune format series")
+	}
+	for i := 1; i < len(forms); i++ {
+		if forms[i-1] >= forms[i] {
+			t.Fatalf("autotune format series not sorted: %q before %q", forms[i-1], forms[i])
+		}
+	}
+}
+
+// splitLabels splits a label body on commas that sit outside quoted
+// values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside a quoted value
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}

@@ -1,0 +1,289 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"abft/internal/core"
+	"abft/internal/obs"
+)
+
+// waitedSolve posts one waited solve and fails the test unless it
+// returned 200.
+func waitedSolve(t *testing.T, base string, req SolveRequest) JobStatus {
+	t.Helper()
+	st, resp := postSolve(t, base, req, true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d: %+v", resp.StatusCode, st)
+	}
+	return st
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d, body %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultInjectedSolveTrace is the end-to-end telemetry acceptance
+// scenario, covering both rungs of the recovery ladder. First a solve
+// is struck in its live vector state mid-iteration (through the
+// fault-injection seam), which the solver absorbs with a checkpoint
+// rollback; then the resident operator is corrupted beyond its scheme's
+// correction capability, which survives solver recovery and forces the
+// service to evict and retry. Every telemetry surface must show it: the
+// traces carry the rollback, retry and rebuild spans plus the residual
+// trajectory; /v1/events journals the rollback, the read-path detection
+// and the retry with job attribution; and the per-stage latency
+// histograms on /metrics count every lifecycle stage.
+func TestFaultInjectedSolveTrace(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	e := primeOperator(t, srv, recoveryRequest())
+
+	// A non-trivial right-hand side: the default all-ones RHS is the
+	// grid Laplacian's exact image of the all-ones vector, which CG
+	// nails in one iteration — too fast to strike mid-solve.
+	req := recoveryRequest()
+	req.B = make([]float64, 64)
+	for i := range req.B {
+		req.B[i] = float64(i%7) - 2.5
+	}
+
+	// Rung 1: strike the live solver state once at iteration 6 — a
+	// double flip SECDED64 detects but cannot correct, so the engine
+	// rolls back to its checkpoint and reconverges.
+	struck := false
+	srv.testStateHook = func(it int, live []*core.Vector) {
+		if it == 6 && !struck {
+			struck = true
+			live[1].Raw()[3] ^= 1<<20 | 1<<30
+		}
+	}
+	stRB := waitedSolve(t, ts.URL, req)
+	srv.testStateHook = nil
+	if stRB.State != StateDone || stRB.Result == nil || stRB.Result.Rollbacks == 0 {
+		t.Fatalf("struck solve did not recover via rollback: %+v", stRB)
+	}
+
+	// Rung 2: resident corruption faults the next solve during its
+	// verified reads; the service evicts the operator and retries
+	// against a rebuilt one.
+	e.mu.Lock()
+	e.m.RawVals()[5] = flipBits(e.m.RawVals()[5], 1<<37)
+	e.mu.Unlock()
+	st := waitedSolve(t, ts.URL, recoveryRequest())
+	if st.State != StateDone || st.Result == nil || !st.Result.Retried {
+		t.Fatalf("fault-injected solve did not finish via retry: %+v", st)
+	}
+
+	// Lifecycle timestamps: submitted <= started <= finished.
+	if st.Submitted.IsZero() || st.Started == nil || st.Finished == nil {
+		t.Fatalf("lifecycle timestamps missing: %+v", st)
+	}
+	if st.Started.Before(st.Submitted) || st.Finished.Before(*st.Started) {
+		t.Fatalf("timestamps out of order: submitted %v started %v finished %v",
+			st.Submitted, st.Started, st.Finished)
+	}
+
+	// The rolled-back job's trace: the recovery span, the rollback
+	// counters and the residual trajectory.
+	var trace obs.TraceSnapshot
+	getJSON(t, ts.URL+"/v1/jobs/"+stRB.ID+"/trace", &trace)
+	if trace.JobID != stRB.ID {
+		t.Fatalf("trace job id %q, want %q", trace.JobID, stRB.ID)
+	}
+	rbSpans := 0
+	for _, sp := range trace.Spans {
+		if sp.Stage == StageRecovery {
+			rbSpans++
+		}
+	}
+	if rbSpans != stRB.Result.Rollbacks {
+		t.Fatalf("trace has %d recovery spans, result reports %d rollbacks",
+			rbSpans, stRB.Result.Rollbacks)
+	}
+	if trace.Counters["rollbacks"] == 0 || trace.Counters["recomputed_iterations"] == 0 {
+		t.Fatalf("trace counters missing rollback accounting: %+v", trace.Counters)
+	}
+	if len(trace.Residuals) == 0 {
+		t.Fatal("trace carries no residual trajectory")
+	}
+	if stRB.Trace == nil || stRB.Trace.StageSeconds[StageRecovery] <= 0 {
+		t.Fatalf("status summary missing recovery stage: %+v", stRB.Trace)
+	}
+
+	// The retried job's trace: one retry span, the rebuild's build span,
+	// two solve attempts, and the lifecycle spans.
+	var rtrace obs.TraceSnapshot
+	getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/trace", &rtrace)
+	count := map[string]int{}
+	for _, sp := range rtrace.Spans {
+		count[sp.Stage]++
+	}
+	if count[StageRetry] != 1 || count[StageBuild] != 1 || count[StageSolve] != 2 {
+		t.Fatalf("span counts %+v: want 1 retry, 1 rebuild, 2 solve attempts", count)
+	}
+	if count[StageAdmission] != 1 || count[StageQueueWait] != 1 {
+		t.Fatalf("lifecycle spans missing: %+v", count)
+	}
+
+	// The journal has matching, attributed entries for every recovery
+	// step of both jobs.
+	var events eventsBody
+	getJSON(t, ts.URL+"/v1/events", &events)
+	kinds := map[string]int{}
+	for _, ev := range events.Events {
+		kinds[ev.Kind]++
+		if ev.Kind == obs.EventSolverRollback && ev.Job != stRB.ID {
+			t.Fatalf("rollback event attributed to %q, want %q", ev.Job, stRB.ID)
+		}
+		if (ev.Kind == obs.EventReadFault || ev.Kind == obs.EventJobRetry) && ev.Job != st.ID {
+			t.Fatalf("%s event attributed to %q, want %q", ev.Kind, ev.Job, st.ID)
+		}
+		if ev.Time.IsZero() || ev.Operator == "" {
+			t.Fatalf("event missing attribution: %+v", ev)
+		}
+	}
+	if kinds[obs.EventSolverRollback] != rbSpans {
+		t.Fatalf("journal rollbacks %d != trace recovery spans %d",
+			kinds[obs.EventSolverRollback], rbSpans)
+	}
+	if kinds[obs.EventReadFault] != 1 || kinds[obs.EventJobRetry] != 1 {
+		t.Fatalf("journal kinds %+v: want one read_fault and one job_retry", kinds)
+	}
+	if events.Total != uint64(len(events.Events)) || events.Dropped != 0 {
+		t.Fatalf("journal accounting off: %+v", events)
+	}
+
+	// Every stage histogram on /metrics counts at least one sample.
+	body := metricsBody(t, ts.URL)
+	for _, stage := range stages {
+		line := ""
+		prefix := `abftd_stage_duration_seconds_count{stage="` + stage + `"}`
+		for _, l := range strings.Split(body, "\n") {
+			if strings.HasPrefix(l, prefix) {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Fatalf("histogram for stage %q missing from /metrics", stage)
+		}
+		if strings.HasSuffix(line, " 0") {
+			t.Fatalf("stage %q histogram empty: %s", stage, line)
+		}
+	}
+	// The journal totals are scrapeable too.
+	if !strings.Contains(body, `abftd_fault_events_total{kind="solver_rollback"}`) {
+		t.Fatal("fault-event totals missing from /metrics")
+	}
+}
+
+// TestScrubEventsJournalled: a correctable flip repaired by the scrub
+// daemon lands in the journal as a scrub_correction with operator
+// attribution.
+func TestScrubEventsJournalled(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+
+	req := SolveRequest{
+		Matrix: MatrixSpec{Grid: &GridSpec{NX: 8, NY: 8}},
+		Scheme: "secded64",
+		Tol:    1e-8,
+	}
+	e := primeOperator(t, srv, req)
+	e.mu.Lock()
+	e.m.RawVals()[3] = flipBits(e.m.RawVals()[3], 1<<20)
+	e.mu.Unlock()
+	srv.ScrubNow()
+
+	events, total := srv.Events()
+	if total == 0 {
+		t.Fatal("scrub repair journalled nothing")
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Kind == obs.EventScrubCorrection && ev.Operator != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no scrub_correction event: %+v", events)
+	}
+}
+
+// TestJobStatusTimestampsCleanSolve pins the satellite contract on the
+// ordinary path: a fault-free waited solve reports submitted/started/
+// finished and a trace summary with no recovery or retry stages.
+func TestJobStatusTimestampsCleanSolve(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+
+	id, err := srv.Submit(SolveRequest{
+		Matrix: MatrixSpec{Grid: &GridSpec{NX: 6, NY: 6}},
+		Tol:    1e-8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := srv.Wait(id)
+	if err != nil || st.State != StateDone {
+		t.Fatalf("solve failed: %v %+v", err, st)
+	}
+	if st.Submitted.IsZero() || st.Started == nil || st.Finished == nil {
+		t.Fatalf("timestamps missing: %+v", st)
+	}
+	if st.Started.Before(st.Submitted) || st.Finished.Before(*st.Started) {
+		t.Fatalf("timestamps out of order: %+v", st)
+	}
+	if st.Trace == nil {
+		t.Fatal("trace summary missing")
+	}
+	for _, stage := range []string{StageAdmission, StageQueueWait, StageSolve} {
+		if _, ok := st.Trace.StageSeconds[stage]; !ok {
+			t.Fatalf("clean solve summary missing %q: %+v", stage, st.Trace)
+		}
+	}
+	for _, stage := range []string{StageRecovery, StageRetry, StageBuild} {
+		if stage == StageBuild {
+			continue // the first solve of an operator does build it
+		}
+		if _, ok := st.Trace.StageSeconds[stage]; ok {
+			t.Fatalf("clean solve reported stage %q: %+v", stage, st.Trace)
+		}
+	}
+}
+
+// TestJobTraceUnknown404: the trace endpoint 404s like the status one.
+func TestJobTraceUnknown404(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,8 +1,12 @@
 package service
 
 import (
+	"fmt"
+	"log/slog"
 	"sync"
 	"time"
+
+	"abft/internal/obs"
 )
 
 // ScrubStats summarises scrub-daemon activity.
@@ -35,6 +39,10 @@ type ScrubStats struct {
 type scrubDaemon struct {
 	cache    *operatorCache
 	interval time.Duration
+	log      *slog.Logger
+	// journal receives one event per correction batch and per fault
+	// eviction, attributed to the operator scrubbed.
+	journal *obs.Journal
 
 	mu    sync.Mutex
 	stats ScrubStats
@@ -42,8 +50,8 @@ type scrubDaemon struct {
 	done  chan struct{}
 }
 
-func newScrubDaemon(cache *operatorCache, interval time.Duration) *scrubDaemon {
-	return &scrubDaemon{cache: cache, interval: interval}
+func newScrubDaemon(cache *operatorCache, interval time.Duration, log *slog.Logger, journal *obs.Journal) *scrubDaemon {
+	return &scrubDaemon{cache: cache, interval: interval, log: log, journal: journal}
 }
 
 // Start launches the patrol goroutine; a non-positive interval disables
@@ -95,9 +103,21 @@ func (d *scrubDaemon) Pass() {
 		scrubbed++
 		shards += uint64(e.shards)
 		corrected += uint64(n)
+		if n > 0 {
+			d.journal.Append(obs.Event{
+				Kind: obs.EventScrubCorrection, Operator: opShort(e.key),
+				Detail: fmt.Sprintf("%d codewords repaired in place", n),
+			})
+			d.log.Info("scrub corrected", "operator", opShort(e.key), "codewords", n)
+		}
 		if err != nil {
 			faults++
 			d.cache.evictFault(e)
+			d.journal.Append(obs.Event{
+				Kind: obs.EventScrubEviction, Operator: opShort(e.key),
+				Detail: "uncorrectable fault, operator evicted: " + err.Error(),
+			})
+			d.log.Warn("scrub evicted operator", "operator", opShort(e.key), "err", err)
 		}
 	}
 	d.mu.Lock()

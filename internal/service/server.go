@@ -4,13 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"abft/internal/core"
 	"abft/internal/csr"
 	"abft/internal/ecc"
+	"abft/internal/obs"
 )
 
 // Config sizes the service.
@@ -38,6 +41,15 @@ type Config struct {
 	// CRCBackend selects the CRC32C implementation for every operator
 	// and vector the service builds (default hardware).
 	CRCBackend ecc.Backend
+	// Logger receives the service's structured logs: job lifecycle,
+	// cache builds and evictions, scrub activity, fault events. Nil
+	// discards everything (the embedding default); cmd/abftd injects a
+	// real slog JSON logger.
+	Logger *slog.Logger
+	// EventJournal bounds the fault-event ring buffer served at
+	// GET /v1/events (default 512); appends past it overwrite the
+	// oldest events.
+	EventJournal int
 }
 
 func (c Config) withDefaults() Config {
@@ -59,7 +71,44 @@ func (c Config) withDefaults() Config {
 	if c.JobHistory <= 0 {
 		c.JobHistory = 1024
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	if c.EventJournal <= 0 {
+		c.EventJournal = 512
+	}
 	return c
+}
+
+// Stage names of the per-job trace spans and the per-stage latency
+// histograms on /metrics.
+const (
+	// StageAdmission covers request validation, matrix assembly,
+	// content hashing and autotuning.
+	StageAdmission = "admission"
+	// StageQueueWait covers enqueue to worker pickup.
+	StageQueueWait = "queue_wait"
+	// StageBuild covers a protected-operator encode (cache misses only).
+	StageBuild = "build"
+	// StageSolve covers the solver run (one span per attempt).
+	StageSolve = "solve"
+	// StageRecovery covers each solver checkpoint-rollback restore.
+	StageRecovery = "recovery"
+	// StageRetry covers the service-level retry solve after a fault
+	// survived solver recovery.
+	StageRetry = "retry"
+)
+
+// stages lists every stage in /metrics display order.
+var stages = []string{StageAdmission, StageQueueWait, StageBuild, StageSolve, StageRecovery, StageRetry}
+
+// opShort shortens an operator cache key (content hash plus knobs) to a
+// journal-friendly attribution tag.
+func opShort(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // job carries one solve through the queue.
@@ -70,19 +119,38 @@ type job struct {
 	plain  *csr.Matrix
 	tuned  *AutotuneDecision
 	key    string
+	// trace accumulates the job's stage spans, residual trajectory and
+	// fault counters; it has its own lock, so the worker appends while
+	// status readers snapshot.
+	trace *obs.Trace
+	// submitted is set at admission and immutable after.
+	submitted time.Time
 
-	mu     sync.Mutex
-	state  JobState
-	result *SolveResult
-	err    error
-	fault  bool
-	done   chan struct{}
+	mu       sync.Mutex
+	state    JobState
+	started  time.Time
+	finished time.Time
+	result   *SolveResult
+	err      error
+	fault    bool
+	done     chan struct{}
 }
 
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := JobStatus{ID: j.id, State: j.state, Result: j.result}
+	st := JobStatus{ID: j.id, State: j.state, Result: j.result, Submitted: j.submitted}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if sum := j.trace.Summary(); sum.Spans > 0 {
+		st.Trace = &sum
+	}
 	if j.err != nil {
 		st.Error = j.err.Error()
 		st.Fault = j.fault
@@ -103,14 +171,19 @@ func (j *job) dropSolution() {
 	j.mu.Unlock()
 }
 
-func (j *job) setState(s JobState) {
+// setRunning marks the job running and returns its queue wait.
+func (j *job) setRunning() time.Duration {
 	j.mu.Lock()
-	j.state = s
+	j.state = StateRunning
+	j.started = time.Now()
+	wait := j.started.Sub(j.submitted)
 	j.mu.Unlock()
+	return wait
 }
 
 func (j *job) finish(res *SolveResult, err error, fault bool) {
 	j.mu.Lock()
+	j.finished = time.Now()
 	if err != nil {
 		j.state = StateFailed
 		j.err = err
@@ -124,14 +197,28 @@ func (j *job) finish(res *SolveResult, err error, fault bool) {
 }
 
 // Server is the abftd solve service: an http.Handler exposing
-// POST /v1/solve, GET /v1/jobs/{id}, GET /healthz and GET /metrics,
-// backed by a bounded worker pool, the protected-operator cache and the
-// background scrub daemon. Create with New, dispose with Close.
+// POST /v1/solve, GET /v1/jobs/{id}, GET /v1/jobs/{id}/trace,
+// GET /v1/events, GET /healthz and GET /metrics, backed by a bounded
+// worker pool, the protected-operator cache and the background scrub
+// daemon. Create with New, dispose with Close.
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	cache *operatorCache
 	scrub *scrubDaemon
+	log   *slog.Logger
+	// journal is the bounded fault-event ring served at /v1/events:
+	// scrub corrections and evictions, read-path fault detections,
+	// solver rollbacks and job retries, each timestamped and attributed.
+	journal *obs.Journal
+	// hist holds one lock-free latency histogram per lifecycle stage,
+	// rendered as native Prometheus histograms on /metrics.
+	hist map[string]*obs.Histogram
+	// testStateHook, when set (package tests only), is installed as the
+	// solver StateHook of every job — the fault-injection seam that lets
+	// integration tests strike live solver state mid-iteration, the one
+	// fault class unreachable from outside a running solve.
+	testStateHook func(it int, live []*core.Vector)
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -172,16 +259,24 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: newOperatorCache(cfg.CacheOperators),
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  make(map[string]*job),
-		start: time.Now(),
+		cfg:     cfg,
+		log:     cfg.Logger,
+		journal: obs.NewJournal(cfg.EventJournal),
+		hist:    make(map[string]*obs.Histogram, len(stages)),
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+		start:   time.Now(),
 	}
-	s.scrub = newScrubDaemon(s.cache, cfg.ScrubInterval)
+	for _, st := range stages {
+		s.hist[st] = &obs.Histogram{}
+	}
+	s.cache = newOperatorCache(cfg.CacheOperators, s.log)
+	s.scrub = newScrubDaemon(s.cache, cfg.ScrubInterval, s.log, s.journal)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
@@ -189,8 +284,18 @@ func New(cfg Config) *Server {
 		go s.worker()
 	}
 	s.scrub.Start()
+	s.log.Info("service started",
+		"workers", cfg.Workers, "queue", cfg.QueueDepth,
+		"cache", cfg.CacheOperators, "scrub_interval", cfg.ScrubInterval)
 	return s
 }
+
+// observe records one stage latency into its /metrics histogram.
+func (s *Server) observe(stage string, d time.Duration) { s.hist[stage].Observe(d) }
+
+// Events snapshots the fault-event journal (oldest first) and the
+// lifetime event count, the programmatic equivalent of GET /v1/events.
+func (s *Server) Events() ([]obs.Event, uint64) { return s.journal.Snapshot() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -229,6 +334,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	s.scrub.Stop()
+	s.log.Info("service shut down", "drained", err == nil)
 	return err
 }
 
@@ -278,6 +384,7 @@ func (s *Server) Wait(id string) (JobStatus, error) {
 // resolved against the registries and the source matrix is assembled
 // and content-hashed, so every usage error surfaces before queueing.
 func (s *Server) admit(req SolveRequest) (*job, error) {
+	admitStart := time.Now()
 	params, err := req.resolve(s.cfg)
 	if err != nil {
 		return nil, err
@@ -310,16 +417,25 @@ func (s *Server) admit(req SolveRequest) (*job, error) {
 			tuned.Shards = params.shards
 		}
 	}
-	return &job{
-		id:     fmt.Sprintf("j%08d", s.nextID.Add(1)),
-		req:    req,
-		params: params,
-		plain:  plain,
-		tuned:  tuned,
-		key:    operatorKey(plain, params),
-		state:  StateQueued,
-		done:   make(chan struct{}),
-	}, nil
+	j := &job{
+		id:        fmt.Sprintf("j%08d", s.nextID.Add(1)),
+		req:       req,
+		params:    params,
+		plain:     plain,
+		tuned:     tuned,
+		key:       operatorKey(plain, params),
+		state:     StateQueued,
+		submitted: admitStart,
+		done:      make(chan struct{}),
+	}
+	j.trace = obs.NewTrace(j.id)
+	detail := ""
+	if tuned != nil {
+		detail = tuned.Reason
+	}
+	j.trace.Add(StageAdmission, admitStart, time.Since(admitStart), detail)
+	s.observe(StageAdmission, time.Since(admitStart))
+	return j, nil
 }
 
 // errQueueFull reports a saturated job queue (HTTP 503).
@@ -334,6 +450,9 @@ func (s *Server) enqueue(j *job) error {
 	s.jobMu.Lock()
 	s.jobs[j.id] = j
 	s.jobMu.Unlock()
+	// Once the job is on the queue a worker owns it (and releases
+	// j.plain when done), so anything logged about it is read first.
+	rows := j.plain.Rows()
 	select {
 	case s.queue <- j:
 		s.inflight.Add(1)
@@ -346,12 +465,16 @@ func (s *Server) enqueue(j *job) error {
 				s.autotunedFormats[j.params.format].Add(1)
 			}
 		}
+		s.log.Info("job queued",
+			"job", j.id, "operator", opShort(j.key), "solver", j.params.kind.String(),
+			"rows", rows, "shards", j.params.shards, "autotuned", j.tuned != nil)
 		return nil
 	default:
 		s.jobMu.Lock()
 		delete(s.jobs, j.id)
 		s.jobMu.Unlock()
 		s.jobsRejected.Add(1)
+		s.log.Warn("job rejected, queue full", "job", j.id, "queue_depth", s.cfg.QueueDepth)
 		return errQueueFull
 	}
 }
@@ -438,6 +561,41 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleJobTrace serves the job's full solve trace: every stage span in
+// recording order, the solver's residual trajectory and the fault
+// counters the job accumulated.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.jobMu.RLock()
+	j, ok := s.jobs[id]
+	s.jobMu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.trace.Snapshot())
+}
+
+// eventsBody is the JSON body of GET /v1/events.
+type eventsBody struct {
+	// Events holds the retained fault events, oldest first.
+	Events []obs.Event `json:"events"`
+	// Total is the lifetime event count; Total - len(Events) events
+	// have been dropped by the bounded ring.
+	Total   uint64 `json:"total"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// handleEvents serves the fault-event journal.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	events, total := s.journal.Snapshot()
+	writeJSON(w, http.StatusOK, eventsBody{
+		Events:  events,
+		Total:   total,
+		Dropped: total - uint64(len(events)),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -2,8 +2,10 @@ package service
 
 import (
 	"fmt"
+	"time"
 
 	"abft/internal/core"
+	"abft/internal/obs"
 	"abft/internal/op"
 	"abft/internal/precond"
 	"abft/internal/shard"
@@ -11,7 +13,10 @@ import (
 )
 
 func (s *Server) runJob(j *job) {
-	j.setState(StateRunning)
+	wait := j.setRunning()
+	j.trace.Add(StageQueueWait, j.submitted, wait, "")
+	s.observe(StageQueueWait, wait)
+	s.log.Debug("job started", "job", j.id, "queue_wait", wait)
 	res, e, err := s.solve(j)
 	if solvers.IsFault(err) && e != nil {
 		// The solve tripped over corruption the operator's scheme
@@ -21,14 +26,26 @@ func (s *Server) runJob(j *job) {
 		// daemon already evicted it — or a clean rebuild took the key —
 		// this is a no-op and never drops a healthy operator.
 		s.cache.evictFault(e)
+		s.journal.Append(obs.Event{
+			Kind: obs.EventReadFault, Job: j.id, Operator: opShort(j.key),
+			Detail: err.Error(),
+		})
+		s.log.Warn("read-path fault detected", "job", j.id, "operator", opShort(j.key), "err", err)
 		if j.params.opt.Recovery.Policy != solvers.RecoveryOff {
 			// A fault that survived solver-level rollback lives in the
 			// resident operator, not the dynamic state; the eviction
 			// above cleared it, so one service-level retry against a
 			// freshly built operator completes the recovery ladder.
 			s.jobsRetried.Add(1)
+			cause := err.Error()
+			s.journal.Append(obs.Event{
+				Kind: obs.EventJobRetry, Job: j.id, Operator: opShort(j.key),
+				Detail: "retrying against a rebuilt operator: " + cause,
+			})
+			endRetry := j.trace.Start(StageRetry)
 			var e2 *cacheEntry
 			res, e2, err = s.solve(j)
+			s.observe(StageRetry, endRetry(cause))
 			if res != nil {
 				res.Retried = true
 			}
@@ -52,8 +69,24 @@ func (s *Server) runJob(j *job) {
 	if res != nil {
 		s.rollbacks.Add(uint64(res.Rollbacks))
 		s.recomputedIters.Add(uint64(res.RecomputedIterations))
+		j.trace.Count("rollbacks", uint64(res.Rollbacks))
+		j.trace.Count("recomputed_iterations", uint64(res.RecomputedIterations))
+		j.trace.Count("checks", res.Checks)
+		j.trace.Count("corrected", res.Corrected)
+		j.trace.Count("detected", res.Detected)
+		j.trace.Count("bounds", res.Bounds)
 	}
 	j.finish(res, err, solvers.IsFault(err))
+	if err != nil {
+		s.log.Warn("job failed", "job", j.id, "fault", solvers.IsFault(err),
+			"duration", time.Since(j.submitted), "err", err)
+	} else {
+		s.log.Info("job finished", "job", j.id,
+			"iterations", res.Iterations, "converged", res.Converged,
+			"residual", res.ResidualNorm, "cache_hit", res.CacheHit,
+			"rollbacks", res.Rollbacks, "retried", res.Retried,
+			"duration", time.Since(j.submitted))
+	}
 	s.retire(j)
 }
 
@@ -99,6 +132,8 @@ func (o cachedOperator) Dot(a, b *core.Vector) (float64, error) {
 func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
 	p := j.params
 	e, hit, err := s.cache.get(j.key, func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error) {
+		endBuild := j.trace.Start(StageBuild)
+		defer func() { s.observe(StageBuild, endBuild(fmt.Sprintf("%v, %d shards", p.format, max(p.shards, 1)))) }()
 		cfg := op.Config{
 			Scheme:       p.scheme,
 			RowPtrScheme: p.rowptr,
@@ -190,9 +225,33 @@ func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
 		// write its storage.
 		opt.Preconditioner = e.pre
 	}
+	if s.testStateHook != nil {
+		opt.StateHook = s.testStateHook
+	}
+	// The engine's progress hook feeds the job trace: the residual
+	// trajectory iteration by iteration, and one recovery span plus one
+	// journal entry per checkpoint rollback — the per-fault visibility
+	// the lifetime counters on /metrics cannot give.
+	opt.Progress = func(ev solvers.ProgressEvent) {
+		switch ev.Kind {
+		case solvers.ProgressIteration:
+			j.trace.Residual(ev.Residual)
+		case solvers.ProgressRollback:
+			detail := fmt.Sprintf("iteration %d rolled back, resuming at %d", ev.Iteration, ev.Resumed)
+			j.trace.Add(StageRecovery, time.Now().Add(-ev.Duration), ev.Duration, detail)
+			s.observe(StageRecovery, ev.Duration)
+			s.journal.Append(obs.Event{
+				Kind: obs.EventSolverRollback, Job: j.id, Operator: opShort(j.key),
+				Detail: detail,
+			})
+			s.log.Warn("solver rollback", "job", j.id, "iteration", ev.Iteration, "resumed", ev.Resumed)
+		}
+	}
+	endSolve := j.trace.Start(StageSolve)
 	e.mu.RLock()
 	sres, serr := solvers.Solve(p.kind, a, x, b, opt)
 	e.mu.RUnlock()
+	s.observe(StageSolve, endSolve(p.kind.String()))
 	if serr != nil {
 		return nil, e, serr
 	}

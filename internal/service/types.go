@@ -13,10 +13,12 @@ package service
 
 import (
 	"fmt"
+	"time"
 
 	"abft/internal/core"
 	"abft/internal/csr"
 	"abft/internal/mm"
+	"abft/internal/obs"
 	"abft/internal/op"
 	"abft/internal/precond"
 	"abft/internal/shard"
@@ -330,6 +332,17 @@ const (
 type JobStatus struct {
 	ID    string   `json:"id"`
 	State JobState `json:"state"`
+	// Submitted/Started/Finished timestamp the job's lifecycle edges:
+	// Started - Submitted is the queue wait, Finished - Started the
+	// execution time, without scraping /metrics. Started and Finished
+	// are nil until the job reaches those edges.
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// Trace summarises the job's stage spans (seconds per stage plus
+	// span and residual counts); the full span list, residual
+	// trajectory and fault counters are at GET /v1/jobs/{id}/trace.
+	Trace *obs.TraceSummary `json:"trace,omitempty"`
 	// Result is set once State is done.
 	Result *SolveResult `json:"result,omitempty"`
 	// Error is set once State is failed. Fault is true when the failure
@@ -338,3 +351,13 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 	Fault bool   `json:"fault,omitempty"`
 }
+
+// TraceSnapshot is the body of GET /v1/jobs/{id}/trace: the job's stage
+// spans, fault counters and per-iteration residual trajectory.
+type TraceSnapshot = obs.TraceSnapshot
+
+// TraceSummary is the condensed per-stage timing embedded in JobStatus.
+type TraceSummary = obs.TraceSummary
+
+// Event is one fault-journal entry of GET /v1/events.
+type Event = obs.Event

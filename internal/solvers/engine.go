@@ -1,6 +1,8 @@
 package solvers
 
 import (
+	"time"
+
 	"abft/internal/core"
 	"abft/internal/par"
 )
@@ -219,6 +221,42 @@ func (e *engine) rollback(it int, cause error) (resume int, ok bool) {
 	return e.ckpt.it + 1, true
 }
 
+// takeCheckpoint is snapshot plus observability: the snapshot is timed
+// and reported through Options.Progress when a hook is installed.
+func (e *engine) takeCheckpoint(it int) error {
+	start := time.Now()
+	if err := e.snapshot(it); err != nil {
+		return err
+	}
+	if e.opt.Progress != nil {
+		e.opt.Progress(ProgressEvent{
+			Kind:      ProgressCheckpoint,
+			Iteration: it,
+			Residual:  e.res.ResidualNorm,
+			Duration:  time.Since(start),
+		})
+	}
+	return nil
+}
+
+// recover is rollback plus observability: a successful restore is timed
+// and reported through Options.Progress with the iteration the solve
+// resumes from.
+func (e *engine) recover(it int, cause error) (resume int, ok bool) {
+	start := time.Now()
+	resume, ok = e.rollback(it, cause)
+	if ok && e.opt.Progress != nil {
+		e.opt.Progress(ProgressEvent{
+			Kind:      ProgressRollback,
+			Iteration: it,
+			Residual:  e.res.ResidualNorm,
+			Resumed:   resume,
+			Duration:  time.Since(start),
+		})
+	}
+	return resume, ok
+}
+
 // run drives the iteration loop. step performs one recurrence iteration
 // — updating the live vectors, appending Alphas/Betas and setting
 // res.ResidualNorm — and reports whether the stopping rule is met.
@@ -233,7 +271,7 @@ func (e *engine) rollback(it int, cause error) (resume int, ok bool) {
 // checkpoint zero — the restart policy's only checkpoint.
 func (e *engine) run(step func(it int) (bool, error)) (Result, error) {
 	if e.recovering() {
-		if err := e.snapshot(0); err != nil {
+		if err := e.takeCheckpoint(0); err != nil {
 			return e.res, iterErr(e.solver, 0, err)
 		}
 	}
@@ -245,12 +283,19 @@ func (e *engine) run(step func(it int) (bool, error)) (Result, error) {
 		}
 		done, err := step(it)
 		if err != nil {
-			resume, ok := e.rollback(it, err)
+			resume, ok := e.recover(it, err)
 			if !ok {
 				return e.res, iterErr(e.solver, it, err)
 			}
 			it = resume
 			continue
+		}
+		if e.opt.Progress != nil {
+			e.opt.Progress(ProgressEvent{
+				Kind:      ProgressIteration,
+				Iteration: it,
+				Residual:  e.res.ResidualNorm,
+			})
 		}
 		if e.opt.RecordHistory {
 			e.res.History = append(e.res.History, e.res.ResidualNorm)
@@ -260,8 +305,8 @@ func (e *engine) run(step func(it int) (bool, error)) (Result, error) {
 			return e.res, nil
 		}
 		if e.rec.Policy == RecoveryRollback && it%e.interval == 0 {
-			if err := e.snapshot(it); err != nil {
-				resume, ok := e.rollback(it, err)
+			if err := e.takeCheckpoint(it); err != nil {
+				resume, ok := e.recover(it, err)
 				if !ok {
 					return e.res, iterErr(e.solver, it, err)
 				}

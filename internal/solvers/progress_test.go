@@ -1,0 +1,91 @@
+package solvers
+
+import (
+	"testing"
+
+	"abft/internal/core"
+)
+
+// TestProgressHookObservesMilestones drives a faulted rollback solve
+// with the Progress hook installed and checks the milestone stream: one
+// iteration event per completed recurrence iteration with its residual,
+// one checkpoint event per snapshot, and a rollback event carrying the
+// resume point and a measured restore duration.
+func TestProgressHookObservesMilestones(t *testing.T) {
+	op, x, b, _ := recoverySystem(t)
+	opt := Options{Tol: 1e-10, Recovery: Recovery{Policy: RecoveryRollback, Interval: 4}}
+	struck := false
+	opt.StateHook = func(it int, live []*core.Vector) {
+		if it == 6 && !struck {
+			struck = true
+			corrupt(live[1], 3)
+		}
+	}
+	var iterations, checkpoints int
+	var rollbacks []ProgressEvent
+	var lastResidual float64
+	opt.Progress = func(ev ProgressEvent) {
+		switch ev.Kind {
+		case ProgressIteration:
+			iterations++
+			lastResidual = ev.Residual
+		case ProgressCheckpoint:
+			checkpoints++
+		case ProgressRollback:
+			rollbacks = append(rollbacks, ev)
+		}
+	}
+	res, err := CG(op, x, b, opt)
+	if err != nil || !res.Converged {
+		t.Fatalf("rollback solve failed: %v %+v", err, res)
+	}
+	if res.Rollbacks != 1 || len(rollbacks) != 1 {
+		t.Fatalf("rollback events %d, result rollbacks %d, want 1 each", len(rollbacks), res.Rollbacks)
+	}
+	rb := rollbacks[0]
+	// The strike at iteration 6 rolls back to the checkpoint at 4.
+	if rb.Iteration != 6 || rb.Resumed != 5 {
+		t.Fatalf("rollback attribution: %+v", rb)
+	}
+	if rb.Duration <= 0 {
+		t.Fatalf("rollback restore not timed: %+v", rb)
+	}
+	// Each completed iteration reports once; the faulted iteration does
+	// not (its step failed), but its recomputed replays do.
+	if want := res.Iterations + res.RecomputedIterations - 1; iterations != want {
+		t.Fatalf("iteration events %d, want %d (iterations %d + recomputed %d - faulted 1)",
+			iterations, want, res.Iterations, res.RecomputedIterations)
+	}
+	if checkpoints != res.Checkpoints {
+		t.Fatalf("checkpoint events %d, result checkpoints %d", checkpoints, res.Checkpoints)
+	}
+	if lastResidual != res.ResidualNorm {
+		t.Fatalf("last observed residual %v, final %v", lastResidual, res.ResidualNorm)
+	}
+}
+
+// TestProgressHookCleanSolve pins the fault-free stream: iteration
+// events only (plus the rollback policy's checkpoint cadence), and no
+// events at all with no hook installed.
+func TestProgressHookCleanSolve(t *testing.T) {
+	op, x, b, _ := recoverySystem(t)
+	var events, rollbacks int
+	res, err := CG(op, x, b, Options{
+		Tol: 1e-10,
+		Progress: func(ev ProgressEvent) {
+			events++
+			if ev.Kind == ProgressRollback {
+				rollbacks++
+			}
+		},
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("clean solve failed: %v %+v", err, res)
+	}
+	if rollbacks != 0 {
+		t.Fatalf("clean solve reported %d rollbacks", rollbacks)
+	}
+	if events != res.Iterations {
+		t.Fatalf("events %d, iterations %d (recovery off: no checkpoint events)", events, res.Iterations)
+	}
+}

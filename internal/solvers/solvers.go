@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"abft/internal/core"
 )
@@ -129,6 +130,42 @@ type Options struct {
 	// the fault campaigns of internal/faults use to corrupt dynamic
 	// solver state mid-solve. Not intended for general use.
 	StateHook func(it int, live []*core.Vector)
+	// Progress, when set, observes iteration-engine milestones as they
+	// happen: one event per completed iteration (with the current
+	// residual norm), per checkpoint snapshot and per rollback. The
+	// solve service uses it to build per-job traces and the fault-event
+	// journal; callers must not block in it.
+	Progress func(ProgressEvent)
+}
+
+// ProgressKind names an iteration-engine milestone.
+type ProgressKind int
+
+const (
+	// ProgressIteration: one recurrence iteration completed;
+	// Iteration/Residual hold its index and residual norm.
+	ProgressIteration ProgressKind = iota
+	// ProgressCheckpoint: the recovery controller snapshotted the live
+	// vectors after Iteration; Duration is the snapshot wall time.
+	ProgressCheckpoint
+	// ProgressRollback: a detected uncorrectable fault at Iteration was
+	// rolled back; Resumed is the iteration the solve restarts from and
+	// Duration the checkpoint-restore wall time.
+	ProgressRollback
+)
+
+// ProgressEvent is one Options.Progress observation.
+type ProgressEvent struct {
+	Kind      ProgressKind
+	Iteration int
+	// Residual is the residual L2 norm after Iteration (iteration and
+	// checkpoint events; rollback events carry the restored norm).
+	Residual float64
+	// Resumed is the iteration a rollback resumes from.
+	Resumed int
+	// Duration is the wall time of the checkpoint snapshot or rollback
+	// restore.
+	Duration time.Duration
 }
 
 // Defaults applied by withDefaults, named so validation errors can

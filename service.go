@@ -2,8 +2,10 @@ package abft
 
 import (
 	"io"
+	"log/slog"
 
 	"abft/internal/mm"
+	"abft/internal/obs"
 	"abft/internal/service"
 )
 
@@ -40,6 +42,27 @@ type SolveJobResult = service.SolveResult
 
 // SolveJobStatus is the body of GET /v1/jobs/{id}.
 type SolveJobStatus = service.JobStatus
+
+// SolveTrace is the body of GET /v1/jobs/{id}/trace: the job's stage
+// spans (admission, queue wait, operator build, solve, rollback
+// recovery, retry), its fault counters, and the per-iteration residual
+// trajectory.
+type SolveTrace = service.TraceSnapshot
+
+// SolveTraceSummary is the condensed per-stage timing embedded in a
+// SolveJobStatus.
+type SolveTraceSummary = service.TraceSummary
+
+// FaultEvent is one entry of GET /v1/events: a scrub correction or
+// eviction, a read-path fault detection, a solver rollback or a job
+// retry, timestamped and attributed to the job and operator involved.
+type FaultEvent = service.Event
+
+// NewServiceLogger builds the leveled structured JSON logger a
+// ServiceConfig.Logger expects, writing one object per line to w.
+func NewServiceLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return obs.NewLogger(w, level)
+}
 
 // ReadMatrixMarket parses a MatrixMarket coordinate document into an
 // unprotected CSR matrix (symmetric inputs are expanded); see
