@@ -40,7 +40,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("abftbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,spmv,pcg,recovery,all")
+		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,spmv,spmm,pcg,recovery,all")
 		nx      = fs.Int("nx", 128, "grid cells per side (paper: 2048)")
 		steps   = fs.Int("steps", 2, "timesteps per run (paper: 5)")
 		runs    = fs.Int("runs", 3, "repetitions averaged (paper: 5)")
@@ -171,6 +171,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 		bench.PrintRows(out, "SpMV: verified read-path overhead per format (no solver)", rows)
 		collect("spmv", rows)
+	}
+	if all || want["spmm"] {
+		rows, err := bench.SpMMAmortization(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintRows(out, "SpMM: verified per-RHS cost vs batch width (amortized read path)", rows)
+		collect("spmm", rows)
 	}
 	if all || want["shards"] {
 		counts, err := parseShardCounts(*shards)

@@ -72,9 +72,13 @@ func run(args []string) error {
 		return fmt.Errorf("no shared samples between %s and %s", *basePath, *candPath)
 	}
 
+	// The per-name table prints on every run, pass or fail, so CI logs
+	// always show the overhead trajectory at a glance.
 	sampleLimit := 1 + *sampleSlack/100
 	var failures []string
 	logRatioSum := 0.0
+	fmt.Printf("%-44s %9s -> %9s  %9s -> %9s  %6s  %s\n",
+		"sample", "base ovh", "cand ovh", "base ns", "cand ns", "ratio", "status")
 	for _, name := range shared {
 		b, c := baseBy[name], candBy[name]
 		// Overheads below zero (a protected run beating its baseline by
@@ -86,8 +90,8 @@ func run(args []string) error {
 			status = "REGRESSED"
 			failures = append(failures, name)
 		}
-		fmt.Printf("%-44s baseline %+7.1f%%  candidate %+7.1f%%  ratio %.3f  %s\n",
-			name, b.OverheadPct, c.OverheadPct, ratio, status)
+		fmt.Printf("%-44s %+8.1f%% -> %+8.1f%%  %9d -> %9d  %6.3f  %s\n",
+			name, b.OverheadPct, c.OverheadPct, b.NsPerOp, c.NsPerOp, ratio, status)
 	}
 	for _, name := range only(baseBy, candBy) {
 		fmt.Printf("%-44s only in baseline (skipped)\n", name)

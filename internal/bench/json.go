@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os/exec"
 	"runtime"
 	"runtime/debug"
+	"strings"
 )
 
 // JSONResult is one machine-readable benchmark sample, the schema the
@@ -61,27 +63,42 @@ type RunMeta struct {
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
-	// GitCommit is the vcs revision stamped into the binary, empty when
-	// the build carries no VCS info (e.g. `go run` from a dirty tree).
+	// GitCommit is the revision the samples were measured at: the
+	// worktree's short HEAD when git is reachable, otherwise the vcs
+	// revision stamped into the binary, otherwise "unknown". Builds from
+	// test binaries and `go run` carry no VCS stamp, which used to leave
+	// committed trajectories without provenance.
 	GitCommit string `json:"git_commit,omitempty"`
 }
 
 // CollectMeta captures the current run environment.
 func CollectMeta() RunMeta {
-	m := RunMeta{
+	return RunMeta{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitCommit:  gitCommit(),
+	}
+}
+
+// gitCommit resolves the revision for RunMeta.GitCommit: git first
+// (works in every dev and CI invocation, including `go run` and test
+// binaries), the binary's build info second, "unknown" last.
+func gitCommit() string {
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
 	}
 	if info, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range info.Settings {
-			if s.Key == "vcs.revision" {
-				m.GitCommit = s.Value
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
 			}
 		}
 	}
-	return m
+	return "unknown"
 }
 
 // Report is the on-disk schema of a benchmark run: the environment it

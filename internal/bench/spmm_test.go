@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+func TestSpMMAmortizationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrated benchmark batches in -short mode")
+	}
+	rows, err := SpMMAmortization(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 formats x 3 widths, plus one multi-worker sample.
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows, want 10: %+v", len(rows), rows)
+	}
+	labels := make(map[string]bool)
+	for _, r := range rows {
+		if r.Base <= 0 || r.Protected <= 0 {
+			t.Fatalf("non-positive measurement: %+v", r)
+		}
+		labels[r.Label] = true
+	}
+	for _, want := range []string{"csr/k-1", "csr/k-16", "coo/k-4",
+		"sellcs/k-16", "csr/k-16/workers-2"} {
+		if !labels[want] {
+			t.Fatalf("missing label %q in %+v", want, rows)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"abft/internal/csr"
+)
+
+func TestMultiVectorBasics(t *testing.T) {
+	mv := NewMultiVector(10, 3, SECDED64)
+	if mv.Len() != 10 || mv.K() != 3 || mv.Scheme() != SECDED64 {
+		t.Fatalf("unexpected geometry: len=%d k=%d scheme=%v", mv.Len(), mv.K(), mv.Scheme())
+	}
+	if mv.Blocks() != mv.Col(0).Blocks() {
+		t.Fatalf("Blocks mismatch: %d vs %d", mv.Blocks(), mv.Col(0).Blocks())
+	}
+	c := &Counters{}
+	mv.SetCounters(c)
+	for j := 0; j < 3; j++ {
+		mv.Col(j).Fill(float64(j + 1))
+	}
+	span := mv.Blocks() * vecBlock
+	buf := make([]float64, 3*span)
+	if err := mv.ReadBlocksInto(0, mv.Blocks(), buf); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 10; i++ {
+			if buf[j*span+i] != float64(j+1) {
+				t.Fatalf("col %d elem %d: got %g", j, i, buf[j*span+i])
+			}
+		}
+	}
+	if c.Checks() == 0 {
+		t.Fatal("batched read accounted no checks")
+	}
+	if _, err := mv.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mv.ReadBlocksInto(0, mv.Blocks(), buf[:1]); err == nil {
+		t.Fatal("short destination accepted")
+	}
+}
+
+func TestWrapMultiVectorValidates(t *testing.T) {
+	a := NewVector(8, SED)
+	b := NewVector(8, SED)
+	mv, err := WrapMultiVector(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.K() != 2 || mv.Col(1) != b {
+		t.Fatal("wrap did not share columns")
+	}
+	if _, err := WrapMultiVector(); err == nil {
+		t.Fatal("empty wrap accepted")
+	}
+	if _, err := WrapMultiVector(a, NewVector(9, SED)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := WrapMultiVector(a, NewVector(8, CRC32C)); err == nil {
+		t.Fatal("scheme mismatch accepted")
+	}
+}
+
+// TestApplyBatchMatchesApply checks the tentpole invariant on the CSR
+// kernel directly: one batched pass is bit-identical to k independent
+// single-RHS products, per scheme, serial and parallel.
+func TestApplyBatchMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	src := csr.Laplacian2D(11, 9)
+	const k = 3
+	xs := make([][]float64, k)
+	for j := range xs {
+		xs[j] = randSlice(rng, src.Cols32())
+	}
+	for _, es := range Schemes {
+		for _, vs := range []Scheme{None, SECDED64} {
+			m, err := NewMatrix(src, MatrixOptions{ElemScheme: es, RowPtrScheme: es})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := NewMultiVector(src.Cols32(), k, vs)
+			for j := range xs {
+				for b := 0; b*vecBlock < len(xs[j]); b++ {
+					var blk [vecBlock]float64
+					copy(blk[:], xs[j][b*vecBlock:])
+					x.Col(j).WriteBlock(b, &blk)
+				}
+			}
+			for _, workers := range []int{1, 4} {
+				dst := NewMultiVector(src.Rows(), k, vs)
+				if err := m.ApplyBatch(dst, x, workers); err != nil {
+					t.Fatalf("%v/%v workers=%d: %v", es, vs, workers, err)
+				}
+				for j := 0; j < k; j++ {
+					want := NewVector(src.Rows(), vs)
+					if err := m.Apply(want, x.Col(j), workers); err != nil {
+						t.Fatal(err)
+					}
+					got := make([]float64, src.Rows())
+					ref := make([]float64, src.Rows())
+					if err := dst.Col(j).CopyTo(got); err != nil {
+						t.Fatal(err)
+					}
+					if err := want.CopyTo(ref); err != nil {
+						t.Fatal(err)
+					}
+					for i := range ref {
+						if got[i] != ref[i] {
+							t.Fatalf("%v/%v workers=%d col %d row %d: got %x want %x",
+								es, vs, workers, j, i,
+								math.Float64bits(got[i]), math.Float64bits(ref[i]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestApplyBatchDimensionMismatch(t *testing.T) {
+	src := csr.Laplacian2D(4, 4)
+	m, _ := NewMatrix(src, MatrixOptions{})
+	if err := m.ApplyBatch(NewMultiVector(3, 2, None), NewMultiVector(16, 2, None), 1); err == nil {
+		t.Fatal("wrong dst length accepted")
+	}
+	if err := m.ApplyBatch(NewMultiVector(16, 2, None), NewMultiVector(16, 3, None), 1); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+// TestApplyBatchCorrectsFaultInFlight flips one storage bit and checks
+// that a committing batched pass repairs it while producing the clean
+// product in every column.
+func TestApplyBatchCorrectsFaultInFlight(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	src := csr.Laplacian2D(8, 8)
+	m, err := NewMatrix(src, MatrixOptions{ElemScheme: SECDED64, RowPtrScheme: SECDED64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Counters{}
+	m.SetCounters(c)
+	const k = 2
+	x := NewMultiVector(src.Cols32(), k, None)
+	for j := 0; j < k; j++ {
+		data := randSlice(rng, src.Cols32())
+		for b := 0; b*vecBlock < len(data); b++ {
+			var blk [vecBlock]float64
+			copy(blk[:], data[b*vecBlock:])
+			x.Col(j).WriteBlock(b, &blk)
+		}
+	}
+	clean := NewMultiVector(src.Rows(), k, None)
+	if err := m.ApplyBatch(clean, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.RawVals()[7] = math.Float64frombits(math.Float64bits(m.RawVals()[7]) ^ 1<<33)
+	dst := NewMultiVector(src.Rows(), k, None)
+	if err := m.ApplyBatch(dst, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Corrected() != 1 {
+		t.Fatalf("corrected = %d, want 1", c.Corrected())
+	}
+	for j := 0; j < k; j++ {
+		a := make([]float64, src.Rows())
+		b := make([]float64, src.Rows())
+		if err := clean.Col(j).CopyTo(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Col(j).CopyTo(b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("col %d row %d: %g vs %g", j, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestMultiVectorSharedReadNoCommit: the batched shared read corrects a
+// stored fault in flight without writing the repair back, mirroring the
+// commit discipline of ReadBlockShared per column.
+func TestMultiVectorSharedReadNoCommit(t *testing.T) {
+	data := []float64{1.5, -2.25, 3.125, 4, 5, -6, 7.5, 8}
+	a := VectorFromSlice(data, SECDED64)
+	b := VectorFromSlice(data, SECDED64)
+	mv, err := WrapMultiVector(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Counters{}
+	mv.SetCounters(c)
+
+	// Single-bit flip in column 1's stored words: correctable, and the
+	// shared read must mask it without committing.
+	b.Raw()[1] ^= 1 << 17
+
+	span := mv.Blocks() * vecBlock
+	buf := make([]float64, 2*span)
+	if err := mv.ReadBlocksSharedInto(0, mv.Blocks(), buf); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		for i, want := range data {
+			if buf[j*span+i] != want {
+				t.Fatalf("col %d elem %d: got %v want %v", j, i, buf[j*span+i], want)
+			}
+		}
+	}
+	if c.Corrected() == 0 {
+		t.Fatal("no correction recorded for the injected flip")
+	}
+	corrected, err := mv.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected == 0 {
+		t.Fatal("shared read committed the repair to storage")
+	}
+
+	if err := mv.ReadBlocksSharedInto(0, mv.Blocks(), buf[:1]); err == nil {
+		t.Fatal("short destination accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package op
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"abft/internal/core"
+)
+
+// batchRefColumns builds k deterministic, mutually distinct source
+// columns for the batched-kernel parity tests.
+func batchRefColumns(n, k int) [][]float64 {
+	cols := make([][]float64, k)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+		for i := range cols[j] {
+			cols[j][i] = float64((i*13+j*7)%29) - 14 + float64((i+j)%7)/8
+		}
+	}
+	return cols
+}
+
+func batchMultiVector(cols [][]float64, s core.Scheme) *core.MultiVector {
+	vecs := make([]*core.Vector, len(cols))
+	for j := range cols {
+		vecs[j] = core.VectorFromSlice(cols[j], s)
+	}
+	mv, err := core.WrapMultiVector(vecs...)
+	if err != nil {
+		panic(err)
+	}
+	return mv
+}
+
+// TestConformanceApplyBatchParity asserts the tentpole invariant for
+// every format x scheme pair: one batched pass over the matrix is
+// bit-identical to k independent single-RHS Apply calls, serial and
+// parallel, in exclusive and shared (no-commit) mode.
+func TestConformanceApplyBatchParity(t *testing.T) {
+	const k = 3
+	forEachPair(t, func(t *testing.T, f Format, s core.Scheme) {
+		plain := testMatrix(t)
+		cols := batchRefColumns(plain.Cols32(), k)
+		for _, shared := range []bool{false, true} {
+			for _, workers := range []int{1, 4} {
+				m, err := New(f, plain, Config{Scheme: s, RowPtrScheme: s})
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.SetShared(shared)
+				ba, ok := m.(core.BatchApplier)
+				if !ok {
+					t.Fatalf("%v does not implement core.BatchApplier", f)
+				}
+				x := batchMultiVector(cols, core.None)
+				dst := core.NewMultiVector(m.Rows(), k, core.None)
+				if err := ba.ApplyBatch(dst, x, workers); err != nil {
+					t.Fatalf("shared=%v workers=%d: %v", shared, workers, err)
+				}
+				for j := 0; j < k; j++ {
+					single := core.NewVector(m.Rows(), core.None)
+					if err := m.Apply(single, core.VectorFromSlice(cols[j], core.None), workers); err != nil {
+						t.Fatal(err)
+					}
+					want := make([]float64, m.Rows())
+					got := make([]float64, m.Rows())
+					if err := single.CopyTo(want); err != nil {
+						t.Fatal(err)
+					}
+					if err := dst.Col(j).CopyTo(got); err != nil {
+						t.Fatal(err)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("shared=%v workers=%d col %d row %d: batch %x single %x",
+								shared, workers, j, i,
+								math.Float64bits(got[i]), math.Float64bits(want[i]))
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestConformanceApplyBatchFaultMidBatch corrupts one element codeword
+// and asserts the batched kernel's verify-then-stream contract per
+// DESIGN §12: in shared mode the corrective fallback produces the clean
+// product in every column while leaving storage stale for the scrub; in
+// exclusive mode the repair is committed. Correction counts match
+// between the two modes, and SED detects in both.
+func TestConformanceApplyBatchFaultMidBatch(t *testing.T) {
+	const k = 3
+	forEachPair(t, func(t *testing.T, f Format, s core.Scheme) {
+		if s == core.None {
+			t.Skip("baseline has no protection")
+		}
+		plain := testMatrix(t)
+		cols := batchRefColumns(plain.Cols32(), k)
+		// Clean per-column references from the unprotected CSR product.
+		want := make([][]float64, k)
+		for j := range want {
+			want[j] = make([]float64, plain.Rows())
+			plain.SpMV(want[j], cols[j])
+		}
+		counts := map[bool]uint64{}
+		for _, shared := range []bool{false, true} {
+			m, err := New(f, plain, Config{Scheme: s, RowPtrScheme: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var c core.Counters
+			m.SetCounters(&c)
+			m.SetShared(shared)
+			flipValueBit(m)
+			x := batchMultiVector(cols, core.None)
+			dst := core.NewMultiVector(m.Rows(), k, core.None)
+			applyErr := m.(core.BatchApplier).ApplyBatch(dst, x, 1)
+
+			if s == core.SED {
+				var fe *core.FaultError
+				if applyErr == nil || !errors.As(applyErr, &fe) {
+					t.Fatalf("shared=%v: SED did not detect: %v", shared, applyErr)
+				}
+				if c.Detected() == 0 {
+					t.Fatalf("shared=%v: detection not counted", shared)
+				}
+				counts[shared] = c.Detected()
+				continue
+			}
+			if applyErr != nil {
+				t.Fatalf("shared=%v: correctable fault surfaced as error: %v", shared, applyErr)
+			}
+			if c.Corrected() == 0 {
+				t.Fatalf("shared=%v: no correction recorded", shared)
+			}
+			counts[shared] = c.Corrected()
+			for j := 0; j < k; j++ {
+				got := make([]float64, m.Rows())
+				if err := dst.Col(j).CopyTo(got); err != nil {
+					t.Fatal(err)
+				}
+				for i := range want[j] {
+					if got[i] != want[j][i] {
+						t.Fatalf("shared=%v col %d row %d: diverged after correction", shared, j, i)
+					}
+				}
+			}
+			// Commit discipline: exclusive mode repaired storage, shared
+			// mode left the raw fault for the scrub.
+			corrected, err := m.Scrub()
+			if err != nil {
+				t.Fatalf("shared=%v: scrub: %v", shared, err)
+			}
+			wantLate := 0
+			if shared {
+				wantLate = 1
+			}
+			if corrected != wantLate {
+				t.Fatalf("shared=%v: scrub corrected %d, want %d", shared, corrected, wantLate)
+			}
+		}
+		if counts[false] != counts[true] {
+			t.Fatalf("counter parity violated: exclusive %d, shared %d", counts[false], counts[true])
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package sell
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"abft/internal/core"
+	"abft/internal/csr"
+)
+
+// batchColumns builds k deterministic input columns plus the per-column
+// single-RHS reference products from the unprotected source.
+func batchColumns(t *testing.T, plain *csr.Matrix, k int) (xbufs [][]float64, want [][]float64) {
+	t.Helper()
+	cols := int(plain.Cols32())
+	xbufs = make([][]float64, k)
+	want = make([][]float64, k)
+	for j := 0; j < k; j++ {
+		xs := make([]float64, cols)
+		for i := range xs {
+			xs[i] = float64((i*5+j*17)%19) - 9
+		}
+		ref := make([]float64, plain.Rows())
+		plain.SpMV(ref, xs)
+		xbufs[j] = xs
+		want[j] = ref
+	}
+	return xbufs, want
+}
+
+func wrapBatch(t *testing.T, xbufs [][]float64) *core.MultiVector {
+	t.Helper()
+	cols := make([]*core.Vector, len(xbufs))
+	for j := range xbufs {
+		cols[j] = core.VectorFromSlice(xbufs[j], core.None)
+	}
+	mv, err := core.WrapMultiVector(cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mv
+}
+
+func checkBatch(t *testing.T, dst *core.MultiVector, want [][]float64, label string) {
+	t.Helper()
+	got := make([]float64, dst.Len())
+	for j := 0; j < dst.K(); j++ {
+		if err := dst.Col(j).CopyTo(got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want[j] {
+			if got[i] != want[j][i] {
+				t.Fatalf("%s col %d row %d: got %v want %v (batched product diverged)",
+					label, j, i, got[i], want[j][i])
+			}
+		}
+	}
+}
+
+// TestApplyBatchMatchesApply: a clean batched window sweep is
+// bit-identical to k independent single-RHS Apply calls, for every
+// scheme and both serial and window-parallel execution.
+func TestApplyBatchMatchesApply(t *testing.T) {
+	for _, s := range []core.Scheme{core.None, core.SED, core.SECDED64, core.SECDED128, core.CRC32C} {
+		for _, workers := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%v_workers=%d", s, workers), func(t *testing.T) {
+				plain := skewed(t, 41, 31)
+				xbufs, want := batchColumns(t, plain, 3)
+
+				m, err := NewMatrix(plain, Options{Scheme: s, Sigma: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var c core.Counters
+				m.SetCounters(&c)
+
+				dst := core.NewMultiVector(m.Rows(), 3, core.None)
+				if err := m.ApplyBatch(dst, wrapBatch(t, xbufs), workers); err != nil {
+					t.Fatal(err)
+				}
+				checkBatch(t, dst, want, "clean")
+			})
+		}
+	}
+}
+
+// TestApplyBatchSharedFallback drives the batched window sweep through
+// its corrective branch: one value-bit flip per slice in shared mode
+// makes every slice verify report dirty without committing the repair,
+// so applyWindowBatch must stream each slice through the local
+// per-lane decode while every column stays bit-exact against the
+// unprotected reference and the stored faults survive for the owner's
+// scrub.
+func TestApplyBatchSharedFallback(t *testing.T) {
+	for _, s := range []core.Scheme{core.SECDED64, core.SECDED128, core.CRC32C} {
+		for _, shared := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v_shared=%v", s, shared), func(t *testing.T) {
+				plain := skewed(t, 41, 31)
+				xbufs, want := batchColumns(t, plain, 3)
+
+				m, err := NewMatrix(plain, Options{Scheme: s, Sigma: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var c core.Counters
+				m.SetCounters(&c)
+				m.SetShared(shared)
+
+				v := m.RawVals()
+				for sl := 0; sl < m.Slices(); sl++ {
+					lo := m.slicePtr[sl]
+					k := lo + (m.slicePtr[sl+1]-lo)/2
+					v[k] = math.Float64frombits(math.Float64bits(v[k]) ^ 1<<40)
+				}
+
+				for _, workers := range []int{1, 3} {
+					dst := core.NewMultiVector(m.Rows(), 3, core.None)
+					if err := m.ApplyBatch(dst, wrapBatch(t, xbufs), workers); err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					checkBatch(t, dst, want, fmt.Sprintf("workers=%d", workers))
+				}
+				if c.Corrected() == 0 {
+					t.Fatal("no correction recorded for the injected flips")
+				}
+
+				m.SetShared(false)
+				corrected, err := m.Scrub()
+				if err != nil {
+					t.Fatalf("scrub: %v", err)
+				}
+				if shared && corrected == 0 {
+					t.Fatal("shared ApplyBatch committed a repair to storage")
+				}
+				if !shared && corrected != 0 {
+					t.Fatalf("exclusive ApplyBatch left %d faults in storage", corrected)
+				}
+			})
+		}
+	}
+}
+
+// TestApplyBatchShapeErrors: dimension and width mismatches are rejected
+// before any arithmetic.
+func TestApplyBatchShapeErrors(t *testing.T) {
+	plain := skewed(t, 41, 31)
+	m, err := NewMatrix(plain, Options{Scheme: core.SECDED64, Sigma: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := core.NewMultiVector(int(plain.Cols32()), 2, core.None)
+	short := core.NewMultiVector(m.Rows()+4, 2, core.None)
+	if err := m.ApplyBatch(short, x, 1); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	wide := core.NewMultiVector(m.Rows(), 3, core.None)
+	if err := m.ApplyBatch(wide, x, 1); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}

@@ -56,6 +56,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, f := range formats {
 		fmt.Fprintf(w, "abftd_autotune_format_total{format=%q} %d\n", f.name, f.n)
 	}
+	counter("abftd_jobs_coalesced_total", "Queued single-RHS jobs merged into another job's batched solve.", s.jobsCoalesced.Load())
+	// Batch-width histogram, hand-rendered over the fixed power-of-two
+	// buckets: one observation per executed solve, width 1 included, so
+	// the batched fraction of traffic is readable from the scrape.
+	fmt.Fprintf(w, "# HELP abftd_batch_width Right-hand sides carried per executed solve (1 = solo).\n")
+	fmt.Fprintf(w, "# TYPE abftd_batch_width histogram\n")
+	var cum uint64
+	for i, b := range batchWidthBounds {
+		cum += s.batchWidths[i].Load()
+		fmt.Fprintf(w, "abftd_batch_width_bucket{le=\"%d\"} %d\n", b, cum)
+	}
+	fmt.Fprintf(w, "abftd_batch_width_bucket{le=\"+Inf\"} %d\n", s.batchWidthN.Load())
+	fmt.Fprintf(w, "abftd_batch_width_sum %d\n", s.batchWidthSum.Load())
+	fmt.Fprintf(w, "abftd_batch_width_count %d\n", s.batchWidthN.Load())
 	counter("abftd_jobs_recovered_total", "Jobs that finished after solver checkpoint rollbacks.", s.jobsRecovered.Load())
 	counter("abftd_jobs_retried_total", "Jobs retried against a rebuilt operator after a fault survived solver recovery.", s.jobsRetried.Load())
 	counter("abftd_solver_rollbacks_total", "Solver checkpoint rollbacks across all jobs.", s.rollbacks.Load())

@@ -97,10 +97,14 @@ const (
 	// StageRetry covers the service-level retry solve after a fault
 	// survived solver recovery.
 	StageRetry = "retry"
+	// StageCoalesce marks a job merged into another queued job's batched
+	// solve: on the passenger it covers submit to attach, on the leader
+	// the seal records the final batch width.
+	StageCoalesce = "queue_coalesce"
 )
 
 // stages lists every stage in /metrics display order.
-var stages = []string{StageAdmission, StageQueueWait, StageBuild, StageSolve, StageRecovery, StageRetry}
+var stages = []string{StageAdmission, StageQueueWait, StageCoalesce, StageBuild, StageSolve, StageRecovery, StageRetry}
 
 // opShort shortens an operator cache key (content hash plus knobs) to a
 // journal-friendly attribution tag.
@@ -125,6 +129,14 @@ type job struct {
 	trace *obs.Trace
 	// submitted is set at admission and immutable after.
 	submitted time.Time
+	// coalKey is the coalescing identity of a batch-eligible single-RHS
+	// job (empty otherwise). passengers are later such jobs merged into
+	// this job's solve while it waited in the queue, and sealed flips
+	// when a worker picks the job up — no passenger attaches after. All
+	// three are guarded by the server's coalMu.
+	coalKey    string
+	passengers []*job
+	sealed     bool
 
 	mu       sync.Mutex
 	state    JobState
@@ -251,6 +263,37 @@ type Server struct {
 	// by op.Format.
 	jobsAutotuned    atomic.Uint64
 	autotunedFormats [3]atomic.Uint64
+
+	// Coalescer state: coalPending maps a coalesce key to the queued
+	// leader job later batch-eligible arrivals merge into (entries leave
+	// the map when a worker seals the leader). jobsCoalesced counts the
+	// merged passengers, and the batchWidth atomics back the
+	// abftd_batch_width histogram — one observation per executed solve,
+	// width 1 included, so the batched fraction of traffic is readable
+	// from the scrape.
+	coalMu        sync.Mutex
+	coalPending   map[string]*job
+	jobsCoalesced atomic.Uint64
+	batchWidths   [len(batchWidthBounds)]atomic.Uint64
+	batchWidthSum atomic.Uint64
+	batchWidthN   atomic.Uint64
+}
+
+// batchWidthBounds are the abftd_batch_width histogram buckets; the top
+// bound is maxBatchWidth, so no observation lands past the last bucket.
+var batchWidthBounds = [7]int{1, 2, 4, 8, 16, 32, 64}
+
+// observeBatchWidth records the right-hand-side count of one executed
+// solve into the abftd_batch_width histogram.
+func (s *Server) observeBatchWidth(k int) {
+	for i, b := range batchWidthBounds {
+		if k <= b {
+			s.batchWidths[i].Add(1)
+			break
+		}
+	}
+	s.batchWidthSum.Add(uint64(k))
+	s.batchWidthN.Add(1)
 }
 
 // New builds and starts a service: the worker pool begins draining the
@@ -259,13 +302,14 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		log:     cfg.Logger,
-		journal: obs.NewJournal(cfg.EventJournal),
-		hist:    make(map[string]*obs.Histogram, len(stages)),
-		queue:   make(chan *job, cfg.QueueDepth),
-		jobs:    make(map[string]*job),
-		start:   time.Now(),
+		cfg:         cfg,
+		log:         cfg.Logger,
+		journal:     obs.NewJournal(cfg.EventJournal),
+		hist:        make(map[string]*obs.Histogram, len(stages)),
+		queue:       make(chan *job, cfg.QueueDepth),
+		jobs:        make(map[string]*job),
+		coalPending: make(map[string]*job),
+		start:       time.Now(),
 	}
 	for _, st := range stages {
 		s.hist[st] = &obs.Histogram{}
@@ -400,6 +444,19 @@ func (s *Server) admit(req SolveRequest) (*job, error) {
 	if len(req.B) > 0 && len(req.B) != plain.Rows() {
 		return nil, fmt.Errorf("rhs length %d does not match %d rows", len(req.B), plain.Rows())
 	}
+	if len(req.RHSBatch) > 0 {
+		if len(req.B) > 0 {
+			return nil, fmt.Errorf("b and rhs_batch are mutually exclusive")
+		}
+		if len(req.RHSBatch) > maxBatchWidth {
+			return nil, fmt.Errorf("rhs_batch width %d exceeds the maximum %d", len(req.RHSBatch), maxBatchWidth)
+		}
+		for i, col := range req.RHSBatch {
+			if len(col) != plain.Rows() {
+				return nil, fmt.Errorf("rhs_batch[%d] length %d does not match %d rows", i, len(col), plain.Rows())
+			}
+		}
+	}
 	// Admission-time autotuning: after shard finalization has clamped
 	// the requested band count (so a shard format that no longer applies
 	// cannot pin the layout), knobs the request left unpinned are filled
@@ -428,6 +485,11 @@ func (s *Server) admit(req SolveRequest) (*job, error) {
 		submitted: admitStart,
 		done:      make(chan struct{}),
 	}
+	if len(req.RHSBatch) == 0 && batchKind(params.kind) {
+		// A batch-eligible single: later identical arrivals may coalesce
+		// into this job's solve (or this one into theirs) while queued.
+		j.coalKey = coalesceKey(j.key, params)
+	}
 	j.trace = obs.NewTrace(j.id)
 	detail := ""
 	if tuned != nil {
@@ -447,6 +509,9 @@ func (s *Server) enqueue(j *job) error {
 	if s.closed.Load() {
 		return fmt.Errorf("service: server closed")
 	}
+	if s.tryCoalesce(j) {
+		return nil
+	}
 	s.jobMu.Lock()
 	s.jobs[j.id] = j
 	s.jobMu.Unlock()
@@ -456,6 +521,15 @@ func (s *Server) enqueue(j *job) error {
 	select {
 	case s.queue <- j:
 		s.inflight.Add(1)
+		if j.coalKey != "" {
+			// Queued and batch-eligible: register as the coalesce leader
+			// for its key unless a worker picked it up already.
+			s.coalMu.Lock()
+			if !j.sealed {
+				s.coalPending[j.coalKey] = j
+			}
+			s.coalMu.Unlock()
+		}
 		if j.params.shards > 1 {
 			s.jobsSharded.Add(1)
 		}
@@ -477,6 +551,54 @@ func (s *Server) enqueue(j *job) error {
 		s.log.Warn("job rejected, queue full", "job", j.id, "queue_depth", s.cfg.QueueDepth)
 		return errQueueFull
 	}
+}
+
+// tryCoalesce merges a batch-eligible single-RHS job into an unsealed
+// queued leader with the same coalesce key, instead of taking a queue
+// slot: the leader's worker solves both right-hand sides through one
+// batched solve and splits the results back per job. Reports whether
+// the job was attached (its lifecycle is then driven by the leader).
+func (s *Server) tryCoalesce(j *job) bool {
+	if j.coalKey == "" {
+		return false
+	}
+	s.coalMu.Lock()
+	leader := s.coalPending[j.coalKey]
+	if leader == nil || leader.sealed || len(leader.passengers)+2 > maxBatchWidth {
+		s.coalMu.Unlock()
+		return false
+	}
+	leader.passengers = append(leader.passengers, j)
+	s.coalMu.Unlock()
+	s.jobMu.Lock()
+	s.jobs[j.id] = j
+	s.jobMu.Unlock()
+	s.inflight.Add(1)
+	s.jobsCoalesced.Add(1)
+	j.trace.Add(StageCoalesce, j.submitted, time.Since(j.submitted),
+		fmt.Sprintf("coalesced into %s", leader.id))
+	s.observe(StageCoalesce, time.Since(j.submitted))
+	s.log.Info("job coalesced", "job", j.id, "leader", leader.id,
+		"operator", opShort(j.key), "solver", j.params.kind.String())
+	return true
+}
+
+// seal closes a picked-up job to further coalescing and returns its
+// solve group: the job itself plus every passenger that attached while
+// it waited in the queue.
+func (s *Server) seal(j *job) []*job {
+	s.coalMu.Lock()
+	j.sealed = true
+	if j.coalKey != "" && s.coalPending[j.coalKey] == j {
+		delete(s.coalPending, j.coalKey)
+	}
+	group := append([]*job{j}, j.passengers...)
+	s.coalMu.Unlock()
+	if len(group) > 1 {
+		j.trace.Add(StageCoalesce, time.Now(), 0,
+			fmt.Sprintf("leading a coalesced batch of %d jobs", len(group)))
+	}
+	return group
 }
 
 // retire records a finished job and forgets the oldest ones beyond the

@@ -235,11 +235,18 @@ func TestEndToEndConcurrentSolves(t *testing.T) {
 	if cs.Builds != 2 {
 		t.Fatalf("cache builds = %d, want exactly 2 (one per distinct operator)", cs.Builds)
 	}
-	if cs.Hits != uint64(len(jobs))-2 {
-		t.Fatalf("cache hits = %d, want %d", cs.Hits, len(jobs)-2)
+	// Every executed solve either built or hit — but queued jobs with
+	// identical operator and options may have coalesced into a shared
+	// batched execution instead of taking a cache lookup of their own.
+	coal := srv.jobsCoalesced.Load()
+	if cs.Hits+coal != uint64(len(jobs))-2 {
+		t.Fatalf("cache hits = %d with %d coalesced jobs, want %d executions beyond the builds",
+			cs.Hits, coal, len(jobs)-2)
 	}
-	if hits != len(jobs)-2 {
-		t.Fatalf("%d jobs reported cache_hit, want %d", hits, len(jobs)-2)
+	// A hitting execution marks every job it carried as a cache hit, so
+	// at least one job reports each recorded hit.
+	if hits < int(cs.Hits) {
+		t.Fatalf("%d jobs reported cache_hit, below the cache's %d hits", hits, cs.Hits)
 	}
 	if cs.Entries != 2 {
 		t.Fatalf("cache entries = %d, want 2", cs.Entries)
@@ -524,7 +531,9 @@ func TestQueueFullRejects(t *testing.T) {
 		Tol:     1e-12,
 		MaxIter: 200000,
 	}
-	quick := SolveRequest{Matrix: MatrixSpec{Grid: &GridSpec{NX: 4, NY: 4}}, Tol: 1e-8}
+	// Jacobi is not batch-eligible, so every probe takes a real queue
+	// slot instead of coalescing into the first queued duplicate.
+	quick := SolveRequest{Matrix: MatrixSpec{Grid: &GridSpec{NX: 4, NY: 4}}, Solver: "jacobi", Tol: 1e-8}
 
 	first, err := srv.Submit(slow)
 	if err != nil {

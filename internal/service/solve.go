@@ -13,6 +13,11 @@ import (
 )
 
 func (s *Server) runJob(j *job) {
+	group := s.seal(j)
+	if len(group) > 1 || len(j.req.RHSBatch) > 0 {
+		s.runBatch(group)
+		return
+	}
 	wait := j.setRunning()
 	j.trace.Add(StageQueueWait, j.submitted, wait, "")
 	s.observe(StageQueueWait, wait)
@@ -123,15 +128,28 @@ func (o cachedOperator) Dot(a, b *core.Vector) (float64, error) {
 	return core.Dot(a, b, o.workers)
 }
 
-// solve executes one job against the shared operator cache. The
-// protected encode happens at most once per operator key (single-flight
-// inside the cache); the solve itself runs under the entry's shared
-// lock so the scrub daemon's in-place repairs never interleave with it.
-// The entry the solve ran against is returned for fault handling (nil
-// when the build itself failed).
-func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
+// ApplyBatch forwards to the cached operator's batched kernel
+// (satisfying solvers.BatchOperator, so BlockCG amortises the matrix
+// checks over the batch), with a per-column fallback for formats
+// without one.
+func (o cachedOperator) ApplyBatch(dst, x *core.MultiVector) error {
+	if ba, ok := o.e.m.(core.BatchApplier); ok {
+		return ba.ApplyBatch(dst, x, o.workers)
+	}
+	for j := 0; j < x.K(); j++ {
+		if err := o.Apply(dst.Col(j), x.Col(j)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildOperator returns the cache-miss build closure for a job's
+// operator: the protected encode, verified diagonal extraction and
+// cached-preconditioner setup, traced and observed as StageBuild.
+func (s *Server) buildOperator(j *job) func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error) {
 	p := j.params
-	e, hit, err := s.cache.get(j.key, func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error) {
+	return func() (core.ProtectedMatrix, []float64, precond.Preconditioner, error) {
 		endBuild := j.trace.Start(StageBuild)
 		defer func() { s.observe(StageBuild, endBuild(fmt.Sprintf("%v, %d shards", p.format, max(p.shards, 1)))) }()
 		cfg := op.Config{
@@ -196,7 +214,18 @@ func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
 		// daemon — under the exclusive lock — is the one writer.
 		m.SetShared(true)
 		return m, diag, pre, nil
-	})
+	}
+}
+
+// solve executes one job against the shared operator cache. The
+// protected encode happens at most once per operator key (single-flight
+// inside the cache); the solve itself runs under the entry's shared
+// lock so the scrub daemon's in-place repairs never interleave with it.
+// The entry the solve ran against is returned for fault handling (nil
+// when the build itself failed).
+func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
+	p := j.params
+	e, hit, err := s.cache.get(j.key, s.buildOperator(j))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -252,6 +281,7 @@ func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
 	sres, serr := solvers.Solve(p.kind, a, x, b, opt)
 	e.mu.RUnlock()
 	s.observe(StageSolve, endSolve(p.kind.String()))
+	s.observeBatchWidth(1)
 	if serr != nil {
 		return nil, e, serr
 	}
@@ -275,4 +305,230 @@ func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
 		Detected:             snap.Detected,
 		Bounds:               snap.Bounds,
 	}, e, nil
+}
+
+// runBatch drives one batched execution: a coalesced group of
+// single-RHS jobs, or one rhs_batch job (never both — rhs_batch jobs do
+// not coalesce). group[0] is the leader the worker dequeued; its trace
+// carries the shared solve's spans and residual trajectory.
+func (s *Server) runBatch(group []*job) {
+	lead := group[0]
+	for _, j := range group {
+		wait := j.setRunning()
+		j.trace.Add(StageQueueWait, j.submitted, wait, "")
+		s.observe(StageQueueWait, wait)
+	}
+	s.log.Debug("batched solve started", "leader", lead.id, "jobs", len(group))
+	results, e, err := s.solveBatch(group)
+	if solvers.IsFault(err) && e != nil {
+		// Same recovery ladder as a single job, once for the whole batch:
+		// the operator the group ran against is evicted, and with any
+		// recovery policy the batch retries against a rebuilt operator.
+		s.cache.evictFault(e)
+		s.journal.Append(obs.Event{
+			Kind: obs.EventReadFault, Job: lead.id, Operator: opShort(lead.key),
+			Detail: err.Error(),
+		})
+		s.log.Warn("read-path fault detected", "job", lead.id, "operator", opShort(lead.key), "err", err)
+		if lead.params.opt.Recovery.Policy != solvers.RecoveryOff {
+			s.jobsRetried.Add(1)
+			cause := err.Error()
+			s.journal.Append(obs.Event{
+				Kind: obs.EventJobRetry, Job: lead.id, Operator: opShort(lead.key),
+				Detail: "retrying against a rebuilt operator: " + cause,
+			})
+			endRetry := lead.trace.Start(StageRetry)
+			var e2 *cacheEntry
+			results, e2, err = s.solveBatch(group)
+			s.observe(StageRetry, endRetry(cause))
+			for _, res := range results {
+				res.Retried = true
+			}
+			if solvers.IsFault(err) && e2 != nil {
+				s.cache.evictFault(e2)
+			}
+		}
+	}
+	for i, j := range group {
+		j.plain = nil
+		j.req.B = nil
+		j.req.RHSBatch = nil
+		var res *SolveResult
+		if i < len(results) {
+			res = results[i]
+		}
+		if err != nil {
+			s.jobsFailed.Add(1)
+		} else {
+			s.jobsDone.Add(1)
+			if res.Rollbacks > 0 {
+				s.jobsRecovered.Add(1)
+			}
+		}
+		if res != nil {
+			if j == lead {
+				// Rollbacks belong to the one shared solve; counting them
+				// per passenger would inflate the lifetime totals.
+				s.rollbacks.Add(uint64(res.Rollbacks))
+				s.recomputedIters.Add(uint64(res.RecomputedIterations))
+			}
+			j.trace.Count("rollbacks", uint64(res.Rollbacks))
+			j.trace.Count("recomputed_iterations", uint64(res.RecomputedIterations))
+			j.trace.Count("checks", res.Checks)
+			j.trace.Count("corrected", res.Corrected)
+			j.trace.Count("detected", res.Detected)
+			j.trace.Count("bounds", res.Bounds)
+		}
+		j.finish(res, err, solvers.IsFault(err))
+		if err != nil {
+			s.log.Warn("job failed", "job", j.id, "fault", solvers.IsFault(err),
+				"duration", time.Since(j.submitted), "err", err)
+		} else {
+			s.log.Info("job finished", "job", j.id,
+				"iterations", res.Iterations, "converged", res.Converged,
+				"residual", res.ResidualNorm, "cache_hit", res.CacheHit,
+				"batch_width", res.BatchWidth, "coalesced", res.Coalesced,
+				"rollbacks", res.Rollbacks, "retried", res.Retried,
+				"duration", time.Since(j.submitted))
+		}
+		s.retire(j)
+	}
+}
+
+// solveBatch executes the group's right-hand sides as one batched solve
+// against the shared operator cache and splits the outcome back into
+// one SolveResult per job. Every column of a job accounts into that
+// job's own counters, so the per-job ABFT deltas stay attributable
+// even though the matrix-side checks are shared.
+func (s *Server) solveBatch(group []*job) ([]*SolveResult, *cacheEntry, error) {
+	lead := group[0]
+	p := lead.params
+	e, hit, err := s.cache.get(lead.key, s.buildOperator(lead))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rows := e.m.Rows()
+	// Column layout: each job contributes its right-hand sides in group
+	// order — one column per single-RHS job, len(RHSBatch) for an
+	// explicit batch.
+	var bcols, xcols []*core.Vector
+	var jcs []*core.Counters
+	colJob := make([]int, 0, len(group))
+	for gi, j := range group {
+		jc := &core.Counters{}
+		jcs = append(jcs, jc)
+		cols := j.req.RHSBatch
+		if len(cols) == 0 {
+			cols = [][]float64{j.req.B}
+		}
+		for _, col := range cols {
+			var b *core.Vector
+			if len(col) > 0 {
+				b = core.VectorFromSlice(col, p.vectors)
+			} else {
+				b = core.NewVector(rows, p.vectors)
+				b.Fill(1)
+			}
+			x := core.NewVector(rows, p.vectors)
+			for _, v := range []*core.Vector{b, x} {
+				v.SetCRCBackend(s.cfg.CRCBackend)
+				v.SetCounters(jc)
+			}
+			bcols = append(bcols, b)
+			xcols = append(xcols, x)
+			colJob = append(colJob, gi)
+		}
+	}
+	bmv, err := core.WrapMultiVector(bcols...)
+	if err != nil {
+		return nil, e, err
+	}
+	xmv, err := core.WrapMultiVector(xcols...)
+	if err != nil {
+		return nil, e, err
+	}
+	width := bmv.K()
+
+	a := cachedOperator{e: e, workers: p.opt.Workers}
+	opt := p.opt
+	if e.pre != nil {
+		opt.Preconditioner = e.pre
+	}
+	if s.testStateHook != nil {
+		opt.StateHook = s.testStateHook
+	}
+	opt.Progress = func(ev solvers.ProgressEvent) {
+		switch ev.Kind {
+		case solvers.ProgressIteration:
+			lead.trace.Residual(ev.Residual)
+		case solvers.ProgressRollback:
+			detail := fmt.Sprintf("iteration %d rolled back, resuming at %d", ev.Iteration, ev.Resumed)
+			lead.trace.Add(StageRecovery, time.Now().Add(-ev.Duration), ev.Duration, detail)
+			s.observe(StageRecovery, ev.Duration)
+			s.journal.Append(obs.Event{
+				Kind: obs.EventSolverRollback, Job: lead.id, Operator: opShort(lead.key),
+				Detail: detail,
+			})
+			s.log.Warn("solver rollback", "job", lead.id, "iteration", ev.Iteration, "resumed", ev.Resumed)
+		}
+	}
+	endSolve := lead.trace.Start(StageSolve)
+	e.mu.RLock()
+	br, serr := solvers.SolveBatch(p.kind, a, xmv, bmv, opt)
+	e.mu.RUnlock()
+	d := endSolve(fmt.Sprintf("%v, %d rhs", p.kind, width))
+	s.observe(StageSolve, d)
+	s.observeBatchWidth(width)
+	for _, j := range group[1:] {
+		j.trace.Add(StageSolve, time.Now().Add(-d), d, fmt.Sprintf("batched with %s, %d rhs", lead.id, width))
+	}
+	if serr != nil {
+		return nil, e, serr
+	}
+
+	results := make([]*SolveResult, len(group))
+	for gi, j := range group {
+		snap := jcs[gi].Snapshot()
+		res := &SolveResult{
+			Autotune:             j.tuned,
+			CacheHit:             hit,
+			Coalesced:            len(group) > 1,
+			Rollbacks:            br.Rollbacks,
+			RecomputedIterations: br.RecomputedIterations,
+			Checks:               snap.Checks,
+			Corrected:            snap.Corrected,
+			Detected:             snap.Detected,
+			Bounds:               snap.Bounds,
+		}
+		if width > 1 {
+			res.BatchWidth = width
+		}
+		res.Converged = true
+		for ci, g := range colJob {
+			if g != gi {
+				continue
+			}
+			out := make([]float64, rows)
+			if err := xmv.Col(ci).CopyTo(out); err != nil {
+				return nil, e, err
+			}
+			c := br.Columns[ci]
+			if len(j.req.RHSBatch) > 0 {
+				res.XBatch = append(res.XBatch, out)
+				res.Columns = append(res.Columns, BatchColumn(c))
+			} else {
+				res.X = out
+			}
+			if c.Iterations > res.Iterations {
+				res.Iterations = c.Iterations
+			}
+			if c.ResidualNorm > res.ResidualNorm {
+				res.ResidualNorm = c.ResidualNorm
+			}
+			res.Converged = res.Converged && c.Converged
+		}
+		results[gi] = res
+	}
+	return results, e, nil
 }

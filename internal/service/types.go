@@ -133,6 +133,11 @@ type SolveRequest struct {
 	RecoveryInterval int `json:"recovery_interval,omitempty"`
 	// B is the right-hand side; omitted means all ones.
 	B []float64 `json:"b,omitempty"`
+	// RHSBatch submits up to 64 right-hand sides as one batched solve
+	// (mutually exclusive with B): the CG family solves them through
+	// BlockCG — one verified SpMM sweep per iteration shared by every
+	// column — and the result carries XBatch/Columns instead of X.
+	RHSBatch [][]float64 `json:"rhs_batch,omitempty"`
 	// Tol is the convergence tolerance (default 1e-10).
 	Tol float64 `json:"tol,omitempty"`
 	// RelativeTol measures Tol against the initial residual norm.
@@ -194,6 +199,27 @@ func (p *solveParams) finalizeShards(rows int) {
 	if p.format != op.SELLCS {
 		p.sigma = 0
 	}
+}
+
+// batchKind reports whether the solver amortises a batch through one
+// shared SpMM sweep per iteration (solvers.SolveBatch's BlockCG path) —
+// the kinds worth coalescing queued singles into.
+func batchKind(k solvers.Kind) bool {
+	return k == solvers.KindCG || k == solvers.KindPCG || k == solvers.KindBlockCG
+}
+
+// coalesceKey extends the operator cache key with every option that
+// must match for two queued jobs to legally share one batched solve:
+// solver and preconditioner, the dense-vector scheme (the operator key
+// includes it only when sharded), the convergence knobs, the recovery
+// policy, and Workers — core.Dot is deterministic per worker count but
+// not across counts, so coalescing across worker counts would break
+// bit-parity with the jobs' independent solves.
+func coalesceKey(opKey string, p solveParams) string {
+	return fmt.Sprintf("%s|batch|%v|%v|%v|%g|%t|%d|%d|%v|%d",
+		opKey, p.kind, p.precond, p.vectors,
+		p.opt.Tol, p.opt.RelativeTol, p.opt.MaxIter, p.opt.Workers,
+		p.opt.Recovery.Policy, p.opt.Recovery.Interval)
 }
 
 // resolve validates the symbolic fields of a request against the format,
@@ -282,10 +308,38 @@ func (r *SolveRequest) resolve(cfg Config) (solveParams, error) {
 	return p, nil
 }
 
+// maxBatchWidth bounds the right-hand sides of one batched solve, both
+// for an explicit rhs_batch request and for the admission coalescer:
+// the widest bucket of the abftd_batch_width histogram.
+const maxBatchWidth = 64
+
+// BatchColumn reports one right-hand side of a batched solve.
+type BatchColumn struct {
+	// Iterations is the iteration the column converged at (the batch's
+	// iteration count when it did not).
+	Iterations int `json:"iterations"`
+	// ResidualNorm is the column's final residual L2 norm.
+	ResidualNorm float64 `json:"residual_norm"`
+	// Converged reports whether the column met the tolerance.
+	Converged bool `json:"converged"`
+}
+
 // SolveResult reports a finished solve.
 type SolveResult struct {
 	// X is the solution vector.
 	X []float64 `json:"x"`
+	// XBatch holds the per-right-hand-side solutions of an rhs_batch
+	// solve (X is empty then), and Columns their per-column outcomes.
+	XBatch  [][]float64   `json:"x_batch,omitempty"`
+	Columns []BatchColumn `json:"columns,omitempty"`
+	// BatchWidth is the number of right-hand sides the executing solve
+	// carried (coalesced neighbours included); 1 or absent means the job
+	// ran alone. Coalesced reports that this job shared its solve with
+	// other queued jobs against the same operator and options — its
+	// Rollbacks/RecomputedIterations (and Retried) then describe that
+	// shared solve, not this job alone.
+	BatchWidth int  `json:"batch_width,omitempty"`
+	Coalesced  bool `json:"coalesced,omitempty"`
 	// Iterations is the solver iteration count.
 	Iterations int `json:"iterations"`
 	// ResidualNorm is the final residual L2 norm.

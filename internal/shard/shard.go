@@ -147,9 +147,11 @@ type Operator struct {
 	// primary is the operator's resident workspace (Local exposes its
 	// vectors for fault injection); free is the LIFO pool, primary at
 	// the bottom, so a single-threaded caller always reuses it.
-	primary *workspace
-	wsMu    sync.Mutex
-	free    []*workspace
+	// batchFree pools ApplyBatch's multivector workspaces per width.
+	primary   *workspace
+	wsMu      sync.Mutex
+	free      []*workspace
+	batchFree map[int][]*batchWorkspace
 }
 
 // New partitions src into row bands and builds each band's protected
@@ -358,6 +360,14 @@ func (o *Operator) SetCounters(c *core.Counters) {
 		for i := range o.bands {
 			ws.x[i].SetCounters(c)
 			ws.y[i].SetCounters(c)
+		}
+	}
+	for _, pool := range o.batchFree {
+		for _, ws := range pool {
+			for i := range o.bands {
+				ws.x[i].SetCounters(c)
+				ws.y[i].SetCounters(c)
+			}
 		}
 	}
 }

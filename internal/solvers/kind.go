@@ -22,6 +22,10 @@ const (
 	// KindPCG is explicitly preconditioned CG: CG with a first-class
 	// preconditioner (Jacobi by default when none is configured).
 	KindPCG
+	// KindBlockCG is multi-right-hand-side CG: k lockstep CG recurrences
+	// sharing one batched verified SpMM per iteration, per-column results
+	// bit-identical to k independent CG solves.
+	KindBlockCG
 )
 
 func (k Kind) String() string {
@@ -36,6 +40,8 @@ func (k Kind) String() string {
 		return "ppcg"
 	case KindPCG:
 		return "pcg"
+	case KindBlockCG:
+		return "blockcg"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -54,13 +60,15 @@ func ParseKind(s string) (Kind, error) {
 		return KindPPCG, nil
 	case "pcg":
 		return KindPCG, nil
+	case "blockcg":
+		return KindBlockCG, nil
 	default:
 		return KindCG, fmt.Errorf("solvers: unknown solver %q (choices: %s)", s, KindNames())
 	}
 }
 
 // Kinds lists every solver algorithm in display order.
-var Kinds = []Kind{KindCG, KindJacobi, KindChebyshev, KindPPCG, KindPCG}
+var Kinds = []Kind{KindCG, KindJacobi, KindChebyshev, KindPPCG, KindPCG, KindBlockCG}
 
 // KindNames returns the registered solver names as a comma-separated
 // list, for error messages and command-line help.
@@ -85,6 +93,18 @@ func Solve(kind Kind, a Operator, x, b *core.Vector, opt Options) (Result, error
 		return PPCG(a, x, b, opt)
 	case KindPCG:
 		return PCG(a, x, b, opt)
+	case KindBlockCG:
+		// A single right-hand side runs as a width-1 batch.
+		xm, err := core.WrapMultiVector(x)
+		if err != nil {
+			return Result{}, err
+		}
+		bm, err := core.WrapMultiVector(b)
+		if err != nil {
+			return Result{}, err
+		}
+		br, err := BlockCG(a, xm, bm, opt)
+		return br.Result, err
 	default:
 		return Result{}, fmt.Errorf("solvers: unknown kind %v", kind)
 	}
