@@ -90,6 +90,27 @@ func NewProtectedMatrix(f Format, src *CSRMatrix, opt FormatOptions) (ProtectedM
 	return op.New(f, src, opt)
 }
 
+// ReadMode selects how reads of protected storage treat their
+// codewords — the trust ladder of the read path.
+type ReadMode = core.ReadMode
+
+// Read modes for ProtectedMatrix.SetReadMode and Vector reads.
+const (
+	// ModeExclusive verifies every codeword and commits repairs in
+	// place (the default; requires exclusive ownership of the storage).
+	ModeExclusive = core.ModeExclusive
+	// ModeShared verifies every codeword but never writes the storage,
+	// so concurrent readers are safe; repairs apply to the value stream
+	// only.
+	ModeShared = core.ModeShared
+	// ModeUnverified skips codeword decode entirely — payload stream
+	// plus mask and bounds checks only, no commits, counters untouched.
+	// The fast path for selective reliability's unverified inner phase;
+	// anything read this way must stay inside a verified outer
+	// iteration that can absorb undetected corruption.
+	ModeUnverified = core.ModeUnverified
+)
+
 // Matrix is an ABFT-protected CSR sparse matrix.
 type Matrix = core.Matrix
 
@@ -208,6 +229,15 @@ func Laplacian2D(nx, ny int) *CSRMatrix { return csr.Laplacian2D(nx, ny) }
 // and format-agnostic paths.
 func IrregularSPD(n int) *CSRMatrix { return csr.IrregularSPD(n) }
 
+// ConvectionDiffusion2D builds the upwind five-point
+// convection-diffusion operator (diffusion plus a px*du/dx + py*du/dy
+// convection term, px, py >= 0): diagonally dominant and — for nonzero
+// convection — nonsymmetric, the reference problem for SolveFGMRES and
+// selective reliability.
+func ConvectionDiffusion2D(nx, ny int, px, py float64) *CSRMatrix {
+	return csr.ConvectionDiffusion2D(nx, ny, px, py)
+}
+
 // Counters accumulates integrity-check statistics across structures.
 type Counters = core.Counters
 
@@ -251,6 +281,56 @@ type SolveOptions = solvers.Options
 
 // SolveResult reports a solve outcome.
 type SolveResult = solvers.Result
+
+// SolverKind names a solver algorithm.
+type SolverKind = solvers.Kind
+
+// Solver kinds.
+const (
+	// KindCG is conjugate gradients, the paper's instrumented solver.
+	KindCG = solvers.KindCG
+	// KindJacobi is the pointwise Jacobi iteration.
+	KindJacobi = solvers.KindJacobi
+	// KindChebyshev is the Chebyshev semi-iteration.
+	KindChebyshev = solvers.KindChebyshev
+	// KindPPCG is polynomially preconditioned CG.
+	KindPPCG = solvers.KindPPCG
+	// KindPCG is explicitly preconditioned CG.
+	KindPCG = solvers.KindPCG
+	// KindBlockCG is multi-right-hand-side CG.
+	KindBlockCG = solvers.KindBlockCG
+	// KindFGMRES is flexible restarted GMRES, the nonsymmetric solver
+	// and selective-reliability host.
+	KindFGMRES = solvers.KindFGMRES
+)
+
+// SolverKinds lists every solver algorithm.
+var SolverKinds = solvers.Kinds
+
+// ParseSolverKind converts a solver name ("cg", "fgmres", ...) to its
+// SolverKind.
+func ParseSolverKind(s string) (SolverKind, error) { return solvers.ParseKind(s) }
+
+// Reliability selects how much of a solve runs under verified reads.
+type Reliability = solvers.Reliability
+
+// Reliability modes for SolveOptions.Reliability.
+const (
+	// ReliabilityFull verifies every read of the solve (the default).
+	ReliabilityFull = solvers.ReliabilityFull
+	// ReliabilitySelective runs FGMRES's inner preconditioner-solve
+	// through the unverified no-decode read path while the outer
+	// iteration stays verified and checkpointed; inner faults are
+	// absorbed as extra iterations, never silent corruption.
+	ReliabilitySelective = solvers.ReliabilitySelective
+)
+
+// Reliabilities lists every reliability mode.
+var Reliabilities = solvers.Reliabilities
+
+// ParseReliability converts a reliability name ("full", "selective")
+// to its Reliability.
+func ParseReliability(s string) (Reliability, error) { return solvers.ParseReliability(s) }
 
 // RecoveryPolicy names the solver's reaction to a detected
 // uncorrectable fault in its own dynamic state (the x, r, p iteration
@@ -310,6 +390,14 @@ func SolvePPCG(m ProtectedMatrix, x, b *Vector, opt SolveOptions) (SolveResult, 
 // operator's verified diagonal when none is set.
 func SolvePCG(m ProtectedMatrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
 	return solvers.PCG(solvers.MatrixOperator{M: m, Workers: opt.Workers}, x, b, opt)
+}
+
+// SolveFGMRES solves m x = b by flexible restarted GMRES — the
+// nonsymmetric solver. With opt.Reliability set to ReliabilitySelective
+// its inner solve reads through the unverified no-decode path while the
+// outer iteration stays verified; opt.Restart sets the cycle length.
+func SolveFGMRES(m ProtectedMatrix, x, b *Vector, opt SolveOptions) (SolveResult, error) {
+	return solvers.FGMRES(solvers.MatrixOperator{M: m, Workers: opt.Workers}, x, b, opt)
 }
 
 // IsFault reports whether err stems from a detected ABFT fault rather than

@@ -2,6 +2,7 @@ package abft_test
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"abft"
@@ -280,4 +281,73 @@ func TestFacadeRecoverySolve(t *testing.T) {
 	if _, err := abft.SolveCG(m, x, b, abft.SolveOptions{MaxIter: -1}); err == nil {
 		t.Fatal("negative MaxIter accepted")
 	}
+}
+
+// TestFacadeSelectiveFGMRES runs the selective-reliability quick-start:
+// a nonsymmetric convection-diffusion solve whose inner iteration reads
+// unverified while the outer iteration stays verified, matching the
+// fully verified solve bit for bit fault-free.
+func TestFacadeSelectiveFGMRES(t *testing.T) {
+	solve := func(rel abft.Reliability) []float64 {
+		m, err := abft.NewMatrix(abft.ConvectionDiffusion2D(12, 12, 1.5, 0.5), abft.MatrixOptions{
+			ElemScheme:   abft.SECDED64,
+			RowPtrScheme: abft.SECDED64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 12 * 12
+		b := abft.NewVector(n, abft.SECDED64)
+		b.Fill(1)
+		x := abft.NewVector(n, abft.SECDED64)
+		res, err := abft.SolveFGMRES(m, x, b, abft.SolveOptions{Tol: 1e-10, Reliability: rel})
+		if err != nil || !res.Converged {
+			t.Fatalf("%v: %v %+v", rel, err, res)
+		}
+		out := make([]float64, n)
+		if err := x.CopyTo(out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	full := solve(abft.ReliabilityFull)
+	sel := solve(abft.ReliabilitySelective)
+	for i := range full {
+		if full[i] != sel[i] {
+			t.Fatalf("row %d: full %v != selective %v", i, full[i], sel[i])
+		}
+	}
+}
+
+// TestFacadeParsersListChoices pins the error style of every facade
+// parser: an unknown name fails with the full registered-choice list,
+// so callers can surface the error verbatim as usage help.
+func TestFacadeParsersListChoices(t *testing.T) {
+	parse := func(name string, fn func(string) error, choices ...string) {
+		t.Helper()
+		err := fn("bogus")
+		if err == nil {
+			t.Fatalf("%s accepted an unknown name", name)
+		}
+		if !strings.Contains(err.Error(), "choices:") {
+			t.Fatalf("%s error lacks a choice list: %v", name, err)
+		}
+		for _, c := range choices {
+			if !strings.Contains(err.Error(), c) {
+				t.Fatalf("%s error does not list %q: %v", name, c, err)
+			}
+		}
+	}
+	parse("ParseScheme", func(s string) error { _, err := abft.ParseScheme(s); return err },
+		"none", "sed", "secded64", "secded128", "crc32c")
+	parse("ParseFormat", func(s string) error { _, err := abft.ParseFormat(s); return err },
+		"csr", "coo", "sellcs")
+	parse("ParsePrecond", func(s string) error { _, err := abft.ParsePrecond(s); return err },
+		"none", "jacobi", "bjacobi", "sgs")
+	parse("ParseRecovery", func(s string) error { _, err := abft.ParseRecovery(s); return err },
+		"off", "rollback", "restart")
+	parse("ParseSolverKind", func(s string) error { _, err := abft.ParseSolverKind(s); return err },
+		"cg", "jacobi", "chebyshev", "ppcg", "pcg", "blockcg", "fgmres")
+	parse("ParseReliability", func(s string) error { _, err := abft.ParseReliability(s); return err },
+		"full", "selective")
 }

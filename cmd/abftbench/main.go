@@ -40,7 +40,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("abftbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,spmv,spmm,pcg,recovery,all")
+		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,spmv,spmm,pcg,recovery,selective,all")
 		nx      = fs.Int("nx", 128, "grid cells per side (paper: 2048)")
 		steps   = fs.Int("steps", 2, "timesteps per run (paper: 5)")
 		runs    = fs.Int("runs", 3, "repetitions averaged (paper: 5)")
@@ -210,6 +210,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 		bench.PrintRows(out, "Recovery: fault-free checkpoint overhead vs cadence (full SECDED64)", rows)
 		collect("recovery", rows)
+	}
+	if all || want["selective"] {
+		rows, err := bench.SelectiveReliability(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintRows(out, "Selective reliability: FGMRES full vs unverified inner solve (per outer Arnoldi step; verified-reads rows count checks, not ns)", rows)
+		collect("selective", rows)
 	}
 	if all || want["pcg"] {
 		kinds, err := parsePrecondKinds(*pre)

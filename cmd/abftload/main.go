@@ -6,6 +6,9 @@
 //	batch     rhs_batch requests of width 2-8
 //	coalesce  identical batch-eligible singles, bait for the
 //	          service's admission-time coalescer
+//	selective nonsymmetric convection-diffusion systems solved by
+//	          FGMRES under selective reliability (unverified inner
+//	          solve)
 //	mixed     60% single, 20% batch, 20% coalesce
 //
 // After the drive it scrapes /metrics and echoes the coalescing
@@ -53,7 +56,7 @@ func run(args []string, stdout io.Writer) error {
 		addr     = fs.String("addr", "http://127.0.0.1:8080", "abftd base URL")
 		n        = fs.Int("n", 100, "total requests")
 		c        = fs.Int("c", 8, "concurrent clients")
-		scenario = fs.String("scenario", "mixed", "traffic shape: single, batch, coalesce, mixed")
+		scenario = fs.String("scenario", "mixed", "traffic shape: single, batch, coalesce, selective, mixed")
 		nx       = fs.Int("nx", 20, "grid cells per side of the largest operator")
 		seed     = fs.Int64("seed", 1, "scenario RNG seed (schedules are deterministic per seed)")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "per-request HTTP timeout")
@@ -182,6 +185,49 @@ func buildSchedule(scenario string, n, nx int, rng *rand.Rand) ([]request, error
 			"tol":           1e-10,
 		}
 	}
+	// A nonsymmetric upwind convection-diffusion operator shipped as raw
+	// triplets, solved by FGMRES with the unverified inner solve: the
+	// selective-reliability traffic shape. Row-wise diagonally dominant,
+	// so the inner Richardson sweeps contract.
+	selective := func(i int) map[string]any {
+		const px, py = 1.5, 0.5
+		rows := small * small
+		var entries []map[string]any
+		at := func(r, c int, v float64) {
+			entries = append(entries, map[string]any{"row": r, "col": c, "val": v})
+		}
+		for j := 0; j < small; j++ {
+			for k := 0; k < small; k++ {
+				r := j*small + k
+				diag := 4 + px + py
+				if j > 0 {
+					at(r, r-small, -(1 + py))
+				} else {
+					diag -= 1 + py
+				}
+				if k > 0 {
+					at(r, r-1, -(1 + px))
+				} else {
+					diag -= 1 + px
+				}
+				at(r, r, diag+2)
+				if k < small-1 {
+					at(r, r+1, -1)
+				}
+				if j < small-1 {
+					at(r, r+small, -1)
+				}
+			}
+		}
+		return map[string]any{
+			"matrix":      map[string]any{"rows": rows, "cols": rows, "entries": entries},
+			"scheme":      "secded64",
+			"solver":      "fgmres",
+			"reliability": "selective",
+			"b":           rhs(rows, i),
+			"tol":         1e-8,
+		}
+	}
 	reqs := make([]request, 0, n)
 	add := func(name string, payload map[string]any) error {
 		body, err := json.Marshal(payload)
@@ -220,8 +266,10 @@ func buildSchedule(scenario string, n, nx int, rng *rand.Rand) ([]request, error
 			err = add(kind, batch(i))
 		case "coalesce":
 			err = add(kind, coalesce(i))
+		case "selective":
+			err = add(kind, selective(i))
 		default:
-			return nil, fmt.Errorf("unknown scenario %q (choices: single, batch, coalesce, mixed)", scenario)
+			return nil, fmt.Errorf("unknown scenario %q (choices: single, batch, coalesce, selective, mixed)", scenario)
 		}
 		if err != nil {
 			return nil, err

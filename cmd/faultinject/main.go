@@ -79,6 +79,7 @@ func run(args []string, stdout io.Writer) error {
 		pre       = fs.String("precond", "", "preconditioner whose protected state the precond structure corrupts: jacobi, bjacobi, sgs (setting it also enables the precond structure)")
 		rec       = fs.String("recovery", "", "solver recovery policy solverstate campaigns run under: off, rollback, restart (setting it also enables the solverstate structure)")
 		ckpt      = fs.Int("ckpt-interval", 0, "rollback checkpoint cadence for solverstate campaigns (0 adapts)")
+		phase     = fs.String("phase", "", "strike a solve phase instead of a resident structure: inner (selective FGMRES's unverified inner solve)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -178,6 +179,40 @@ func run(args []string, stdout io.Writer) error {
 		"format", "scheme", "structure", "flips", "benign", "corrected", "detected", "recovered", "sdc", "sdc rate")
 	fmt.Fprintln(stdout, header)
 	fmt.Fprintln(stdout, strings.Repeat("-", len(header)))
+
+	if *phase != "" {
+		if *phase != faults.PhaseInner {
+			return fmt.Errorf("unknown phase %q (choices: %s)", *phase, faults.PhaseInner)
+		}
+		// Phase campaigns strike a solve in flight, not a resident
+		// structure: one row per format/scheme/flip-count.
+		for _, f := range formats {
+			for _, s := range schemes {
+				for _, b := range bitCounts {
+					res, err := faults.Run(faults.CampaignConfig{
+						Scheme:             s,
+						Phase:              faults.PhaseInner,
+						Format:             f,
+						Bits:               b,
+						Trials:             *trials,
+						Seed:               *seed,
+						Size:               *size,
+						Matrix:             plain,
+						Shards:             *shards,
+						Recovery:           recovery,
+						CheckpointInterval: *ckpt,
+					})
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(stdout, "%-7s %-11s %-11s %5d %9d %10d %10d %10d %8d %7.1f%%\n",
+						f, s, *phase, b, res.Benign, res.Corrected, res.Detected, res.Recovered,
+						res.SDC, 100*res.Rate(faults.SDC))
+				}
+			}
+		}
+		return nil
+	}
 
 	tallies := map[op.Format]*tally{}
 	for _, st := range structures {

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"abft/internal/core"
+	"abft/internal/csr"
+	"abft/internal/op"
+	"abft/internal/solvers"
+)
+
+// SelectiveReliability measures what the selective-reliability mode
+// buys on a nonsymmetric convection-diffusion FGMRES solve, per storage
+// format. Two rows per format:
+//
+//   - wall-per-outer: mean wall time per Arnoldi step, full (Base)
+//     against selective (Protected). Negative overhead is the speedup
+//     from skipping codeword decode on every inner Richardson sweep.
+//   - verified-reads-per-outer: mean matrix-side codeword checks per
+//     Arnoldi step, encoded as nanosecond counts so the row fits the
+//     trajectory schema. Full pays one verified operator apply per
+//     inner step plus the outer one; selective pays exactly the outer
+//     one, so this quotient is the paper's every-inner-SpMV to
+//     once-per-outer-step drop.
+//
+// Both modes must converge; fault-free they produce identical iterates,
+// so the comparison isolates the read-path cost.
+func SelectiveReliability(opt Options) ([]Row, error) {
+	o := opt.withDefaults()
+	plain := csr.ConvectionDiffusion2D(o.NX, o.NX, 1.5, 0.5)
+	n := plain.Rows()
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64((i*13)%29) - 14 + float64(i%7)/8
+	}
+	bs := make([]float64, n)
+	plain.SpMV(bs, xs)
+
+	var rows []Row
+	for _, f := range op.Formats {
+		full, err := o.measureFGMRES(f, plain, bs, solvers.ReliabilityFull)
+		if err != nil {
+			return nil, fmt.Errorf("bench: selective %v/full: %w", f, err)
+		}
+		sel, err := o.measureFGMRES(f, plain, bs, solvers.ReliabilitySelective)
+		if err != nil {
+			return nil, fmt.Errorf("bench: selective %v/selective: %w", f, err)
+		}
+		wall := Row{
+			Label: fmt.Sprintf("%v/wall-per-outer", f),
+			Base:  full.wall, Protected: sel.wall,
+			OverheadPct: overhead(full.wall, sel.wall),
+		}
+		reads := Row{
+			Label: fmt.Sprintf("%v/verified-reads-per-outer", f),
+			Base:  time.Duration(full.reads), Protected: time.Duration(sel.reads),
+			OverheadPct: overhead(time.Duration(full.reads), time.Duration(sel.reads)),
+		}
+		o.logf("%-30s %v -> %v per outer step", wall.Label, wall.Base, wall.Protected)
+		o.logf("%-30s %d -> %d checks per outer step", reads.Label, full.reads, sel.reads)
+		rows = append(rows, wall, reads)
+	}
+	return rows, nil
+}
+
+// fgmresSample is one reliability mode's per-Arnoldi-step cost.
+type fgmresSample struct {
+	// wall is the mean wall time per Arnoldi step.
+	wall time.Duration
+	// reads is the mean matrix-side verified codeword checks per
+	// Arnoldi step.
+	reads int64
+}
+
+// measureFGMRES solves the protected nonsymmetric system o.Runs times
+// under one reliability mode and normalises wall time and matrix check
+// count per Arnoldi step, the unit both modes share.
+func (o Options) measureFGMRES(f op.Format, plain *csr.Matrix, bs []float64, rel solvers.Reliability) (fgmresSample, error) {
+	var wall time.Duration
+	var checks, steps int64
+	for r := 0; r < o.Runs; r++ {
+		m, err := op.New(f, plain, op.Config{Scheme: core.SECDED64, RowPtrScheme: core.SECDED64})
+		if err != nil {
+			return fgmresSample{}, err
+		}
+		m.SetCounters(&core.Counters{})
+		x := core.NewVector(plain.Rows(), core.SECDED64)
+		b := core.VectorFromSlice(bs, core.SECDED64)
+		start := time.Now()
+		res, err := solvers.FGMRES(solvers.MatrixOperator{M: m, Workers: o.Workers}, x, b,
+			solvers.Options{Tol: o.Eps, RelativeTol: true, Workers: o.Workers, Reliability: rel})
+		if err != nil {
+			return fgmresSample{}, err
+		}
+		if !res.Converged {
+			return fgmresSample{}, fmt.Errorf("%v mode did not converge in %d cycles", rel, res.Iterations)
+		}
+		wall += time.Since(start)
+		checks += int64(m.CounterSnapshot().Checks)
+		steps += int64(res.ArnoldiSteps)
+	}
+	if steps == 0 {
+		return fgmresSample{}, fmt.Errorf("%v mode took no Arnoldi steps", rel)
+	}
+	return fgmresSample{wall: wall / time.Duration(steps), reads: checks / steps}, nil
+}

@@ -94,7 +94,7 @@ func newAccs(k, n int) [][]float64 {
 // the chunk streams into every column. Dirty chunks fall back to the
 // corrective local decodes exactly as the single-RHS path does.
 func (m *Matrix) scatterRangeBatch(accs, xbufs [][]float64, lo, hi int) error {
-	commit := !m.shared
+	commit := m.mode.Commits()
 	var checks uint64
 	defer func() { m.counters.AddChecks(checks) }()
 	switch m.scheme {

@@ -63,8 +63,8 @@ type Matrix struct {
 	vals   []float64
 
 	counters *core.Counters
-	// shared marks the matrix as applied concurrently; see SetShared.
-	shared bool
+	// mode is the read discipline Apply runs under; see SetReadMode.
+	mode core.ReadMode
 }
 
 // Options configures COO protection.
@@ -144,12 +144,28 @@ func (m *Matrix) Scheme() core.Scheme { return m.scheme }
 // SetCounters attaches a statistics accumulator.
 func (m *Matrix) SetCounters(c *core.Counters) { m.counters = c }
 
-// SetShared marks the matrix as applied concurrently from multiple
-// goroutines: Apply stops committing corrections to storage (they are
-// still counted and the checks still detect), leaving repair to Scrub,
-// which the owner must serialize against Apply. Set before the matrix
-// becomes visible to other goroutines.
-func (m *Matrix) SetShared(shared bool) { m.shared = shared }
+// SetReadMode selects the read discipline for Apply. ModeShared marks
+// the matrix as applied concurrently from multiple goroutines: Apply
+// stops committing corrections to storage (they are still counted and
+// the checks still detect), leaving repair to Scrub, which the owner
+// must serialize against Apply. Set before the matrix becomes visible
+// to other goroutines.
+func (m *Matrix) SetReadMode(mode core.ReadMode) { m.mode = mode }
+
+// ReadMode returns the configured read discipline.
+func (m *Matrix) ReadMode() core.ReadMode { return m.mode }
+
+// SetShared is the deprecated boolean precursor of SetReadMode: true
+// maps to ModeShared, false to ModeExclusive.
+//
+// Deprecated: use SetReadMode.
+func (m *Matrix) SetShared(shared bool) {
+	if shared {
+		m.SetReadMode(core.ModeShared)
+	} else {
+		m.SetReadMode(core.ModeExclusive)
+	}
+}
 
 // RawRows exposes the stored row indices for fault injection.
 func (m *Matrix) RawRows() []uint32 { return m.rowIdx }
@@ -452,18 +468,46 @@ func (m *Matrix) SpMV(dst *core.Vector, x *core.Vector) error {
 // reduce block-wise — each codeword and each output block has exactly one
 // owner, so the parallel path is race-free and bit-identical to serial.
 func (m *Matrix) Apply(dst *core.Vector, x *core.Vector, workers int) error {
+	if !m.mode.Verifies() {
+		return m.ApplyUnverified(dst, x, workers)
+	}
+	return m.apply(dst, x, workers, false)
+}
+
+// ApplyUnverified computes dst = m * x through the no-decode fast path
+// regardless of the stored read mode: the source vector and every
+// element triplet stream as masked payload with only index range checks
+// applied — no codeword verification, no corrections, no commit, and
+// the check counters stay untouched — so it can run concurrently with
+// verified readers of the same shared storage. It is the inner-solve
+// read path of selective reliability.
+func (m *Matrix) ApplyUnverified(dst *core.Vector, x *core.Vector, workers int) error {
+	return m.apply(dst, x, workers, true)
+}
+
+func (m *Matrix) apply(dst *core.Vector, x *core.Vector, workers int, unverified bool) error {
 	if dst.Len() != m.rows || x.Len() != m.cols {
 		return fmt.Errorf("coo: SpMV dimension mismatch: dst %d, m %dx%d, x %d",
 			dst.Len(), m.rows, m.cols, x.Len())
 	}
 	xbuf := make([]float64, m.cols)
-	if err := x.CopyTo(xbuf); err != nil {
+	if unverified {
+		if err := x.CopyToUnverified(xbuf); err != nil {
+			return err
+		}
+	} else if err := x.CopyTo(xbuf); err != nil {
 		return err
+	}
+	scatter := m.scatterRange
+	if unverified {
+		// No verify pass at all: the clean-stream scatter covers the whole
+		// range (index mask and bounds checks still apply).
+		scatter = m.scatterClean
 	}
 	ranges := m.entryRanges(workers)
 	if len(ranges) <= 1 {
 		acc := make([]float64, m.rows)
-		if err := m.scatterRange(acc, xbuf, 0, len(m.vals)); err != nil {
+		if err := scatter(acc, xbuf, 0, len(m.vals)); err != nil {
 			return err
 		}
 		return commitAcc(dst, acc, m.rows)
@@ -475,7 +519,7 @@ func (m *Matrix) Apply(dst *core.Vector, x *core.Vector, workers int) error {
 		byLo[r[0]] = accs[i]
 	}
 	err := par.Run(ranges, func(lo, hi int) error {
-		return m.scatterRange(byLo[lo], xbuf, lo, hi)
+		return scatter(byLo[lo], xbuf, lo, hi)
 	})
 	if err != nil {
 		return err
@@ -551,7 +595,7 @@ const verifyChunk = 64
 // decode, so the slow path is paid per faulty chunk, not per sweep.
 // Ranges are codeword-aligned, so workers never share a codeword.
 func (m *Matrix) scatterRange(acc, xbuf []float64, lo, hi int) error {
-	commit := !m.shared
+	commit := m.mode.Commits()
 	var checks uint64
 	defer func() { m.counters.AddChecks(checks) }()
 	switch m.scheme {

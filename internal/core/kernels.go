@@ -38,14 +38,104 @@ func SpMVOpts(dst *Vector, m *Matrix, x *Vector, opt SpMVOptions) error {
 		return fmt.Errorf("core: SpMV dimension mismatch: dst %d, m %dx%d, x %d",
 			dst.Len(), m.Rows(), m.Cols(), x.Len())
 	}
+	if !m.mode.Verifies() {
+		return m.applyUnverified(dst, x, opt.Workers)
+	}
 	fullCheck := m.StartSweep()
 	ranges := par.Ranges(m.Rows(), opt.Workers, 8)
 	if len(ranges) <= 1 {
-		return m.spmvRange(dst, x, 0, m.Rows(), fullCheck, !m.shared, opt.DisableCache)
+		return m.spmvRange(dst, x, 0, m.Rows(), fullCheck, m.mode.Commits(), opt.DisableCache)
 	}
 	return par.Run(ranges, func(lo, hi int) error {
 		return m.spmvRange(dst, x, lo, hi, fullCheck, false, opt.DisableCache)
 	})
+}
+
+// ApplyUnverified multiplies dst = m x through the no-decode fast path
+// regardless of the stored read mode: row pointers, elements and source
+// vector stream as masked payload with bounds checks only — no codeword
+// verification, no corrections, no commit, and the check counters stay
+// untouched — so it can run concurrently with verified readers of the
+// same shared storage. It is the inner-solve read path of selective
+// reliability: whatever corruption streams through is absorbed (or
+// detected) by the caller's verified outer iteration, never silently
+// committed.
+func (m *Matrix) ApplyUnverified(dst, x *Vector, workers int) error {
+	if dst.Len() != m.Rows() || x.Len() != m.Cols() {
+		return fmt.Errorf("core: SpMV dimension mismatch: dst %d, m %dx%d, x %d",
+			dst.Len(), m.Rows(), m.Cols(), x.Len())
+	}
+	return m.applyUnverified(dst, x, workers)
+}
+
+func (m *Matrix) applyUnverified(dst, x *Vector, workers int) error {
+	ranges := par.Ranges(m.Rows(), workers, 8)
+	if len(ranges) <= 1 {
+		return m.spmvUnverifiedRange(dst, x, 0, m.Rows())
+	}
+	return par.Run(ranges, func(lo, hi int) error {
+		return m.spmvUnverifiedRange(dst, x, lo, hi)
+	})
+}
+
+// spmvUnverifiedRange is spmvRange with every decode stripped: the
+// clean-stream loop runs unconditionally (there is no verify pass to
+// flag a row dirty), the row-pointer cursor runs in its no-check form,
+// and the stencil cache reads source blocks through ReadBlockNoCheck.
+// Column masks and bounds checks remain — the unverified contract drops
+// integrity checking, not memory safety.
+func (m *Matrix) spmvUnverifiedRange(dst, x *Vector, lo, hi int) error {
+	if m.elemScheme == None && m.rowScheme == None && x.scheme == None {
+		return m.spmvRawRange(dst, x, lo, hi)
+	}
+	cur := rowPtrCursor{m: m, group: -1}
+	cache := stencilCache{v: x, noverify: true}
+	cache.reset()
+	colMask := colMaskFor(m.elemScheme)
+	xRaw := x.scheme == None
+	var out [vecBlock]float64
+	rlo32, err := cur.value(lo)
+	if err != nil {
+		return err
+	}
+	for r := lo; r < hi; r++ {
+		rhi32, err := cur.value(r + 1)
+		if err != nil {
+			return err
+		}
+		if rlo32 > rhi32 {
+			return m.boundsErr(StructRowPtr, r, rlo32, rhi32)
+		}
+		var sum float64
+		for k := int(rlo32); k < int(rhi32); k++ {
+			col := m.colIdx[k] & colMask
+			if m.elemScheme != None && col >= uint32(m.cols) {
+				return m.boundsErr(StructElements, k, col, uint32(m.cols))
+			}
+			var xv float64
+			if xRaw {
+				xv = math.Float64frombits(x.words[col])
+			} else {
+				xv, err = cache.at(int(col))
+				if err != nil {
+					return err
+				}
+			}
+			sum += m.vals[k] * xv
+		}
+		rlo32 = rhi32
+		out[r%vecBlock] = sum
+		if r%vecBlock == vecBlock-1 {
+			dst.WriteBlock(r/vecBlock, &out)
+		}
+	}
+	if hi%vecBlock != 0 {
+		for i := hi % vecBlock; i < vecBlock; i++ {
+			out[i] = 0
+		}
+		dst.WriteBlock(hi/vecBlock, &out)
+	}
+	return nil
 }
 
 // spmvRange multiplies rows [lo,hi); lo must be a multiple of the output
@@ -226,6 +316,9 @@ type stencilCache struct {
 	v        *Vector
 	commit   bool
 	disabled bool
+	// noverify streams blocks through ReadBlockNoCheck: no decode, no
+	// corrections, no check accounting (the ModeUnverified read path).
+	noverify bool
 	reads    uint64 // codeword checks performed (flushed by the caller)
 	clock    uint32
 	tags     [stencilSlots]int
@@ -245,6 +338,10 @@ func (c *stencilCache) at(i int) (float64, error) {
 	b := i / vecBlock
 	if c.disabled {
 		var buf [vecBlock]float64
+		if c.noverify {
+			c.v.ReadBlockNoCheck(b, &buf)
+			return buf[i%vecBlock], nil
+		}
 		c.reads += c.v.checksPerBlock()
 		if err := c.v.readBlock(b, &buf, c.commit); err != nil {
 			return 0, err
@@ -262,10 +359,14 @@ func (c *stencilCache) at(i int) (float64, error) {
 			oldest = s
 		}
 	}
-	c.reads += c.v.checksPerBlock()
-	if err := c.v.readBlock(b, &c.data[oldest], c.commit); err != nil {
-		c.tags[oldest] = -1
-		return 0, err
+	if c.noverify {
+		c.v.ReadBlockNoCheck(b, &c.data[oldest])
+	} else {
+		c.reads += c.v.checksPerBlock()
+		if err := c.v.readBlock(b, &c.data[oldest], c.commit); err != nil {
+			c.tags[oldest] = -1
+			return 0, err
+		}
 	}
 	c.tags[oldest] = b
 	c.age[oldest] = c.clock

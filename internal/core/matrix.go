@@ -49,9 +49,9 @@ type Matrix struct {
 
 	counters *Counters
 	interval int
-	// shared marks the matrix as read concurrently by multiple Apply
-	// callers; see SetShared.
-	shared bool
+	// mode is the read discipline Apply and the scanners run under; see
+	// SetReadMode.
+	mode ReadMode
 	// sweep is atomic so concurrent SpMVs over one shared matrix (the
 	// solve service runs many jobs against a cached operator) stay
 	// race-free; each Apply still observes a unique sweep number.
@@ -159,14 +159,33 @@ func (m *Matrix) Counters() *Counters { return m.counters }
 // SetCRCBackend selects the CRC32C implementation.
 func (m *Matrix) SetCRCBackend(b ecc.Backend) { m.backend = b }
 
-// SetShared marks the matrix as applied concurrently from multiple
+// SetReadMode selects the read discipline for Apply and the scanners.
+// ModeShared marks the matrix as applied concurrently from multiple
 // goroutines (the solve service shares one cached operator across
-// jobs). Kernels then never commit corrections to storage — the same
+// jobs): kernels then never commit corrections to storage — the same
 // no-commit discipline the parallel SpMV path already uses for
 // codewords a worker does not own — leaving repair to CheckAll/Scrub,
-// which the owner must serialize against Apply. Set before the matrix
-// becomes visible to other goroutines.
-func (m *Matrix) SetShared(shared bool) { m.shared = shared }
+// which the owner must serialize against Apply. ModeUnverified is
+// normally exercised per call through ApplyUnverified rather than
+// stored here. Set before the matrix becomes visible to other
+// goroutines.
+func (m *Matrix) SetReadMode(mode ReadMode) { m.mode = mode }
+
+// ReadMode returns the configured read discipline.
+func (m *Matrix) ReadMode() ReadMode { return m.mode }
+
+// SetShared is the deprecated boolean precursor of SetReadMode, kept as
+// a thin forwarding wrapper: true maps to ModeShared, false to
+// ModeExclusive.
+//
+// Deprecated: use SetReadMode.
+func (m *Matrix) SetShared(shared bool) {
+	if shared {
+		m.SetReadMode(ModeShared)
+	} else {
+		m.SetReadMode(ModeExclusive)
+	}
+}
 
 // SetCheckInterval adjusts the full-check cadence; see MatrixOptions.
 func (m *Matrix) SetCheckInterval(n int) { m.interval = n }

@@ -33,11 +33,17 @@ type ProtectedMatrix interface {
 	Scrub() (corrected int, err error)
 	// SetCounters attaches a statistics accumulator (shared or nil).
 	SetCounters(*Counters)
-	// SetShared marks the matrix as applied concurrently from multiple
+	// SetReadMode selects the read discipline Apply runs under.
+	// ModeShared marks the matrix as applied concurrently from multiple
 	// goroutines: Apply must not write matrix storage (corrections are
 	// counted and used for detection but not committed), leaving repair
 	// to Scrub, which the owner serializes against Apply. Must be set
 	// before the matrix becomes visible to other goroutines.
+	SetReadMode(ReadMode)
+	// SetShared is the deprecated boolean precursor of SetReadMode: true
+	// maps to ModeShared, false to ModeExclusive.
+	//
+	// Deprecated: use SetReadMode.
 	SetShared(bool)
 	// CounterSnapshot returns a point-in-time copy of the attached
 	// counters (zeros when none are attached).
@@ -47,6 +53,18 @@ type ProtectedMatrix interface {
 	// RawCols exposes the stored column indices (data + embedded ECC)
 	// for fault injection.
 	RawCols() []uint32
+}
+
+// UnverifiedApplier is an optional capability of ProtectedMatrix
+// implementations: a per-call ModeUnverified Apply that skips codeword
+// decode entirely (payload stream plus column mask and bounds checks
+// only), never commits, and leaves the check counters untouched. It
+// exists so a cached shared operator can serve a selective-reliability
+// inner solve concurrently with verified readers without its stored
+// read mode ever being mutated mid-solve. All formats in this
+// repository and the sharded composite implement it.
+type UnverifiedApplier interface {
+	ApplyUnverified(dst, x *Vector, workers int) error
 }
 
 // ElemSpanner is an optional capability of ProtectedMatrix

@@ -51,7 +51,12 @@ func (m *Matrix) NewRowScanner() *RowScanner {
 // starting a fresh sweep: corruption that struck between sweeps is
 // caught again.
 func (s *RowScanner) Reset() {
-	s.cur = rowPtrCursor{m: s.m, check: s.m.rowScheme != None, commit: !s.m.shared, group: -1}
+	s.cur = rowPtrCursor{
+		m:      s.m,
+		check:  s.m.rowScheme != None && s.m.mode.Verifies(),
+		commit: s.m.mode.Commits(),
+		group:  -1,
+	}
 	s.lastPair = -1
 	s.dec.init(s.m)
 }
@@ -81,9 +86,9 @@ func (s *RowScanner) Row(r int, fn func(col int, val float64)) error {
 	}
 	lo, hi := int(lo32), int(hi32)
 	dirty := false
-	if m.elemScheme != None {
+	if m.elemScheme != None && m.mode.Verifies() {
 		var ec uint64
-		dirty, ec, err = m.verifyRowElems(r, lo, hi, !m.shared, s.buf, &s.lastPair)
+		dirty, ec, err = m.verifyRowElems(r, lo, hi, m.mode.Commits(), s.buf, &s.lastPair)
 		checks += ec
 		if err != nil {
 			return err

@@ -34,14 +34,14 @@ func (m *Matrix) ApplyBatch(dst, x *MultiVector, workers int) error {
 	if dst.K() != x.K() {
 		return fmt.Errorf("core: SpMM width mismatch: dst %d, x %d", dst.K(), x.K())
 	}
-	xbufs, err := decodeColumns(x, !m.shared)
+	xbufs, err := decodeColumns(x, m.mode.Commits())
 	if err != nil {
 		return err
 	}
 	fullCheck := m.StartSweep()
 	ranges := par.Ranges(m.Rows(), workers, 8)
 	if len(ranges) <= 1 {
-		return m.spmmRange(dst, xbufs, 0, m.Rows(), fullCheck, !m.shared)
+		return m.spmmRange(dst, xbufs, 0, m.Rows(), fullCheck, m.mode.Commits())
 	}
 	return par.Run(ranges, func(lo, hi int) error {
 		return m.spmmRange(dst, xbufs, lo, hi, fullCheck, false)

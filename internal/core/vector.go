@@ -314,6 +314,25 @@ func (v *Vector) readBlocks(b0, b1 int, dst []float64, commit bool) error {
 	return nil
 }
 
+// ReadBlocksUnverifiedInto streams the masked payload of blocks [b0,b1)
+// into dst with no codeword decode at all: ModeUnverified's block-sweep
+// primitive. Range and length errors are still reported — the unverified
+// contract drops integrity checks, not memory safety — but nothing is
+// verified, nothing is committed, and the check counters are untouched,
+// so concurrent verified readers of the same storage never race with it.
+func (v *Vector) ReadBlocksUnverifiedInto(b0, b1 int, dst []float64) error {
+	if b0 < 0 || b1 > v.Blocks() || b0 > b1 {
+		return fmt.Errorf("core: block range [%d,%d) out of range [0,%d)", b0, b1, v.Blocks())
+	}
+	if len(dst) < (b1-b0)*vecBlock {
+		return fmt.Errorf("core: ReadBlocks destination too short: %d < %d", len(dst), (b1-b0)*vecBlock)
+	}
+	for b := b0; b < b1; b++ {
+		v.ReadBlockNoCheck(b, (*[vecBlock]float64)(dst[(b-b0)*vecBlock:]))
+	}
+	return nil
+}
+
 // ReadBlockNoCheck returns the masked values of block b without integrity
 // checking; the less-frequent-checking mode uses it for vectors that are
 // known-clean within the interval. Exposed for kernels and tests.
@@ -390,6 +409,24 @@ func (v *Vector) CopyTo(dst []float64) error {
 		if err := v.ReadBlock(b, &buf); err != nil {
 			return err
 		}
+		lo := b * vecBlock
+		for i := 0; i < vecBlock && lo+i < v.n; i++ {
+			dst[lo+i] = buf[i]
+		}
+	}
+	return nil
+}
+
+// CopyToUnverified is CopyTo with no codeword decode: the masked payload
+// streams out as stored, nothing is verified or committed, and the check
+// counters are untouched. It is the whole-vector read of ModeUnverified.
+func (v *Vector) CopyToUnverified(dst []float64) error {
+	if len(dst) < v.n {
+		return fmt.Errorf("core: CopyTo destination too short: %d < %d", len(dst), v.n)
+	}
+	var buf [vecBlock]float64
+	for b := 0; b < v.Blocks(); b++ {
+		v.ReadBlockNoCheck(b, &buf)
 		lo := b * vecBlock
 		for i := 0; i < vecBlock && lo+i < v.n; i++ {
 			dst[lo+i] = buf[i]

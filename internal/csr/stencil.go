@@ -106,6 +106,83 @@ func Laplacian2D(nx, ny int) *Matrix {
 	return FivePoint(nx, ny, kx, ky, 1, 1)
 }
 
+// ConvectionDiffusion2D assembles the upwind five-point
+// convection-diffusion operator on an nx x ny grid: the Laplacian2D
+// diffusion stencil plus a first-order upwind discretisation of the
+// convection term px*du/dx + py*du/dy (px, py >= 0 are the grid Peclet
+// numbers). Rows keep the FivePoint layout — exactly five entries, with
+// out-of-domain couplings stored as explicit zeros on the diagonal
+// column — so every element-protection scheme that needs >= 4 entries
+// per row (CRC32C) applies unchanged.
+//
+// The operator is row-wise diagonally dominant (diag 4+px+py against
+// off-diagonal mass at most 4+px+py) and, for px or py nonzero,
+// nonsymmetric: the reference problem for FGMRES and the
+// selective-reliability paths, which the symmetric stencils above
+// cannot exercise.
+func ConvectionDiffusion2D(nx, ny int, px, py float64) *Matrix {
+	if nx <= 0 || ny <= 0 {
+		panic("csr: ConvectionDiffusion2D needs positive grid dimensions")
+	}
+	if px < 0 || py < 0 {
+		panic("csr: ConvectionDiffusion2D needs nonnegative Peclet numbers")
+	}
+	n := nx * ny
+	m := &Matrix{rows: n, cols: n}
+	m.RowPtr = make([]uint32, n+1)
+	m.Cols = make([]uint32, 5*n)
+	m.Vals = make([]float64, 5*n)
+	k := 0
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			row := j*nx + i
+			// Upwind: the flow (px, py) points toward +x/+y, so the
+			// convective coupling loads the west and south neighbours.
+			var cols [5]int
+			var vals [5]float64
+			nn := 0
+			put := func(col int, v float64) {
+				cols[nn], vals[nn] = col, v
+				nn++
+			}
+			if j > 0 {
+				put(row-nx, -(1 + py))
+			} else {
+				put(row, 0)
+			}
+			if i > 0 {
+				put(row-1, -(1 + px))
+			} else {
+				put(row, 0)
+			}
+			put(row, 4+px+py)
+			if i < nx-1 {
+				put(row+1, -1)
+			} else {
+				put(row, 0)
+			}
+			if j < ny-1 {
+				put(row+nx, -1)
+			} else {
+				put(row, 0)
+			}
+			for a := 1; a < 5; a++ {
+				for b := a; b > 0 && cols[b-1] > cols[b]; b-- {
+					cols[b-1], cols[b] = cols[b], cols[b-1]
+					vals[b-1], vals[b] = vals[b], vals[b-1]
+				}
+			}
+			for a := 0; a < 5; a++ {
+				m.Cols[k] = uint32(cols[a])
+				m.Vals[k] = vals[a]
+				k++
+			}
+			m.RowPtr[row+1] = uint32(k)
+		}
+	}
+	return m
+}
+
 // IrregularSPD assembles a deterministic symmetric positive definite
 // operator of order n over a pseudo-random sparse graph: every row
 // couples with weight -1 to a scattered neighbour set and carries a

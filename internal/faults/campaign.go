@@ -71,6 +71,14 @@ type CampaignConfig struct {
 	// CheckpointInterval overrides the rollback checkpoint cadence
 	// (zero keeps the solver's adaptive default).
 	CheckpointInterval int
+	// Phase selects which phase of a solve the trial strikes. The empty
+	// default strikes resident structures as selected by Structure;
+	// PhaseInner instead strikes the live plain-scratch state of a
+	// selective-reliability FGMRES solve's unverified inner iteration
+	// (through solvers.Options.InnerHook) — the campaign that measures
+	// the selective-reliability claim: inner faults must be absorbed by
+	// the verified outer iteration, never surface as SDC.
+	Phase string
 	// Journal, when non-nil, receives one attributed obs.Event per
 	// non-benign trial (kind "campaign_<outcome>") — campaigns feed the
 	// same bounded fault-event journal the solve service serves at
@@ -78,6 +86,10 @@ type CampaignConfig struct {
 	// record format.
 	Journal *obs.Journal
 }
+
+// PhaseInner names the unverified inner phase of a selective
+// FGMRES solve as a campaign strike target.
+const PhaseInner = "inner"
 
 // CampaignResult aggregates trial outcomes.
 type CampaignResult struct {
@@ -155,6 +167,10 @@ func Run(cfg CampaignConfig) (CampaignResult, error) {
 			err error
 		)
 		switch {
+		case cfg.Phase == PhaseInner:
+			o, err = innerTrial(cfg, in)
+		case cfg.Phase != "":
+			return res, fmt.Errorf("faults: unknown phase %q (choices: %s)", cfg.Phase, PhaseInner)
 		case cfg.Structure == core.StructVector:
 			o, err = vectorTrial(cfg, in)
 		case cfg.Structure == core.StructHalo:
@@ -586,6 +602,138 @@ func solverStateTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
 		return Corrected, nil
 	}
 	return Benign, nil
+}
+
+// innerTrial strikes the one deliberately unprotected place in a
+// selective-reliability solve: the plain float64 scratch of FGMRES's
+// unverified inner iteration, observed live through Options.InnerHook.
+// The operator is nonsymmetric (convection-diffusion) so FGMRES is the
+// natural solver; matrix and vectors carry the scheme under test, which
+// means the inner phase streams masked codeword payloads through the
+// no-decode path while the outer iteration stays fully verified. No
+// detection is possible inside the unverified phase by construction, so
+// the classification measures the absorption contract directly: a trial
+// that converges to the fault-free solution is Recovered (the verified
+// outer iteration absorbed the corrupted search direction), a trial
+// that honestly fails to converge is Detected, and a converged-but-wrong
+// solution is the SDC the design must not produce.
+func innerTrial(cfg CampaignConfig, in *Injector) (Outcome, error) {
+	if cfg.Matrix == nil && cfg.Size > 32 {
+		// Clamp generated operators: each trial is a full solve.
+		cfg.Size = 32
+	}
+	plain := cfg.Matrix
+	if plain == nil {
+		side := cfg.Size
+		if side < 4 {
+			side = 4
+		}
+		plain = csr.ConvectionDiffusion2D(side, side, 1.5, 0.5)
+	}
+	var a solvers.Operator
+	if cfg.Shards > 1 {
+		o, err := shard.New(plain, shard.Options{
+			Shards: cfg.Shards,
+			Format: cfg.Format,
+			Config: op.Config{
+				Scheme:       cfg.Scheme,
+				RowPtrScheme: cfg.Scheme,
+				Backend:      cfg.Backend,
+			},
+			VectorScheme: cfg.Scheme,
+		})
+		if err != nil {
+			return 0, err
+		}
+		a = solvers.MatrixOperator{M: o, Workers: 1}
+	} else {
+		m, err := op.New(cfg.Format, plain, op.Config{
+			Scheme:       cfg.Scheme,
+			RowPtrScheme: cfg.Scheme,
+			Backend:      cfg.Backend,
+		})
+		if err != nil {
+			return 0, err
+		}
+		a = solvers.MatrixOperator{M: m, Workers: 1}
+	}
+
+	rows := plain.Rows()
+	rng := rand.New(rand.NewSource(in.rng.Int63()))
+	bs := make([]float64, rows)
+	for i := range bs {
+		bs[i] = rng.NormFloat64()
+	}
+	newVecs := func() (x, b *core.Vector) {
+		x = core.NewVector(rows, cfg.Scheme)
+		b = core.VectorFromSlice(bs, cfg.Scheme)
+		for _, v := range []*core.Vector{x, b} {
+			v.SetCRCBackend(cfg.Backend)
+		}
+		return x, b
+	}
+	opt := solvers.Options{
+		Tol: 1e-8, RelativeTol: true, Workers: 1,
+		Reliability: solvers.ReliabilitySelective,
+		Recovery:    solvers.Recovery{Policy: cfg.Recovery, Interval: cfg.CheckpointInterval},
+	}
+
+	// Fault-free reference under the identical configuration.
+	x, b := newVecs()
+	res, err := solvers.FGMRES(a, x, b, opt)
+	if err != nil || !res.Converged {
+		return 0, fmt.Errorf("faults: fault-free reference solve: %v", err)
+	}
+	want := make([]float64, rows)
+	if err := x.CopyTo(want); err != nil {
+		return 0, err
+	}
+
+	// The trial: flip Bits random bits of random words of the live inner
+	// scratch at one random hook firing early in the solve.
+	x, b = newVecs()
+	strikeAt := in.rng.Intn(4)
+	calls, struck := 0, false
+	opt.InnerHook = func(cycle, j, step int, z []float64) {
+		if struck {
+			return
+		}
+		if calls++; calls-1 != strikeAt {
+			return
+		}
+		struck = true
+		for i := 0; i < cfg.Bits; i++ {
+			w := in.rng.Intn(len(z))
+			z[w] = flipFloatBits(z[w], 1<<uint(in.rng.Intn(64)))
+		}
+	}
+	res, err = solvers.FGMRES(a, x, b, opt)
+	if err != nil {
+		if solvers.IsFault(err) {
+			return Detected, nil
+		}
+		return 0, err
+	}
+	if !struck {
+		return Benign, nil
+	}
+	if !res.Converged {
+		// The solver honestly reported non-convergence: nothing silent.
+		return Detected, nil
+	}
+	got := make([]float64, rows)
+	if err := x.CopyTo(got); err != nil {
+		return Detected, nil
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+			return SDC, nil
+		}
+	}
+	// Converged to the reference solution with a fault injected into the
+	// unverified phase: absorbed by the verified outer iteration — the
+	// selective-reliability analogue of a rollback recovery.
+	return Recovered, nil
 }
 
 // matrixTrial corrupts a fresh protected matrix of the configured storage

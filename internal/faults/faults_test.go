@@ -521,3 +521,55 @@ func TestCampaignJournalsTrials(t *testing.T) {
 		}
 	}
 }
+
+// TestInnerPhaseCampaignAbsorbs strikes the live scratch of selective
+// FGMRES's unverified inner solve — where no detection is possible by
+// construction — and asserts the verified outer iteration absorbs every
+// strike: convergence to the fault-free solution, zero SDC, zero aborts.
+func TestInnerPhaseCampaignAbsorbs(t *testing.T) {
+	res := runCampaign(t, CampaignConfig{
+		Scheme: core.SECDED64,
+		Phase:  PhaseInner,
+		Bits:   2,
+		Size:   8,
+		Trials: 30,
+	})
+	if res.SDC != 0 {
+		t.Fatalf("inner faults leaked %d SDCs: %v", res.SDC, res)
+	}
+	if res.Detected != 0 {
+		t.Fatalf("inner faults aborted %d solves they should have absorbed: %v", res.Detected, res)
+	}
+	if res.Recovered == 0 {
+		t.Fatalf("no absorbed faults recorded: %v", res)
+	}
+}
+
+// TestInnerPhaseCampaignFormatsAndSharded sweeps the inner-phase
+// campaign across storage formats and the sharded composite: the
+// absorption contract is format- and decomposition-agnostic.
+func TestInnerPhaseCampaignFormatsAndSharded(t *testing.T) {
+	for _, f := range op.Formats {
+		for _, shards := range []int{0, 3} {
+			res := runCampaign(t, CampaignConfig{
+				Scheme: core.SECDED64,
+				Phase:  PhaseInner,
+				Format: f,
+				Bits:   1,
+				Size:   8,
+				Shards: shards,
+				Trials: 10,
+			})
+			if res.SDC != 0 || res.Detected != 0 {
+				t.Fatalf("%v shards=%d: %v", f, shards, res)
+			}
+		}
+	}
+}
+
+// TestCampaignRejectsUnknownPhase pins the choice-listing error.
+func TestCampaignRejectsUnknownPhase(t *testing.T) {
+	if _, err := Run(CampaignConfig{Phase: "outer"}); err == nil {
+		t.Fatal("unknown phase accepted")
+	}
+}

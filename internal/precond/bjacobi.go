@@ -22,9 +22,9 @@ type blockJacobiPre struct {
 	rows int
 	// inv holds the block inverses: vector block 4*b+i is row i of
 	// diagonal block b's inverse.
-	inv    *core.Vector
-	bands  [][2]int
-	shared bool
+	inv   *core.Vector
+	bands [][2]int
+	mode  core.ReadMode
 	applies
 	counters *core.Counters
 }
@@ -145,8 +145,11 @@ func (p *blockJacobiPre) Apply(z, r *core.Vector) error {
 		// ReadBlocks call instead of four per-row reads.
 		var iv [blockLen * blockLen]float64
 		readInv := p.inv.ReadBlocksInto
-		if p.shared {
+		switch p.mode {
+		case core.ModeShared:
 			readInv = p.inv.ReadBlocksSharedInto
+		case core.ModeUnverified:
+			readInv = p.inv.ReadBlocksUnverifiedInto
 		}
 		b0 := lo / blockLen
 		nb := (hi - lo + blockLen - 1) / blockLen
@@ -191,8 +194,13 @@ func (p *blockJacobiPre) SetCounters(c *core.Counters) {
 	p.inv.SetCounters(c)
 }
 
-// SetShared switches Apply to the no-commit read discipline.
-func (p *blockJacobiPre) SetShared(shared bool) { p.shared = shared }
+// SetReadMode selects the read discipline for the protected state.
+func (p *blockJacobiPre) SetReadMode(mode core.ReadMode) { p.mode = mode }
+
+// SetShared is the deprecated boolean precursor of SetReadMode.
+//
+// Deprecated: use SetReadMode.
+func (p *blockJacobiPre) SetShared(shared bool) { p.SetReadMode(sharedMode(shared)) }
 
 // RawState exposes the protected inverse blocks for fault injection.
 func (p *blockJacobiPre) RawState() []*core.Vector { return []*core.Vector{p.inv} }

@@ -17,7 +17,7 @@ type jacobiPre struct {
 	rows    int
 	inv     *core.Vector
 	workers int
-	shared  bool
+	mode    core.ReadMode
 	applies
 	counters *core.Counters
 }
@@ -41,10 +41,12 @@ func (p *jacobiPre) Apply(z, r *core.Vector) error {
 	p.bump()
 	return par.ForEach(p.inv.Blocks(), p.workers, 1, func(lo, hi int) error {
 		var dv, rv, out [blockLen]float64
-		vecChecks(p.inv, hi-lo)
+		if p.mode.Verifies() {
+			vecChecks(p.inv, hi-lo)
+		}
 		vecChecks(r, hi-lo)
 		for blk := lo; blk < hi; blk++ {
-			if err := readBlk(p.inv, blk, &dv, p.shared); err != nil {
+			if err := readBlk(p.inv, blk, &dv, p.mode); err != nil {
 				return err
 			}
 			if err := r.ReadBlock(blk, &rv); err != nil {
@@ -79,8 +81,13 @@ func (p *jacobiPre) SetCounters(c *core.Counters) {
 	p.inv.SetCounters(c)
 }
 
-// SetShared switches Apply to the no-commit read discipline.
-func (p *jacobiPre) SetShared(shared bool) { p.shared = shared }
+// SetReadMode selects the read discipline for the protected state.
+func (p *jacobiPre) SetReadMode(mode core.ReadMode) { p.mode = mode }
+
+// SetShared is the deprecated boolean precursor of SetReadMode.
+//
+// Deprecated: use SetReadMode.
+func (p *jacobiPre) SetShared(shared bool) { p.SetReadMode(sharedMode(shared)) }
 
 // RawState exposes the protected inverse diagonal for fault injection.
 func (p *jacobiPre) RawState() []*core.Vector { return []*core.Vector{p.inv} }

@@ -147,11 +147,17 @@ type Preconditioner interface {
 	Stats() Stats
 	// SetCounters attaches a statistics accumulator (shared or nil).
 	SetCounters(*core.Counters)
-	// SetShared marks the preconditioner as applied concurrently:
+	// SetReadMode selects the read discipline for the protected state.
+	// ModeShared marks the preconditioner as applied concurrently:
 	// Apply then never commits corrections to the protected state,
 	// leaving repair to Scrub, which the owner serializes against
-	// Apply. Set before the preconditioner becomes visible to other
-	// goroutines.
+	// Apply. ModeUnverified skips state-codeword decode entirely. Set
+	// before the preconditioner becomes visible to other goroutines.
+	SetReadMode(core.ReadMode)
+	// SetShared is the deprecated boolean precursor of SetReadMode:
+	// true maps to ModeShared, false to ModeExclusive.
+	//
+	// Deprecated: use SetReadMode.
 	SetShared(bool)
 	// RawState exposes the protected state vectors for fault
 	// injection; bits flipped in their raw storage model soft errors
@@ -218,13 +224,20 @@ func invertDiagonal(src *csr.Matrix) ([]float64, error) {
 // the granularity of all state reads and of block-Jacobi's blocks.
 const blockLen = 4
 
-// readBlk reads one verified block of a protected state vector,
-// committing repairs only when the preconditioner is exclusively owned.
-func readBlk(v *core.Vector, blk int, dst *[blockLen]float64, shared bool) error {
-	if shared {
+// readBlk reads one block of a protected state vector under the given
+// read discipline: verified with repairs committed only when the
+// preconditioner is exclusively owned, streamed without decode under
+// ModeUnverified.
+func readBlk(v *core.Vector, blk int, dst *[blockLen]float64, mode core.ReadMode) error {
+	switch mode {
+	case core.ModeUnverified:
+		v.ReadBlockNoCheck(blk, dst)
+		return nil
+	case core.ModeShared:
 		return v.ReadBlockShared(blk, dst)
+	default:
+		return v.ReadBlock(blk, dst)
 	}
-	return v.ReadBlock(blk, dst)
 }
 
 // vecChecks batches blocks verified reads into v's counters, mirroring
@@ -235,27 +248,34 @@ func vecChecks(v *core.Vector, blocks int) {
 	}
 }
 
-// decode verifies the whole state vector into dst (len >= v.Len()),
-// respecting the shared no-commit discipline. Blocks fully covered by
-// dst are batch-verified in one ReadBlocks sweep; only a partial tail
-// block falls back to a buffered per-block read.
-func decode(v *core.Vector, dst []float64, shared bool) error {
+// decode reads the whole state vector into dst (len >= v.Len()) under
+// the given read discipline: batch-verified (respecting the shared
+// no-commit rule) for the verifying modes, a raw masked-payload stream
+// under ModeUnverified. Blocks fully covered by dst go through one
+// ReadBlocks sweep; only a partial tail block falls back to a buffered
+// per-block read.
+func decode(v *core.Vector, dst []float64, mode core.ReadMode) error {
 	nb := v.Blocks()
 	full := len(dst) / blockLen
 	if full > nb {
 		full = nb
 	}
 	read := v.ReadBlocksInto
-	if shared {
+	switch mode {
+	case core.ModeShared:
 		read = v.ReadBlocksSharedInto
+	case core.ModeUnverified:
+		read = v.ReadBlocksUnverifiedInto
 	}
 	if err := read(0, full, dst[:full*blockLen]); err != nil {
 		return err
 	}
 	var buf [blockLen]float64
-	vecChecks(v, nb-full)
+	if mode.Verifies() {
+		vecChecks(v, nb-full)
+	}
 	for b := full; b < nb; b++ {
-		if err := readBlk(v, b, &buf, shared); err != nil {
+		if err := readBlk(v, b, &buf, mode); err != nil {
 			return err
 		}
 		lo := b * blockLen
@@ -264,6 +284,14 @@ func decode(v *core.Vector, dst []float64, shared bool) error {
 		}
 	}
 	return nil
+}
+
+// sharedMode maps the deprecated SetShared boolean to its ReadMode.
+func sharedMode(shared bool) core.ReadMode {
+	if shared {
+		return core.ModeShared
+	}
+	return core.ModeExclusive
 }
 
 // applies is the shared Apply counter every implementation embeds.

@@ -32,7 +32,7 @@ type sgsPre struct {
 	inv  *core.Vector
 	applies
 	counters *core.Counters
-	shared   bool
+	mode     core.ReadMode
 
 	mu   sync.Mutex
 	free []*sgsScratch
@@ -92,7 +92,7 @@ func (p *sgsPre) Apply(z, r *core.Vector) error {
 	defer p.putScratch(ws)
 	// A fresh sweep re-verifies codewords memoised by a previous one.
 	ws.scan.Reset()
-	if err := decode(p.inv, ws.invd, p.shared); err != nil {
+	if err := decode(p.inv, ws.invd, p.mode); err != nil {
 		return err
 	}
 	if err := r.CopyTo(ws.rv); err != nil {
@@ -171,12 +171,18 @@ func (p *sgsPre) SetCounters(c *core.Counters) {
 	p.inv.SetCounters(c)
 }
 
-// SetShared switches the sweeps to the no-commit read discipline. Must
-// be set before the preconditioner is shared.
-func (p *sgsPre) SetShared(shared bool) {
-	p.shared = shared
-	p.m.SetShared(shared)
+// SetReadMode selects the read discipline for the sweeps, propagating
+// it to the protected triangular-sweep matrix. Must be set before the
+// preconditioner is shared.
+func (p *sgsPre) SetReadMode(mode core.ReadMode) {
+	p.mode = mode
+	p.m.SetReadMode(mode)
 }
+
+// SetShared is the deprecated boolean precursor of SetReadMode.
+//
+// Deprecated: use SetReadMode.
+func (p *sgsPre) SetShared(shared bool) { p.SetReadMode(sharedMode(shared)) }
 
 // Matrix exposes the protected triangular-sweep matrix (fault
 // injection and inspection).

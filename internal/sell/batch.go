@@ -75,7 +75,7 @@ func (m *Matrix) applyWindowBatch(dst *core.MultiVector, xbufs, accs [][]float64
 	defer func() { m.counters.AddChecks(checks) }()
 	for sl := slo; sl < shi; sl++ {
 		if m.scheme != core.None {
-			dirty, n, err := m.checkSlice(sl, buf, !m.shared)
+			dirty, n, err := m.checkSlice(sl, buf, m.mode.Commits())
 			checks += n
 			if err != nil {
 				return err

@@ -91,8 +91,8 @@ type Matrix struct {
 	vals   []float64
 
 	counters *core.Counters
-	// shared marks the matrix as applied concurrently; see SetShared.
-	shared bool
+	// mode is the read discipline Apply runs under; see SetReadMode.
+	mode core.ReadMode
 }
 
 // padRow marks a dummy lane added to fill the last slice.
@@ -243,12 +243,28 @@ func (m *Matrix) SliceRange(sl int) (lo, hi int) {
 // SetCounters attaches a statistics accumulator.
 func (m *Matrix) SetCounters(c *core.Counters) { m.counters = c }
 
-// SetShared marks the matrix as applied concurrently from multiple
-// goroutines: Apply stops committing corrections to storage (they are
-// still counted and the checks still detect), leaving repair to Scrub,
-// which the owner must serialize against Apply. Set before the matrix
-// becomes visible to other goroutines.
-func (m *Matrix) SetShared(shared bool) { m.shared = shared }
+// SetReadMode selects the read discipline for Apply. ModeShared marks
+// the matrix as applied concurrently from multiple goroutines: Apply
+// stops committing corrections to storage (they are still counted and
+// the checks still detect), leaving repair to Scrub, which the owner
+// must serialize against Apply. Set before the matrix becomes visible
+// to other goroutines.
+func (m *Matrix) SetReadMode(mode core.ReadMode) { m.mode = mode }
+
+// ReadMode returns the configured read discipline.
+func (m *Matrix) ReadMode() core.ReadMode { return m.mode }
+
+// SetShared is the deprecated boolean precursor of SetReadMode: true
+// maps to ModeShared, false to ModeExclusive.
+//
+// Deprecated: use SetReadMode.
+func (m *Matrix) SetShared(shared bool) {
+	if shared {
+		m.SetReadMode(core.ModeShared)
+	} else {
+		m.SetReadMode(core.ModeExclusive)
+	}
+}
 
 // CounterSnapshot returns a copy of the attached counters.
 func (m *Matrix) CounterSnapshot() core.CounterSnapshot { return m.counters.Snapshot() }
@@ -558,23 +574,44 @@ func (m *Matrix) SpMV(dst, x *core.Vector) error { return m.Apply(dst, x, 1) }
 // exactly one owner: the parallel path is race-free and bit-identical to
 // the serial one.
 func (m *Matrix) Apply(dst, x *core.Vector, workers int) error {
+	if !m.mode.Verifies() {
+		return m.ApplyUnverified(dst, x, workers)
+	}
+	return m.apply(dst, x, workers, false)
+}
+
+// ApplyUnverified computes dst = m * x through the no-decode fast path
+// regardless of the stored read mode: slices stream as masked payload
+// with only column range checks applied — no codeword verification, no
+// corrections, no commit, and the check counters stay untouched — so it
+// can run concurrently with verified readers of the same shared
+// storage. It is the inner-solve read path of selective reliability.
+func (m *Matrix) ApplyUnverified(dst, x *core.Vector, workers int) error {
+	return m.apply(dst, x, workers, true)
+}
+
+func (m *Matrix) apply(dst, x *core.Vector, workers int, unverified bool) error {
 	if dst.Len() != m.rows || x.Len() != m.cols {
 		return fmt.Errorf("sell: SpMV dimension mismatch: dst %d, m %dx%d, x %d",
 			dst.Len(), m.rows, m.cols, x.Len())
 	}
 	xbuf := make([]float64, m.cols)
-	if err := x.CopyTo(xbuf); err != nil {
+	if unverified {
+		if err := x.CopyToUnverified(xbuf); err != nil {
+			return err
+		}
+	} else if err := x.CopyTo(xbuf); err != nil {
 		return err
 	}
 	windows := (m.rows + m.sigma - 1) / m.sigma
 	return par.ForEach(windows, workers, 1, func(wlo, whi int) error {
 		acc := make([]float64, m.sigma)
 		var buf []byte
-		if m.scheme == core.CRC32C {
+		if m.scheme == core.CRC32C && !unverified {
 			buf = make([]byte, m.maxWidth*12)
 		}
 		for w := wlo; w < whi; w++ {
-			if err := m.applyWindow(dst, xbuf, acc, buf, w); err != nil {
+			if err := m.applyWindow(dst, xbuf, acc, buf, w, unverified); err != nil {
 				return err
 			}
 		}
@@ -583,8 +620,10 @@ func (m *Matrix) Apply(dst, x *core.Vector, workers int) error {
 }
 
 // applyWindow multiplies the slices of sigma-window w and commits the
-// window's output rows.
-func (m *Matrix) applyWindow(dst *core.Vector, xbuf, acc []float64, buf []byte, w int) error {
+// window's output rows. With unverified set the slice verify is skipped
+// entirely and every slice streams through the clean path — the
+// ModeUnverified contract: masked payload plus bounds checks only.
+func (m *Matrix) applyWindow(dst *core.Vector, xbuf, acc []float64, buf []byte, w int, unverified bool) error {
 	base := w * m.sigma
 	top := base + m.sigma
 	if top > m.rows {
@@ -599,8 +638,8 @@ func (m *Matrix) applyWindow(dst *core.Vector, xbuf, acc []float64, buf []byte, 
 	var checks uint64
 	defer func() { m.counters.AddChecks(checks) }()
 	for sl := slo; sl < shi; sl++ {
-		if m.scheme != core.None {
-			dirty, n, err := m.checkSlice(sl, buf, !m.shared)
+		if m.scheme != core.None && !unverified {
+			dirty, n, err := m.checkSlice(sl, buf, m.mode.Commits())
 			checks += n
 			if err != nil {
 				return err

@@ -39,6 +39,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "abftd_jobs_total{state=\"failed\"} %d\n", s.jobsFailed.Load())
 	counter("abftd_jobs_rejected_total", "Jobs rejected by a full queue.", s.jobsRejected.Load())
 	counter("abftd_jobs_sharded_total", "Jobs enqueued to solve over a sharded operator.", s.jobsSharded.Load())
+	counter("abftd_jobs_selective_total", "Jobs admitted with selective (unverified inner solve) reliability.", s.jobsSelective.Load())
 	counter("abftd_jobs_autotuned_total", "Jobs admitted with at least one auto-selected knob.", s.jobsAutotuned.Load())
 	fmt.Fprintf(w, "# HELP abftd_autotune_format_total Auto-selected storage formats at admission.\n")
 	fmt.Fprintf(w, "# TYPE abftd_autotune_format_total counter\n")

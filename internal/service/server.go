@@ -14,6 +14,7 @@ import (
 	"abft/internal/csr"
 	"abft/internal/ecc"
 	"abft/internal/obs"
+	"abft/internal/solvers"
 )
 
 // Config sizes the service.
@@ -250,6 +251,9 @@ type Server struct {
 	jobsFailed   atomic.Uint64
 	jobsRejected atomic.Uint64
 	jobsSharded  atomic.Uint64
+	// jobsSelective counts jobs admitted with selective (unverified
+	// inner solve) reliability.
+	jobsSelective atomic.Uint64
 	// Recovery accounting: jobs that finished after solver rollbacks,
 	// jobs the service retried against a rebuilt operator, and the
 	// solver-level rollback/recomputation totals.
@@ -532,6 +536,9 @@ func (s *Server) enqueue(j *job) error {
 		}
 		if j.params.shards > 1 {
 			s.jobsSharded.Add(1)
+		}
+		if j.params.reliability == solvers.ReliabilitySelective {
+			s.jobsSelective.Add(1)
 		}
 		if j.tuned != nil {
 			s.jobsAutotuned.Add(1)

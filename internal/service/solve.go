@@ -110,6 +110,19 @@ func (o cachedOperator) Apply(dst, x *core.Vector) error {
 	return o.e.m.Apply(dst, x, o.workers)
 }
 
+// ApplyUnverified forwards to the cached operator's no-decode fast path
+// when its format has one (all in-tree formats do), satisfying
+// solvers.UnverifiedOperator so a selective-reliability FGMRES can run
+// its inner SpMVs unverified against the shared entry — the capability
+// is per call, so the entry's stored read mode is never mutated under
+// concurrent solves.
+func (o cachedOperator) ApplyUnverified(dst, x *core.Vector) error {
+	if ua, ok := o.e.m.(core.UnverifiedApplier); ok {
+		return ua.ApplyUnverified(dst, x, o.workers)
+	}
+	return o.Apply(dst, x)
+}
+
 func (o cachedOperator) Diagonal(dst []float64) error {
 	if len(dst) < len(o.e.diag) {
 		return fmt.Errorf("service: Diagonal destination too short")
@@ -207,14 +220,49 @@ func (s *Server) buildOperator(j *job) func() (core.ProtectedMatrix, []float64, 
 				return nil, nil, nil, err
 			}
 			pre.SetCounters(counters)
-			pre.SetShared(true)
+			pre.SetReadMode(core.ModeShared)
 		}
 		// Shared mode: from here on Apply never writes the operator's
 		// storage (concurrent jobs hold only the read lock); the scrub
 		// daemon — under the exclusive lock — is the one writer.
-		m.SetShared(true)
+		m.SetReadMode(core.ModeShared)
 		return m, diag, pre, nil
 	}
+}
+
+// resolvedOptions assembles the result's consolidated knob echo from a
+// job's admission-time resolution.
+func resolvedOptions(j *job) *ResolvedOptions {
+	p := j.params
+	o := &ResolvedOptions{
+		Solver:           p.kind.String(),
+		Format:           p.format.String(),
+		Recovery:         p.opt.Recovery.Policy.String(),
+		RecoveryInterval: p.opt.Recovery.Interval,
+		Reliability:      p.reliability.String(),
+		Restart:          p.opt.Restart,
+		Workers:          p.opt.Workers,
+		Autotune:         j.tuned,
+	}
+	if p.precond != precond.None {
+		o.Precond = p.precond.String()
+	}
+	if p.scheme != core.None {
+		o.Scheme = p.scheme.String()
+	}
+	if p.rowptr != core.None {
+		o.RowPtrScheme = p.rowptr.String()
+	}
+	if p.vectors != core.None {
+		o.VectorScheme = p.vectors.String()
+	}
+	if p.shards > 1 {
+		o.Shards = p.shards
+	}
+	if p.kind != solvers.KindFGMRES {
+		o.Restart = 0
+	}
+	return o
 }
 
 // solve executes one job against the shared operator cache. The
@@ -294,6 +342,8 @@ func (s *Server) solve(j *job) (*SolveResult, *cacheEntry, error) {
 	return &SolveResult{
 		X:                    out,
 		Autotune:             j.tuned,
+		Reliability:          p.reliability.String(),
+		Options:              resolvedOptions(j),
 		Iterations:           sres.Iterations,
 		ResidualNorm:         sres.ResidualNorm,
 		Converged:            sres.Converged,
@@ -492,6 +542,8 @@ func (s *Server) solveBatch(group []*job) ([]*SolveResult, *cacheEntry, error) {
 		snap := jcs[gi].Snapshot()
 		res := &SolveResult{
 			Autotune:             j.tuned,
+			Reliability:          p.reliability.String(),
+			Options:              resolvedOptions(j),
 			CacheHit:             hit,
 			Coalesced:            len(group) > 1,
 			Rollbacks:            br.Rollbacks,

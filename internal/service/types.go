@@ -131,6 +131,15 @@ type SolveRequest struct {
 	// RecoveryInterval fixes the rollback checkpoint cadence in
 	// iterations (0 adapts it to the observed fault rate).
 	RecoveryInterval int `json:"recovery_interval,omitempty"`
+	// Reliability selects how much of the solve runs under verified
+	// reads ("full" default, "selective"). Selective runs the inner
+	// preconditioner-solve of a flexible method through the unverified
+	// no-decode read path while the outer iteration stays verified; it
+	// requires the fgmres solver with no explicit preconditioner.
+	Reliability string `json:"reliability,omitempty"`
+	// Restart is the fgmres restart length (0 selects the solver
+	// default; other solvers ignore it).
+	Restart int `json:"restart,omitempty"`
 	// B is the right-hand side; omitted means all ones.
 	B []float64 `json:"b,omitempty"`
 	// RHSBatch submits up to 64 right-hand sides as one batched solve
@@ -173,7 +182,10 @@ type solveParams struct {
 	// precond is the resolved preconditioner kind; its setup product is
 	// built, cached and scrubbed with the operator.
 	precond precond.Kind
-	opt     solvers.Options
+	// reliability is the resolved read discipline of the solve phases
+	// (selective admits only fgmres with no explicit preconditioner).
+	reliability solvers.Reliability
+	opt         solvers.Options
 }
 
 // finalizeShards completes shard resolution once the matrix dimensions
@@ -216,10 +228,10 @@ func batchKind(k solvers.Kind) bool {
 // not across counts, so coalescing across worker counts would break
 // bit-parity with the jobs' independent solves.
 func coalesceKey(opKey string, p solveParams) string {
-	return fmt.Sprintf("%s|batch|%v|%v|%v|%g|%t|%d|%d|%v|%d",
+	return fmt.Sprintf("%s|batch|%v|%v|%v|%g|%t|%d|%d|%v|%d|%v",
 		opKey, p.kind, p.precond, p.vectors,
 		p.opt.Tol, p.opt.RelativeTol, p.opt.MaxIter, p.opt.Workers,
-		p.opt.Recovery.Policy, p.opt.Recovery.Interval)
+		p.opt.Recovery.Policy, p.opt.Recovery.Interval, p.reliability)
 }
 
 // resolve validates the symbolic fields of a request against the format,
@@ -275,6 +287,22 @@ func (r *SolveRequest) resolve(cfg Config) (solveParams, error) {
 		// its own; ppcg's polynomial is its preconditioner).
 		return p, fmt.Errorf("solver %v does not apply a preconditioner (use cg, pcg or chebyshev)", p.kind)
 	}
+	if p.reliability, err = solvers.ParseReliability(r.Reliability); err != nil {
+		return p, err
+	}
+	if p.reliability == solvers.ReliabilitySelective {
+		// Selective reliability is defined by its reliable outer
+		// iteration: only the flexible solver's internal inner solve may
+		// run unverified, and an explicit preconditioner would replace
+		// exactly that phase with a verified application — reject the
+		// combinations that could not actually shed any verification.
+		if p.kind != solvers.KindFGMRES {
+			return p, fmt.Errorf("selective reliability requires the fgmres solver (got %v)", p.kind)
+		}
+		if p.precond != precond.None {
+			return p, fmt.Errorf("selective reliability requires precond none (got %v): an explicit preconditioner replaces the unverified inner solve", p.precond)
+		}
+	}
 	if r.Sigma < 0 {
 		return p, fmt.Errorf("sigma %d must be >= 0", r.Sigma)
 	}
@@ -290,11 +318,16 @@ func (r *SolveRequest) resolve(cfg Config) (solveParams, error) {
 	if err != nil {
 		return p, err
 	}
+	if r.Restart < 0 {
+		return p, fmt.Errorf("restart %d must be >= 0", r.Restart)
+	}
 	p.opt = solvers.Options{
 		Tol:         r.Tol,
 		RelativeTol: r.RelativeTol,
 		MaxIter:     r.MaxIter,
 		Workers:     workers,
+		Restart:     r.Restart,
+		Reliability: p.reliability,
 		Recovery: solvers.Recovery{
 			Policy:   recovery,
 			Interval: r.RecoveryInterval,
@@ -359,9 +392,23 @@ type SolveResult struct {
 	// solver-level recovery could not clear and the service retried it
 	// against a freshly built operator.
 	Retried bool `json:"retried,omitempty"`
+	// Reliability echoes the resolved read discipline of the solve
+	// ("full" or "selective").
+	//
+	// Deprecated: read Options.Reliability; kept one release for
+	// clients that scrape top-level fields.
+	Reliability string `json:"reliability,omitempty"`
+	// Options consolidates every knob the admission resolver settled on
+	// for the executing solve — the requested values after parsing,
+	// defaulting, clamping and autotuning — in one block. The top-level
+	// Autotune and Reliability fields it overlaps are deprecated.
+	Options *ResolvedOptions `json:"options,omitempty"`
 	// Autotune records the admission-time profile and the knobs the
 	// service auto-selected because the request left them unpinned (nil
 	// when every tunable knob was pinned).
+	//
+	// Deprecated: read Options.Autotune; kept one release for clients
+	// that scrape top-level fields.
 	Autotune *AutotuneDecision `json:"autotune,omitempty"`
 	// Checks/Corrected/Detected/Bounds are the ABFT counter deltas this
 	// job contributed.
@@ -369,6 +416,42 @@ type SolveResult struct {
 	Corrected uint64 `json:"corrected"`
 	Detected  uint64 `json:"detected"`
 	Bounds    uint64 `json:"bounds"`
+}
+
+// ResolvedOptions is the result's consolidated solver-knob echo: every
+// symbolic request field after admission-time resolution, so a client
+// can read what actually executed — defaulting, clamping and
+// autotuning included — from one place instead of re-deriving it from
+// scattered top-level fields.
+type ResolvedOptions struct {
+	// Solver is the executed algorithm ("cg", "fgmres", ...).
+	Solver string `json:"solver"`
+	// Precond is the resolved preconditioner kind ("none" omitted).
+	Precond string `json:"precond,omitempty"`
+	// Format is the effective protected storage format (the shard-local
+	// format when the solve is sharded).
+	Format string `json:"format"`
+	// Scheme/RowPtrScheme/VectorScheme are the resolved protection
+	// schemes ("none" values omitted).
+	Scheme       string `json:"scheme,omitempty"`
+	RowPtrScheme string `json:"rowptr_scheme,omitempty"`
+	VectorScheme string `json:"vector_scheme,omitempty"`
+	// Shards is the post-clamp band count (omitted when unsharded).
+	Shards int `json:"shards,omitempty"`
+	// Recovery is the resolved recovery policy, RecoveryInterval the
+	// fixed checkpoint cadence (0 adapts).
+	Recovery         string `json:"recovery"`
+	RecoveryInterval int    `json:"recovery_interval,omitempty"`
+	// Reliability is the resolved read discipline ("full", "selective").
+	Reliability string `json:"reliability"`
+	// Restart is the requested fgmres restart length (0 means the
+	// solver default; only meaningful for fgmres).
+	Restart int `json:"restart,omitempty"`
+	// Workers is the per-job kernel goroutine count after clamping.
+	Workers int `json:"workers"`
+	// Autotune records the knobs the service auto-selected (nil when
+	// every tunable knob was pinned).
+	Autotune *AutotuneDecision `json:"autotune,omitempty"`
 }
 
 // JobState names a job's position in its lifecycle.

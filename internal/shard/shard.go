@@ -140,6 +140,9 @@ type Operator struct {
 	bands      []*band
 
 	counters *core.Counters
+	// mode mirrors the read discipline propagated to the bands; see
+	// SetReadMode.
+	mode core.ReadMode
 	// hook, when set, observes phase barriers (fault campaigns corrupt
 	// shard-local state between phases through it). Set before sharing.
 	hook func(Phase)
@@ -372,12 +375,28 @@ func (o *Operator) SetCounters(c *core.Counters) {
 	}
 }
 
-// SetShared propagates the shared (no-commit Apply) mode to every shard
-// matrix; workspace vectors need no mode because each in-flight Apply
-// owns its workspace exclusively.
-func (o *Operator) SetShared(shared bool) {
+// SetReadMode propagates the read discipline to every shard matrix;
+// workspace vectors need no mode because each in-flight Apply owns its
+// workspace exclusively.
+func (o *Operator) SetReadMode(mode core.ReadMode) {
+	o.mode = mode
 	for _, b := range o.bands {
-		b.m.SetShared(shared)
+		b.m.SetReadMode(mode)
+	}
+}
+
+// ReadMode returns the configured read discipline.
+func (o *Operator) ReadMode() core.ReadMode { return o.mode }
+
+// SetShared is the deprecated boolean precursor of SetReadMode: true
+// maps to ModeShared, false to ModeExclusive.
+//
+// Deprecated: use SetReadMode.
+func (o *Operator) SetShared(shared bool) {
+	if shared {
+		o.SetReadMode(core.ModeShared)
+	} else {
+		o.SetReadMode(core.ModeExclusive)
 	}
 }
 
@@ -419,6 +438,25 @@ func (o *Operator) fire(p Phase) {
 // workers is the total kernel goroutine budget, divided across shards
 // (each shard always gets its own goroutine).
 func (o *Operator) Apply(dst, x *core.Vector, workers int) error {
+	if !o.mode.Verifies() {
+		return o.ApplyUnverified(dst, x, workers)
+	}
+	return o.apply(dst, x, workers, false)
+}
+
+// ApplyUnverified runs the same scatter/exchange/local-product pipeline
+// through the no-decode fast path regardless of the stored read mode:
+// scatter, halo pack and gather stream masked payload blocks without
+// verifying them, and each band's local product runs through its
+// format's ApplyUnverified. Nothing is committed and the check counters
+// stay untouched, so the pipeline can run concurrently with verified
+// readers of the same cached operator. It is the inner-solve read path
+// of selective reliability.
+func (o *Operator) ApplyUnverified(dst, x *core.Vector, workers int) error {
+	return o.apply(dst, x, workers, true)
+}
+
+func (o *Operator) apply(dst, x *core.Vector, workers int, unverified bool) error {
 	if dst.Len() != o.rows || x.Len() != o.cols {
 		return fmt.Errorf("shard: Apply dimension mismatch: dst %d, A %dx%d, x %d",
 			dst.Len(), o.rows, o.cols, x.Len())
@@ -434,6 +472,7 @@ func (o *Operator) Apply(dst, x *core.Vector, workers int) error {
 	// (one ReadBlocksInto call per chunk instead of a per-block check
 	// loop) and re-encodes it into its local interior. Band boundaries
 	// are block-aligned, so shards never touch a shared codeword of x.
+	// Unverified pipelines stream the same spans without decoding them.
 	err := o.forEachBand(func(bi int, b *band) error {
 		var buf [packChunk * blockLen]float64
 		b0 := b.r0 / blockLen
@@ -443,7 +482,13 @@ func (o *Operator) Apply(dst, x *core.Vector, workers int) error {
 			if nb-k < cn {
 				cn = nb - k
 			}
-			if err := x.ReadBlocksInto(b0+k, b0+k+cn, buf[:cn*blockLen]); err != nil {
+			var err error
+			if unverified {
+				err = x.ReadBlocksUnverifiedInto(b0+k, b0+k+cn, buf[:cn*blockLen])
+			} else {
+				err = x.ReadBlocksInto(b0+k, b0+k+cn, buf[:cn*blockLen])
+			}
+			if err != nil {
 				return fmt.Errorf("shard: scatter into shard %d: %w", bi, err)
 			}
 			for j := 0; j < cn; j++ {
@@ -457,7 +502,7 @@ func (o *Operator) Apply(dst, x *core.Vector, workers int) error {
 	}
 	o.fire(PhaseScatter)
 
-	if err := o.exchange(ws); err != nil {
+	if err := o.exchange(ws, unverified); err != nil {
 		return err
 	}
 	o.fire(PhaseExchange)
@@ -465,7 +510,13 @@ func (o *Operator) Apply(dst, x *core.Vector, workers int) error {
 	// Local products, gathered straight into the block-aligned global
 	// destination.
 	err = o.forEachBand(func(bi int, b *band) error {
-		if err := b.m.Apply(ws.y[bi], ws.x[bi], localWorkers); err != nil {
+		applyLocal := b.m.Apply
+		if unverified {
+			if ua, ok := b.m.(core.UnverifiedApplier); ok {
+				applyLocal = ua.ApplyUnverified
+			}
+		}
+		if err := applyLocal(ws.y[bi], ws.x[bi], localWorkers); err != nil {
 			return fmt.Errorf("shard: shard %d: %w", bi, err)
 		}
 		var buf [packChunk * blockLen]float64
@@ -476,7 +527,13 @@ func (o *Operator) Apply(dst, x *core.Vector, workers int) error {
 			if nb-k < cn {
 				cn = nb - k
 			}
-			if err := ws.y[bi].ReadBlocksInto(k, k+cn, buf[:cn*blockLen]); err != nil {
+			var err error
+			if unverified {
+				err = ws.y[bi].ReadBlocksUnverifiedInto(k, k+cn, buf[:cn*blockLen])
+			} else {
+				err = ws.y[bi].ReadBlocksInto(k, k+cn, buf[:cn*blockLen])
+			}
+			if err != nil {
 				return fmt.Errorf("shard: gather from shard %d: %w", bi, err)
 			}
 			for j := 0; j < cn; j++ {
@@ -500,7 +557,8 @@ func (o *Operator) Apply(dst, x *core.Vector, workers int) error {
 // repairs — several shards may read one source block concurrently), and
 // the entries are re-encoded as they land in the destination halo, so
 // corruption in either shard's memory is still caught at the boundary.
-func (o *Operator) exchange(ws *workspace) error {
+// Unverified pipelines pack the same runs without decoding them.
+func (o *Operator) exchange(ws *workspace, unverified bool) error {
 	return o.forEachBand(func(bi int, b *band) error {
 		n := len(b.haloCols)
 		if n == 0 {
@@ -530,7 +588,13 @@ func (o *Operator) exchange(ws *workspace) error {
 				src = make([]float64, need)
 			}
 			src = src[:need]
-			if err := ws.x[ow].ReadBlocksSharedInto(blk0, blkEnd+1, src); err != nil {
+			var err error
+			if unverified {
+				err = ws.x[ow].ReadBlocksUnverifiedInto(blk0, blkEnd+1, src)
+			} else {
+				err = ws.x[ow].ReadBlocksSharedInto(blk0, blkEnd+1, src)
+			}
+			if err != nil {
 				return fmt.Errorf("shard: pack shard %d for shard %d: %w", ow, bi, err)
 			}
 			for ; k < end; k++ {

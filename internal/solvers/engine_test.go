@@ -169,6 +169,12 @@ func TestRecoveryAllSolversConverge(t *testing.T) {
 				Tol: 1e-9, MaxIter: 60000,
 				Recovery: Recovery{Policy: RecoveryRollback, Interval: 8},
 			}
+			if kind == KindFGMRES {
+				// One FGMRES engine iteration is a whole restart cycle;
+				// a single-step restart keeps the cycle count high
+				// enough to reach the strike.
+				opt.Restart = 1
+			}
 			struck := false
 			opt.StateHook = func(it int, live []*core.Vector) {
 				if it == 10 && !struck {

@@ -26,6 +26,12 @@ const (
 	// sharing one batched verified SpMM per iteration, per-column results
 	// bit-identical to k independent CG solves.
 	KindBlockCG
+	// KindFGMRES is flexible restarted GMRES: the nonsymmetric solver,
+	// and the host of selective reliability — with
+	// Options.Reliability selective, its inner preconditioner-solve runs
+	// through the unverified no-decode read path while the outer Arnoldi
+	// iteration stays verified and checkpointed.
+	KindFGMRES
 )
 
 func (k Kind) String() string {
@@ -42,6 +48,8 @@ func (k Kind) String() string {
 		return "pcg"
 	case KindBlockCG:
 		return "blockcg"
+	case KindFGMRES:
+		return "fgmres"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -62,13 +70,15 @@ func ParseKind(s string) (Kind, error) {
 		return KindPCG, nil
 	case "blockcg":
 		return KindBlockCG, nil
+	case "fgmres":
+		return KindFGMRES, nil
 	default:
 		return KindCG, fmt.Errorf("solvers: unknown solver %q (choices: %s)", s, KindNames())
 	}
 }
 
 // Kinds lists every solver algorithm in display order.
-var Kinds = []Kind{KindCG, KindJacobi, KindChebyshev, KindPPCG, KindPCG, KindBlockCG}
+var Kinds = []Kind{KindCG, KindJacobi, KindChebyshev, KindPPCG, KindPCG, KindBlockCG, KindFGMRES}
 
 // KindNames returns the registered solver names as a comma-separated
 // list, for error messages and command-line help.
@@ -105,6 +115,8 @@ func Solve(kind Kind, a Operator, x, b *core.Vector, opt Options) (Result, error
 		}
 		br, err := BlockCG(a, xm, bm, opt)
 		return br.Result, err
+	case KindFGMRES:
+		return FGMRES(a, x, b, opt)
 	default:
 		return Result{}, fmt.Errorf("solvers: unknown kind %v", kind)
 	}

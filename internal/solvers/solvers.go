@@ -115,8 +115,25 @@ type Options struct {
 	// EigenIters is the number of CG iterations used to estimate the
 	// operator spectrum for Chebyshev and PPCG (default 20).
 	EigenIters int
-	// InnerSteps is the PPCG polynomial degree (default 4).
+	// InnerSteps is the PPCG polynomial degree and the FGMRES inner
+	// Jacobi-Richardson step count (default 4).
 	InnerSteps int
+	// Restart is the FGMRES restart length: the Krylov basis grows to
+	// Restart vectors before the cycle closes, updates x and restarts
+	// (default 30). Other solvers ignore it.
+	Restart int
+	// Reliability selects full (every read verified, the default) or
+	// selective reliability (FGMRES runs its inner solve through the
+	// unverified no-decode read path while the outer iteration stays
+	// verified). Solvers without an unreliable phase ignore it.
+	Reliability Reliability
+	// InnerHook, when set, observes FGMRES's plain inner-solve scratch
+	// after each inner step: cycle and j locate the Arnoldi position,
+	// step the inner Richardson step just completed, and z is the live
+	// scratch (mutations model faults striking unprotected inner state —
+	// the window inner-phase fault campaigns corrupt). Not intended for
+	// general use.
+	InnerHook func(cycle, j, step int, z []float64)
 	// RecordHistory stores the residual norm after every iteration.
 	RecordHistory bool
 	// Recovery configures the reaction to a detected uncorrectable
@@ -173,6 +190,7 @@ type ProgressEvent struct {
 const (
 	defaultTol     = 1e-10
 	defaultMaxIter = 10000
+	defaultRestart = 30
 )
 
 func (o Options) withDefaults() Options {
@@ -187,6 +205,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.InnerSteps == 0 {
 		o.InnerSteps = 4
+	}
+	if o.Restart == 0 {
+		o.Restart = defaultRestart
 	}
 	return o
 }
@@ -211,6 +232,10 @@ func (o Options) Validate() error {
 	}
 	if o.InnerSteps < 0 {
 		return fmt.Errorf("solvers: InnerSteps %d must be positive (zero selects the default 4)", o.InnerSteps)
+	}
+	if o.Restart < 0 {
+		return fmt.Errorf("solvers: Restart %d must be positive (zero selects the default %d)",
+			o.Restart, defaultRestart)
 	}
 	return o.Recovery.validate()
 }
@@ -241,6 +266,11 @@ type Result struct {
 	// RecomputedIterations is the total number of iterations re-run
 	// after rollbacks, the faulted iteration included.
 	RecomputedIterations int
+	// ArnoldiSteps is the total number of Arnoldi steps across FGMRES
+	// restart cycles (zero for other solvers) — each step performs
+	// exactly one verified operator application, the denominator for
+	// selective-reliability verified-read accounting.
+	ArnoldiSteps int
 }
 
 // Preconditioner applies z = M^-1 r.
