@@ -40,7 +40,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("abftbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,spmv,spmm,pcg,recovery,selective,all")
+		fig     = fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,full,conv,crc,formats,shards,spmv,spmm,pcg,recovery,selective,vecops,all")
 		nx      = fs.Int("nx", 128, "grid cells per side (paper: 2048)")
 		steps   = fs.Int("steps", 2, "timesteps per run (paper: 5)")
 		runs    = fs.Int("runs", 3, "repetitions averaged (paper: 5)")
@@ -218,6 +218,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 		bench.PrintRows(out, "Selective reliability: FGMRES full vs unverified inner solve (per outer Arnoldi step; verified-reads rows count checks, not ns)", rows)
 		collect("selective", rows)
+	}
+	if all || want["vecops"] {
+		rows, err := bench.VectorOps(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintRows(out, "Vector ops: CG tail unfused vs fused, spawn vs pool dispatch (decode-checks rows count checks, not ns)", rows)
+		collect("vecops", rows)
 	}
 	if all || want["pcg"] {
 		kinds, err := parsePrecondKinds(*pre)

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"abft/internal/core"
+	"abft/internal/par"
+)
+
+// VectorOps measures what the fused verified vector kernels and the
+// resident kernel worker pool buy on the CG iteration tail — the
+// x += alpha p ; r -= alpha q ; r.r sequence every CG-family iteration
+// runs between matrix sweeps. Two rows per protecting scheme plus one
+// dispatch row:
+//
+//   - tail-ns-per-iter: mean wall time of the tail, unfused
+//     (Axpy+Axpy+Dot, three passes — Base) against fused
+//     (FusedAxpyDot, one pass — Protected). Negative overhead is the
+//     speedup from decoding each codeword block once instead of three
+//     kernel visits.
+//   - decode-checks-per-iter: codeword integrity checks the tail
+//     performs per iteration, encoded as nanosecond counts so the row
+//     fits the trajectory schema. Deterministic per scheme, so the row
+//     anchors the benchmark guard against noise.
+//   - dispatch/ns-per-batch: cost of running one multi-range kernel
+//     batch through goroutine-per-range spawning (Base) against the
+//     resident worker pool (Protected).
+//
+// Fused and unfused tails produce bit-identical vectors (the op-level
+// conformance suite pins this), so the comparison isolates the
+// read-path and dispatch cost.
+func VectorOps(opt Options) ([]Row, error) {
+	o := opt.withDefaults()
+	n := o.NX * o.NX
+
+	var rows []Row
+	for _, s := range core.ProtectingSchemes {
+		unfWall, unfChecks, err := o.measureTail(n, s, false)
+		if err != nil {
+			return nil, fmt.Errorf("bench: vecops %v/unfused: %w", s, err)
+		}
+		fusWall, fusChecks, err := o.measureTail(n, s, true)
+		if err != nil {
+			return nil, fmt.Errorf("bench: vecops %v/fused: %w", s, err)
+		}
+		wall := Row{
+			Label: fmt.Sprintf("%v/tail-ns-per-iter", s),
+			Base:  unfWall, Protected: fusWall,
+			OverheadPct: overhead(unfWall, fusWall),
+		}
+		checks := Row{
+			Label: fmt.Sprintf("%v/decode-checks-per-iter", s),
+			Base:  time.Duration(unfChecks), Protected: time.Duration(fusChecks),
+			OverheadPct: overhead(time.Duration(unfChecks), time.Duration(fusChecks)),
+		}
+		o.logf("%-32s %v -> %v per iteration", wall.Label, wall.Base, wall.Protected)
+		o.logf("%-32s %d -> %d checks per iteration", checks.Label, unfChecks, fusChecks)
+		rows = append(rows, wall, checks)
+	}
+
+	spawn, pool, err := o.measureDispatch(n)
+	if err != nil {
+		return nil, fmt.Errorf("bench: vecops dispatch: %w", err)
+	}
+	disp := Row{
+		Label: "dispatch/ns-per-batch",
+		Base:  spawn, Protected: pool,
+		OverheadPct: overhead(spawn, pool),
+	}
+	o.logf("%-32s %v -> %v per batch", disp.Label, disp.Base, disp.Protected)
+	return append(rows, disp), nil
+}
+
+// tailIters is the number of CG tail updates timed per run. The
+// iterates drift by iterCount*alpha*p, far from overflow at this scale.
+const tailIters = 32
+
+// measureTail times o.Runs x tailIters CG tail updates over protected
+// vectors of length n under one scheme and returns the mean wall time
+// and the codeword integrity checks per iteration (counter deltas over
+// all four live vectors, deterministic for a fault-free run).
+func (o Options) measureTail(n int, s core.Scheme, fused bool) (time.Duration, int64, error) {
+	const alpha = 1.0 / 1024
+	var wall time.Duration
+	var checks int64
+	for r := 0; r < o.Runs; r++ {
+		xs := make([]float64, n)
+		ps := make([]float64, n)
+		rs := make([]float64, n)
+		qs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64((i*13)%29) - 14 + float64(i%7)/8
+			ps[i] = math.Sin(float64(i)) / 2
+			rs[i] = xs[(i+3)%n] - 1
+			qs[i] = xs[(i+7)%n] / 4
+		}
+		x := core.VectorFromSlice(xs, s)
+		p := core.VectorFromSlice(ps, s)
+		rv := core.VectorFromSlice(rs, s)
+		q := core.VectorFromSlice(qs, s)
+		c := &core.Counters{}
+		for _, v := range []*core.Vector{x, p, rv, q} {
+			v.SetCounters(c)
+		}
+		start := time.Now()
+		for it := 0; it < tailIters; it++ {
+			if fused {
+				if _, err := core.FusedAxpyDot(x, alpha, p, rv, q,
+					core.FusedOptions{Workers: o.Workers}); err != nil {
+					return 0, 0, err
+				}
+			} else {
+				if err := core.Axpy(x, alpha, p, o.Workers); err != nil {
+					return 0, 0, err
+				}
+				if err := core.Axpy(rv, -alpha, q, o.Workers); err != nil {
+					return 0, 0, err
+				}
+				if _, err := core.Dot(rv, rv, o.Workers); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		wall += time.Since(start)
+		checks += int64(c.Checks())
+	}
+	iters := int64(o.Runs) * tailIters
+	return wall / time.Duration(iters), checks / iters, nil
+}
+
+// measureDispatch times one multi-range batch — eight ranges over the
+// tail's block count, each touching its slice of a shared float array —
+// through goroutine-per-range spawning and through the resident pool.
+// Eight ranges regardless of host width keeps the dispatched work
+// identical on every machine; only the execution backend differs.
+func (o Options) measureDispatch(n int) (spawn, pool time.Duration, err error) {
+	ranges := par.Partition(n, 8, 1)
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i%17) / 16
+	}
+	sink := make([]float64, len(data))
+	fn := func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			sink[i] = data[i] * data[i]
+		}
+		return nil
+	}
+	batches := o.Runs * tailIters
+	measure := func(run func([][2]int, func(lo, hi int) error) error) (time.Duration, error) {
+		// One untimed batch warms the backend (pool worker spawn,
+		// scheduler state) out of the measurement.
+		if err := run(ranges, fn); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for b := 0; b < batches; b++ {
+			if err := run(ranges, fn); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(batches), nil
+	}
+	if spawn, err = measure(par.RunSpawn); err != nil {
+		return 0, 0, err
+	}
+	if pool, err = measure(par.Run); err != nil {
+		return 0, 0, err
+	}
+	return spawn, pool, nil
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVectorOpsRuns(t *testing.T) {
+	rows, err := VectorOps(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 protecting schemes x 2 rows, plus the dispatch row.
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 9: %+v", len(rows), rows)
+	}
+	labels := map[string]Row{}
+	for _, r := range rows {
+		labels[r.Label] = r
+		if r.Base <= 0 || r.Protected <= 0 {
+			t.Fatalf("non-positive measurement: %+v", r)
+		}
+	}
+	for _, want := range []string{"sed/tail-ns-per-iter", "secded64/decode-checks-per-iter",
+		"crc32c/tail-ns-per-iter", "dispatch/ns-per-batch"} {
+		if _, ok := labels[want]; !ok {
+			t.Fatalf("missing label %q in %+v", want, rows)
+		}
+	}
+	// Decode-check rows are deterministic counts, not timings: the fused
+	// tail decodes four vectors where the unfused sequence decodes six,
+	// so Protected must be exactly two thirds of Base for every scheme.
+	for label, r := range labels {
+		if !strings.HasSuffix(label, "decode-checks-per-iter") {
+			continue
+		}
+		if 2*r.Base != 3*r.Protected {
+			t.Fatalf("%s: checks %d -> %d, want exact 3:2 drop",
+				label, int64(r.Base), int64(r.Protected))
+		}
+		if r.Protected%time.Duration(4) != 0 {
+			t.Fatalf("%s: fused checks %d not a multiple of the 4 live vectors",
+				label, int64(r.Protected))
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package coo
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMain raises GOMAXPROCS for the whole package: the kernels under
+// test split work through par.Ranges, which clamps the worker count to
+// GOMAXPROCS, so on a narrow host the multi-worker sweeps would
+// silently collapse to the serial path and the parallel scatter code
+// would go untested.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}

@@ -3,25 +3,51 @@
 // whose boundaries respect ECC codeword alignment, so no two workers ever
 // touch the same codeword — the property that makes buffered group writes
 // race-free (paper section VI-C).
+//
+// Parallel execution runs on a persistent, GOMAXPROCS-sized worker pool:
+// Run parks the work on resident goroutines instead of spawning fresh
+// ones, and the caller claims ranges alongside the pool, so dispatch is
+// allocation-free in the steady state and degrades gracefully to the
+// caller doing everything when the pool is busy.
 package par
+
+import "runtime"
 
 // Ranges splits [0,n) into at most workers contiguous half-open ranges
 // whose interior boundaries are multiples of align. It returns fewer
 // ranges when n is too small to give every worker aligned work. align and
-// workers are clamped to at least 1.
+// workers are clamped to at least 1, and workers additionally to
+// runtime.GOMAXPROCS(0): more ranges than runnable threads only add
+// dispatch overhead, never parallelism. Callers that need a fixed
+// decomposition independent of the host (shard layouts, band structure)
+// must use Partition instead.
 func Ranges(n, workers, align int) [][2]int {
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	return Partition(n, workers, align)
+}
+
+// Partition splits [0,n) into at most parts contiguous half-open ranges
+// whose interior boundaries are multiples of align, independent of the
+// host's processor count. It is the layout-defining cousin of Ranges:
+// shard decompositions and preconditioner band structures derive from it
+// so the operator they build is reproducible across machines. align and
+// parts are clamped to at least 1. The result is allocated at exact
+// capacity in one shot.
+func Partition(n, parts, align int) [][2]int {
 	if align < 1 {
 		align = 1
 	}
-	if workers < 1 {
-		workers = 1
+	if parts < 1 {
+		parts = 1
 	}
 	if n <= 0 {
 		return nil
 	}
-	chunk := (n + workers - 1) / workers
+	chunk := (n + parts - 1) / parts
 	chunk = (chunk + align - 1) / align * align
-	var out [][2]int
+	out := make([][2]int, 0, (n+chunk-1)/chunk)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -34,7 +60,24 @@ func Ranges(n, workers, align int) [][2]int {
 
 // Run executes fn over every range, in parallel when more than one range
 // is given, and returns the error from the lowest-indexed failing range.
+// Multi-range work is dispatched to the resident worker pool; the calling
+// goroutine claims ranges too, so Run completes even when every pool
+// worker is busy (including nested Run from inside fn) and never blocks
+// waiting for a free worker.
 func Run(ranges [][2]int, fn func(lo, hi int) error) error {
+	if len(ranges) == 0 {
+		return nil
+	}
+	if len(ranges) == 1 {
+		return fn(ranges[0][0], ranges[0][1])
+	}
+	return sharedPool().run(ranges, fn)
+}
+
+// RunSpawn executes fn over every range on freshly spawned goroutines,
+// one per range — the pre-pool dispatch strategy, kept as the ablation
+// baseline the pool is benchmarked against. Semantics match Run.
+func RunSpawn(ranges [][2]int, fn func(lo, hi int) error) error {
 	if len(ranges) == 0 {
 		return nil
 	}
@@ -64,4 +107,12 @@ func Run(ranges [][2]int, fn func(lo, hi int) error) error {
 // alignment; a convenience wrapper combining Ranges and Run.
 func ForEach(n, workers, align int, fn func(lo, hi int) error) error {
 	return Run(Ranges(n, workers, align), fn)
+}
+
+// Stats reports the resident pool's health for the service metrics:
+// the number of parked worker goroutines and the cumulative count of
+// multi-range batches dispatched through the pool. Workers is zero until
+// the first parallel Run forces the pool up.
+func Stats() (workers int, dispatches uint64) {
+	return sharedPool().stats()
 }

@@ -9,6 +9,7 @@ import (
 
 	"abft/internal/obs"
 	"abft/internal/op"
+	"abft/internal/par"
 )
 
 // handleMetrics renders the service state in the Prometheus text
@@ -30,6 +31,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("abftd_uptime_seconds", "Seconds since the service started.",
 		time.Since(s.start).Seconds())
 	gauge("abftd_workers", "Solve worker-pool size.", float64(s.cfg.Workers))
+	// Kernel-pool health: the resident goroutines every parallel kernel
+	// dispatches to, and the cumulative multi-range batches dispatched.
+	// Workers stays zero until the first parallel kernel runs; on a
+	// single-processor host every kernel collapses to the serial fast
+	// path and the dispatch counter legitimately never moves.
+	kpw, kpd := par.Stats()
+	gauge("abftd_kernel_pool_workers", "Resident kernel worker-pool goroutines.", float64(kpw))
+	counter("abftd_kernel_dispatch_total", "Multi-range kernel batches dispatched to the resident worker pool.", kpd)
 	gauge("abftd_queue_capacity", "Job queue capacity.", float64(s.cfg.QueueDepth))
 	gauge("abftd_jobs_inflight", "Jobs queued or running.", float64(s.inflight.Load()))
 

@@ -119,6 +119,14 @@ func TestMetricsExpositionLint(t *testing.T) {
 	if samples < 30 {
 		t.Fatalf("scrape produced only %d samples; traffic did not register", samples)
 	}
+	// The kernel-pool health series must always be present. Their values
+	// are host-dependent (a single-processor host never dispatches), so
+	// only presence is asserted, not a nonzero count.
+	for _, name := range []string{"abftd_kernel_pool_workers", "abftd_kernel_dispatch_total"} {
+		if typed[name] == "" {
+			t.Errorf("kernel pool series %s missing from the scrape", name)
+		}
+	}
 	// The series this PR stabilised must scrape in sorted label order.
 	var forms []string
 	for _, line := range strings.Split(body, "\n") {

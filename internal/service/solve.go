@@ -141,6 +141,17 @@ func (o cachedOperator) Dot(a, b *core.Vector) (float64, error) {
 	return core.Dot(a, b, o.workers)
 }
 
+// BandRanges forwards the band decomposition when the cached operator
+// has one, satisfying solvers.BandedOperator: the engine's fused vector
+// kernels and per-band checkpoint copies then follow the same shard
+// layout the forwarded Dot reduces over.
+func (o cachedOperator) BandRanges() [][2]int {
+	if b, ok := o.e.m.(solvers.BandedOperator); ok {
+		return b.BandRanges()
+	}
+	return nil
+}
+
 // ApplyBatch forwards to the cached operator's batched kernel
 // (satisfying solvers.BatchOperator, so BlockCG amortises the matrix
 // checks over the batch), with a per-column fallback for formats

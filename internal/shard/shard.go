@@ -96,7 +96,7 @@ func Clamp(rows, shards int) int {
 	if shards < 1 {
 		shards = 1
 	}
-	return len(par.Ranges(rows, shards, blockLen))
+	return len(par.Partition(rows, shards, blockLen))
 }
 
 // band is one row shard: global rows [r0, r1), a local protected matrix
@@ -179,7 +179,7 @@ func New(src *csr.Matrix, opt Options) (*Operator, error) {
 		cols: src.Cols32(),
 		opt:  opt,
 	}
-	for _, r := range par.Ranges(src.Rows(), opt.Shards, blockLen) {
+	for _, r := range par.Partition(src.Rows(), opt.Shards, blockLen) {
 		b, err := newBand(src, r[0], r[1], opt)
 		if err != nil {
 			return nil, err

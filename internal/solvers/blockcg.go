@@ -124,7 +124,8 @@ func BlockCG(a Operator, x, b *core.MultiVector, opt Options) (BatchResult, erro
 	// must rewind its convergence record too.
 	colIt := make([]float64, k)
 	for j := 0; j < k; j++ {
-		if err := core.Waxpby(r.Col(j), 1, b.Col(j), -1, wv.Col(j), w); err != nil {
+		// r = b - A x with r.r from the same fused pass.
+		if rr[j], err = e.updateNorm(r.Col(j), 1, b.Col(j), -1, wv.Col(j)); err != nil {
 			return BatchResult{Result: e.res}, iterErr("blockcg", 0, err)
 		}
 		zed := r.Col(j)
@@ -137,11 +138,12 @@ func BlockCG(a Operator, x, b *core.MultiVector, opt Options) (BatchResult, erro
 		if err := core.Copy(p.Col(j), zed, w); err != nil {
 			return BatchResult{Result: e.res}, iterErr("blockcg", 0, err)
 		}
-		if rro[j], err = e.dot(r.Col(j), zed); err != nil {
-			return BatchResult{Result: e.res}, iterErr("blockcg", 0, err)
-		}
-		if rr[j], err = e.dot(r.Col(j), r.Col(j)); err != nil {
-			return BatchResult{Result: e.res}, iterErr("blockcg", 0, err)
+		// Unpreconditioned, r.z is exactly the fused pass's r.r.
+		rro[j] = rr[j]
+		if z != nil {
+			if rro[j], err = e.dot(r.Col(j), zed); err != nil {
+				return BatchResult{Result: e.res}, iterErr("blockcg", 0, err)
+			}
 		}
 		rr0[j] = rr[j]
 	}
@@ -209,10 +211,9 @@ func BlockCG(a Operator, x, b *core.MultiVector, opt Options) (BatchResult, erro
 				return false, errBreakdown
 			}
 			alpha := rro[j] / pw
-			if err := core.Axpy(x.Col(j), alpha, p.Col(j), w); err != nil {
-				return false, err
-			}
-			if err := core.Axpy(r.Col(j), -alpha, wv.Col(j), w); err != nil {
+			// x += alpha p ; r -= alpha w ; r.r — one fused verified pass.
+			rrNew, err := e.axpyDot(x.Col(j), alpha, p.Col(j), r.Col(j), wv.Col(j))
+			if err != nil {
 				return false, err
 			}
 			zed := r.Col(j)
@@ -222,22 +223,20 @@ func BlockCG(a Operator, x, b *core.MultiVector, opt Options) (BatchResult, erro
 				}
 				zed = z.Col(j)
 			}
-			rrn, err := e.dot(r.Col(j), zed)
-			if err != nil {
-				return false, err
+			// Unpreconditioned, r.z is the fused pass's r.r; preconditioned,
+			// the recurrence needs r.z while the stopping rule keeps r.r.
+			rrn := rrNew
+			if z != nil {
+				if rrn, err = e.dot(r.Col(j), zed); err != nil {
+					return false, err
+				}
 			}
 			beta := rrn / rro[j]
 			if err := core.Xpby(p.Col(j), zed, beta, w); err != nil {
 				return false, err
 			}
 			rro[j] = rrn
-			rr[j] = rrn
-			if z != nil {
-				// Preconditioned: rrn is r.z; the stopping rule needs r.r.
-				if rr[j], err = e.dot(r.Col(j), r.Col(j)); err != nil {
-					return false, err
-				}
-			}
+			rr[j] = rrNew
 			if e.converged(rr[j], rr0[j]) {
 				colIt[j] = float64(it)
 			}

@@ -24,11 +24,12 @@ func CG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 		z = e.temp()
 	}
 
-	// r = b - A x
+	// r = b - A x, with r.r from the same fused pass
 	if err := a.Apply(wv, x); err != nil {
 		return e.res, iterErr("cg", 0, err)
 	}
-	if err := core.Waxpby(r, 1, b, -1, wv, w); err != nil {
+	rr, err := e.updateNorm(r, 1, b, -1, wv)
+	if err != nil {
 		return e.res, iterErr("cg", 0, err)
 	}
 	// p = z = M^-1 r (or r unpreconditioned); rro = r . z
@@ -42,13 +43,12 @@ func CG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 	if err := core.Copy(p, zed, w); err != nil {
 		return e.res, iterErr("cg", 0, err)
 	}
-	rro, err := e.dot(r, zed)
-	if err != nil {
-		return e.res, iterErr("cg", 0, err)
-	}
-	rr, err := e.dot(r, r)
-	if err != nil {
-		return e.res, iterErr("cg", 0, err)
+	// Unpreconditioned, r.z is exactly the r.r the fused pass returned.
+	rro := rr
+	if z != nil {
+		if rro, err = e.dot(r, zed); err != nil {
+			return e.res, iterErr("cg", 0, err)
+		}
 	}
 	rr0 := rr
 	e.res.ResidualNorm = sqrt(rr)
@@ -75,11 +75,9 @@ func CG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 			return false, errBreakdown
 		}
 		alpha := rro / pw
-		// x += alpha p ; r -= alpha w
-		if err := core.Axpy(x, alpha, p, w); err != nil {
-			return false, err
-		}
-		if err := core.Axpy(r, -alpha, wv, w); err != nil {
+		// x += alpha p ; r -= alpha w ; r.r — one fused verified pass
+		rrNew, err := e.axpyDot(x, alpha, p, r, wv)
+		if err != nil {
 			return false, err
 		}
 		zed := r
@@ -89,9 +87,13 @@ func CG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 			}
 			zed = z
 		}
-		rrn, err := e.dot(r, zed)
-		if err != nil {
-			return false, err
+		// Unpreconditioned, r.z is the fused pass's r.r; preconditioned,
+		// the recurrence needs r.z while the stopping rule keeps r.r.
+		rrn := rrNew
+		if z != nil {
+			if rrn, err = e.dot(r, zed); err != nil {
+				return false, err
+			}
 		}
 		beta := rrn / rro
 		e.res.Alphas = append(e.res.Alphas, alpha)
@@ -101,13 +103,7 @@ func CG(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 			return false, err
 		}
 		rro = rrn
-		rr = rrn
-		if z != nil {
-			// Preconditioned: rrn is r.z; the stopping rule needs r.r.
-			if rr, err = e.dot(r, r); err != nil {
-				return false, err
-			}
-		}
+		rr = rrNew
 		e.res.ResidualNorm = sqrt(rr)
 		return e.converged(rr, rr0), nil
 	})

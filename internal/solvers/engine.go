@@ -80,6 +80,11 @@ type engine struct {
 	spare   []*core.Vector
 	hasCkpt bool
 	bands   [][2]int
+
+	// fuse carries the fused-kernel decomposition mirroring this
+	// operator's dot reduction; fuseOK gates the rewire (initFuse).
+	fuse   core.FusedOptions
+	fuseOK bool
 }
 
 // newEngine validates the options and prepares an engine for one solve.
@@ -105,6 +110,7 @@ func newEngine(solver string, a Operator, x, b *core.Vector, opt Options) (*engi
 	if e.recovering() {
 		e.bands = bandRanges(a)
 	}
+	e.initFuse()
 	return e, nil
 }
 

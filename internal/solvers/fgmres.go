@@ -97,10 +97,7 @@ func FGMRES(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 		if err := a.Apply(wv, x); err != nil {
 			return false, err
 		}
-		if err := core.Waxpby(r, 1, b, -1, wv, w); err != nil {
-			return false, err
-		}
-		rr, err := e.dot(r, r)
+		rr, err := e.updateNorm(r, 1, b, -1, wv)
 		if err != nil {
 			return false, err
 		}
@@ -229,10 +226,7 @@ func FGMRES(a Operator, x, b *core.Vector, opt Options) (Result, error) {
 			if err := a.Apply(wv, x); err != nil {
 				return false, err
 			}
-			if err := core.Waxpby(r, 1, b, -1, wv, w); err != nil {
-				return false, err
-			}
-			rr, err := e.dot(r, r)
+			rr, err := e.updateNorm(r, 1, b, -1, wv)
 			if err != nil {
 				return false, err
 			}

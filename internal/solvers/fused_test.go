@@ -1,0 +1,165 @@
+package solvers
+
+import (
+	"testing"
+
+	"abft/internal/core"
+)
+
+// bandedFake is a custom operator with both the DotOperator and
+// BandedOperator capabilities — the shape of the sharded composite —
+// so the engine must take the banded fuse path (band decomposition +
+// tree reduction in the fused kernels).
+type bandedFake struct {
+	m     *core.Matrix
+	bands [][2]int
+}
+
+func (o bandedFake) Rows() int                              { return o.m.Rows() }
+func (o bandedFake) Apply(dst, x *core.Vector) error        { return o.m.Apply(dst, x, 1) }
+func (o bandedFake) Diagonal(dst []float64) error           { return o.m.Diagonal(dst) }
+func (o bandedFake) Dot(a, b *core.Vector) (float64, error) { return core.Dot(a, b, 1) }
+func (o bandedFake) BandRanges() [][2]int                   { return o.bands }
+
+// dotFake has a custom Dot but no band structure: the engine cannot
+// mirror its reduction inside a fused kernel and must fall back to the
+// unfused sequence.
+type dotFake struct {
+	m *core.Matrix
+}
+
+func (o dotFake) Rows() int                              { return o.m.Rows() }
+func (o dotFake) Apply(dst, x *core.Vector) error        { return o.m.Apply(dst, x, 1) }
+func (o dotFake) Diagonal(dst []float64) error           { return o.m.Diagonal(dst) }
+func (o dotFake) Dot(a, b *core.Vector) (float64, error) { return core.Dot(a, b, 1) }
+
+// TestFusePathsSolve drives CG through all three engine fuse decisions
+// — flat fuse (plain matrix operator), banded fuse (DotOperator with
+// band ranges), and the unfused fallback (DotOperator without bands) —
+// and checks each against the dense solve. The bit-level equivalence
+// of fused and unfused tails is pinned by the core and op conformance
+// suites; this test pins that every decision path produces a correct
+// converged solve.
+func TestFusePathsSolve(t *testing.T) {
+	a, xTrue, b := spdSystem(t, 8, 8)
+	m := protect(t, a, core.SECDED64, core.SECDED64)
+	n := a.Rows()
+	operators := map[string]Operator{
+		"flat":     MatrixOperator{M: m},
+		"banded":   bandedFake{m: m, bands: [][2]int{{0, 16}, {16, 40}, {40, n}}},
+		"fallback": dotFake{m: m},
+	}
+	for name, op := range operators {
+		t.Run(name, func(t *testing.T) {
+			x := core.NewVector(n, core.SECDED64)
+			bv := core.VectorFromSlice(b, core.SECDED64)
+			res, err := CG(op, x, bv, Options{Tol: 1e-10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("CG did not converge: %+v", res)
+			}
+			got := make([]float64, n)
+			if err := x.CopyTo(got); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxAbsDiff(got, xTrue); d > 1e-7 {
+				t.Fatalf("CG vs truth: max diff %g", d)
+			}
+		})
+	}
+}
+
+// TestFusedTailFaultPropagation corrupts a live vector with an
+// uncorrectable double flip and checks the detected fault surfaces
+// through both tail paths — the fused kernel and the unfused fallback —
+// for the update and the residual-formation idiom alike.
+func TestFusedTailFaultPropagation(t *testing.T) {
+	a, _, b := spdSystem(t, 6, 6)
+	m := protect(t, a, core.SECDED64, core.SECDED64)
+	n := a.Rows()
+	vecs := func() (x, p, r, q *core.Vector) {
+		x = core.VectorFromSlice(b, core.SECDED64)
+		p = core.VectorFromSlice(b, core.SECDED64)
+		r = core.VectorFromSlice(b, core.SECDED64)
+		q = core.VectorFromSlice(b, core.SECDED64)
+		return
+	}
+	for name, op := range map[string]Operator{
+		"fused":    MatrixOperator{M: m},
+		"fallback": dotFake{m: m},
+	} {
+		t.Run(name, func(t *testing.T) {
+			x0 := core.NewVector(n, core.SECDED64)
+			bv := core.VectorFromSlice(b, core.SECDED64)
+			e, err := newEngine("cg", op, x0, bv, Options{Tol: 1e-8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.fuseOK != (name == "fused") {
+				t.Fatalf("fuseOK = %v for %s", e.fuseOK, name)
+			}
+
+			x, p, r, q := vecs()
+			x.Raw()[4] ^= 1<<40 | 1<<41
+			if _, err := e.axpyDot(x, 0.5, p, r, q); err == nil {
+				t.Fatal("axpyDot ignored a corrupted x")
+			}
+			x, p, r, q = vecs()
+			r.Raw()[4] ^= 1<<40 | 1<<41
+			if _, err := e.axpyDot(x, 0.5, p, r, q); err == nil {
+				t.Fatal("axpyDot ignored a corrupted r")
+			}
+			dst, xx, y, _ := vecs()
+			y.Raw()[4] ^= 1<<40 | 1<<41
+			if _, err := e.updateNorm(dst, 1, xx, -1, y); err == nil {
+				t.Fatal("updateNorm ignored a corrupted y")
+			}
+		})
+	}
+}
+
+// TestFuseDecision checks the engine's fuse classification directly:
+// flat operators fuse flat, banded dot operators fuse with the band
+// decomposition and tree reduction, custom dot operators without band
+// structure do not fuse.
+func TestFuseDecision(t *testing.T) {
+	a, _, b := spdSystem(t, 6, 6)
+	m := protect(t, a, core.None, core.None)
+	n := a.Rows()
+	x := core.NewVector(n, core.None)
+	bv := core.VectorFromSlice(b, core.None)
+	newEng := func(op Operator) *engine {
+		e, err := newEngine("cg", op, x, bv, Options{Tol: 1e-8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	e := newEng(MatrixOperator{M: m})
+	if !e.fuseOK || e.fuse.BlockBands != nil || e.fuse.TreeReduce {
+		t.Fatalf("flat operator: want flat fuse, got ok=%v opts=%+v", e.fuseOK, e.fuse)
+	}
+
+	bands := [][2]int{{0, 16}, {16, n}}
+	e = newEng(bandedFake{m: m, bands: bands})
+	if !e.fuseOK || !e.fuse.TreeReduce {
+		t.Fatalf("banded operator: want banded fuse, got ok=%v opts=%+v", e.fuseOK, e.fuse)
+	}
+	wantBlocks := [][2]int{{0, 4}, {4, (n + 3) / 4}}
+	if len(e.fuse.BlockBands) != len(wantBlocks) {
+		t.Fatalf("block bands %v want %v", e.fuse.BlockBands, wantBlocks)
+	}
+	for i, bb := range wantBlocks {
+		if e.fuse.BlockBands[i] != bb {
+			t.Fatalf("block band %d = %v want %v", i, e.fuse.BlockBands[i], bb)
+		}
+	}
+
+	e = newEng(dotFake{m: m})
+	if e.fuseOK {
+		t.Fatalf("custom dot without bands must not fuse: opts=%+v", e.fuse)
+	}
+}
